@@ -1,0 +1,230 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! forecasting (ARIMA fit/forecast, NARNET training), the O(n³)
+//! Kuhn–Munkres matching, k-median local search, shortest-path
+//! construction, topology builders, and a full Sheriff management round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dcn_sim::engine::{Cluster, ClusterConfig};
+use dcn_sim::{RackMetric, SimConfig};
+use dcn_topology::fattree::{self, FatTreeConfig};
+use dcn_topology::path::{distance_cost, PathCosts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sheriff_core::kmedian::{local_search, KMedianInstance};
+use sheriff_core::{min_cost_assignment, Sheriff};
+use timeseries::arima::{ArimaModel, ArimaSpec};
+use timeseries::generator::{weekly_traffic_trace, TraceConfig};
+use timeseries::narnet::{Narnet, NarnetConfig};
+
+fn bench_forecasting(c: &mut Criterion) {
+    let cfg = TraceConfig {
+        len: 504,
+        samples_per_day: 72,
+        seed: 1,
+    };
+    let y = weekly_traffic_trace(&cfg);
+
+    c.bench_function("arima_fit_111_n504", |b| {
+        b.iter(|| ArimaModel::fit(black_box(&y), ArimaSpec::new(1, 1, 1)).unwrap())
+    });
+
+    let model = ArimaModel::fit(&y, ArimaSpec::new(1, 1, 1)).unwrap();
+    c.bench_function("arima_forecast_12step", |b| {
+        b.iter(|| model.forecast(black_box(&y), 12))
+    });
+
+    c.bench_function("narnet_train_n300_h10", |b| {
+        b.iter(|| {
+            Narnet::fit(
+                black_box(&y[..300]),
+                NarnetConfig {
+                    lags: 6,
+                    hidden: 10,
+                    epochs: 50,
+                    patience: 10,
+                    ..NarnetConfig::default()
+                },
+            )
+        })
+    });
+
+    let nn = Narnet::fit(
+        &y,
+        NarnetConfig {
+            lags: 8,
+            hidden: 20,
+            epochs: 50,
+            patience: 10,
+            ..NarnetConfig::default()
+        },
+    );
+    c.bench_function("narnet_predict_next", |b| {
+        b.iter(|| nn.predict_next(black_box(&y)))
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &n in &[16usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n * 2).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
+            b.iter(|| min_cost_assignment(black_box(cost)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmedian(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let clients = 40;
+    let facilities = 20;
+    let cost: Vec<Vec<f64>> = (0..clients)
+        .map(|_| (0..facilities).map(|_| rng.gen_range(0.0..50.0)).collect())
+        .collect();
+    let inst = KMedianInstance::new(cost, 5);
+    let mut group = c.benchmark_group("kmedian_local_search");
+    for p in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| local_search(black_box(&inst), p, 1000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_seasonal(c: &mut Criterion) {
+    use timeseries::holtwinters::{HoltWinters, HwConfig};
+    use timeseries::sarima::{SarimaModel, SarimaSpec};
+    let cfg = TraceConfig {
+        len: 7 * 48,
+        samples_per_day: 48,
+        seed: 2,
+    };
+    let y = weekly_traffic_trace(&cfg);
+    c.bench_function("sarima_fit_s48", |b| {
+        b.iter(|| SarimaModel::fit(black_box(&y), SarimaSpec::new(1, 0, 1, 1, 1, 1, 48)).unwrap())
+    });
+    c.bench_function("holtwinters_fit_s48", |b| {
+        b.iter(|| HoltWinters::fit(black_box(&y), HwConfig::with_season(48)))
+    });
+}
+
+fn bench_ksp(c: &mut Criterion) {
+    use dcn_topology::ksp::k_shortest_paths;
+    use dcn_topology::RackId;
+    let dcn = fattree::build(&FatTreeConfig::paper(8));
+    let src = dcn.rack_node(RackId(0));
+    let dst = dcn.rack_node(RackId(17));
+    let mut group = c.benchmark_group("yen_ksp_k8_crosspod");
+    for k in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| k_shortest_paths(black_box(&dcn.graph), src, dst, k, distance_cost))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evacuation(c: &mut Criterion) {
+    use dcn_topology::HostId;
+    use sheriff_core::evacuate_host;
+    use sheriff_core::vmmigration::MigrationContext;
+    let dcn = fattree::build(&FatTreeConfig::paper(8));
+    let cluster = Cluster::build(
+        dcn,
+        &ClusterConfig {
+            vms_per_host: 2.5,
+            skew: 3.0,
+            seed: 8,
+            ..ClusterConfig::default()
+        },
+        SimConfig::paper(),
+    );
+    let metric = RackMetric::build(&cluster.dcn, &cluster.sim);
+    let host = (0..cluster.placement.host_count())
+        .map(HostId::from_index)
+        .max_by_key(|&h| cluster.placement.vms_on(h).len())
+        .unwrap();
+    let rack = cluster.placement.rack_of_host(host);
+    let region = cluster.dcn.neighbor_racks(rack, 2);
+    c.bench_function("evacuate_busiest_host_k8", |b| {
+        b.iter_batched(
+            || cluster.clone(),
+            |mut cl| {
+                let mut ctx = MigrationContext {
+                    placement: &mut cl.placement,
+                    inventory: &cl.dcn.inventory,
+                    deps: &cl.deps,
+                    metric: &metric,
+                    sim: &cl.sim,
+                };
+                evacuate_host(&mut ctx, host, &region, 5)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    c.bench_function("fattree_build_k16", |b| {
+        b.iter(|| fattree::build(black_box(&FatTreeConfig::paper(16))))
+    });
+
+    let dcn = fattree::build(&FatTreeConfig::paper(8));
+    c.bench_function("dijkstra_apsp_k8", |b| {
+        b.iter(|| PathCosts::dijkstra_all(black_box(&dcn.graph), distance_cost))
+    });
+    c.bench_function("floyd_warshall_k8", |b| {
+        b.iter(|| PathCosts::floyd_warshall(black_box(&dcn.graph), distance_cost))
+    });
+    c.bench_function("rack_metric_build_k8", |b| {
+        b.iter(|| RackMetric::build(black_box(&dcn), &SimConfig::paper()))
+    });
+}
+
+fn bench_management_round(c: &mut Criterion) {
+    let dcn = fattree::build(&FatTreeConfig::paper(8));
+    let cluster = Cluster::build(
+        dcn,
+        &ClusterConfig {
+            vms_per_host: 2.5,
+            skew: 4.0,
+            seed: 5,
+            ..ClusterConfig::default()
+        },
+        SimConfig::paper(),
+    );
+    let metric = RackMetric::build(&cluster.dcn, &cluster.sim);
+    let sheriff = Sheriff::new(&cluster);
+    c.bench_function("sheriff_round_k8_5pct", |b| {
+        b.iter_batched(
+            || cluster.clone(),
+            |mut cl| {
+                let alerts = cl.fraction_alerts(0.05, 0);
+                let utils: Vec<f64> = cl
+                    .placement
+                    .vm_ids()
+                    .map(|vm| cl.placement.utilization(cl.placement.host_of(vm)))
+                    .collect();
+                sheriff.round(&mut cl, &metric, None, &alerts, &|vm| utils[vm.index()])
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_forecasting,
+    bench_seasonal,
+    bench_matching,
+    bench_kmedian,
+    bench_ksp,
+    bench_topology,
+    bench_management_round,
+    bench_evacuation
+);
+criterion_main!(benches);

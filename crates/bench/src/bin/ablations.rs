@@ -1,0 +1,45 @@
+//! Ablation harness for the design choices documented in DESIGN.md §4.
+//!
+//! ```text
+//! ablations [all|priority|matching|pswap|selector|scope] [--seed N] [--out DIR]
+//! ```
+
+use sheriff_bench::ablation;
+use std::path::PathBuf;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results");
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--seed" => seed = argv.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out = PathBuf::from(argv.next().expect("--out DIR")),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ["priority", "matching", "pswap", "selector", "scope"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    for id in &ids {
+        let table = match id.as_str() {
+            "priority" => ablation::ablation_priority(12, seed),
+            "matching" => ablation::ablation_matching(seed),
+            "pswap" => ablation::ablation_pswap(8, seed),
+            "selector" => ablation::ablation_selector(seed),
+            "scope" => ablation::ablation_scope(seed),
+            other => {
+                eprintln!("unknown ablation {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("{}", table.render());
+        if let Err(e) = table.write_json(&out) {
+            eprintln!("warning: could not write JSON: {e}");
+        }
+    }
+}

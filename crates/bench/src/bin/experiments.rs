@@ -1,0 +1,172 @@
+//! Experiment harness: regenerates every figure of the paper's
+//! evaluation (Sec. VI).
+//!
+//! ```text
+//! experiments <id|all> [--seed N] [--out DIR] [--quick]
+//!   ids: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ratio
+//!   --seed N   RNG seed (default 42)
+//!   --out DIR  also write each table as JSON (default: results/)
+//!   --quick    smaller sweeps for fast smoke runs
+//! ```
+//!
+//! `fig11`/`fig12` share one Fat-Tree sweep and `fig13`/`fig14` one BCube
+//! sweep; requesting either id runs the sweep and prints the requested
+//! table.
+
+use sheriff_bench::scale::{sweep, Topo, PAPER_SIZES};
+use sheriff_bench::{balance, forecast, ratio, traces, Table};
+use std::path::PathBuf;
+
+struct Args {
+    ids: Vec<String>,
+    seed: u64,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut ids = Vec::new();
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results");
+    let mut quick = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_string());
+    }
+    Args {
+        ids,
+        seed,
+        out,
+        quick,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    print_usage();
+    std::process::exit(2)
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: experiments <id|all>... [--seed N] [--out DIR] [--quick]\n       ids: fig3..fig14, ratio, prealert, dcell, vl2, qcn"
+    );
+}
+
+const ALL_IDS: [&str; 17] = [
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "ratio", "prealert", "dcell", "vl2", "qcn",
+];
+
+fn main() {
+    let args = parse_args();
+    let mut wanted: Vec<String> = Vec::new();
+    for id in &args.ids {
+        if id == "all" {
+            wanted.extend(ALL_IDS.iter().map(|s| s.to_string()));
+        } else if ALL_IDS.contains(&id.as_str()) {
+            wanted.push(id.clone());
+        } else {
+            die(&format!("unknown experiment id {id}"));
+        }
+    }
+    wanted.dedup();
+
+    let sizes: Vec<usize> = if args.quick {
+        vec![4, 8, 12]
+    } else {
+        PAPER_SIZES.to_vec()
+    };
+
+    // sweeps are shared between figure pairs; compute lazily
+    let mut fattree_sweep: Option<(Table, Table)> = None;
+    let mut bcube_sweep: Option<(Table, Table)> = None;
+
+    let mut emitted = Vec::new();
+    for id in &wanted {
+        let table = match id.as_str() {
+            "fig3" => traces::fig3(args.seed),
+            "fig4" => traces::fig4(args.seed),
+            "fig5" => traces::fig5(args.seed),
+            "fig6" => forecast::fig6(args.seed),
+            "fig7" => forecast::fig7(args.seed),
+            "fig8" => forecast::fig8(args.seed),
+            "fig9" => balance::fig9(args.seed),
+            "fig10" => balance::fig10(args.seed),
+            "dcell" => balance::dcell_balance(args.seed),
+            "vl2" => balance::vl2_balance(args.seed),
+            "qcn" => {
+                let steps = if args.quick { 40 } else { 80 };
+                sheriff_bench::congestion_exp::qcn_experiment(steps, args.seed)
+            }
+            "fig11" | "fig12" => {
+                let pair = fattree_sweep
+                    .get_or_insert_with(|| sweep(Topo::FatTree, &sizes, args.seed));
+                if id == "fig11" {
+                    pair.0.clone()
+                } else {
+                    pair.1.clone()
+                }
+            }
+            "fig13" | "fig14" => {
+                let pair =
+                    bcube_sweep.get_or_insert_with(|| sweep(Topo::BCube, &sizes, args.seed));
+                if id == "fig13" {
+                    pair.0.clone()
+                } else {
+                    pair.1.clone()
+                }
+            }
+            "ratio" => {
+                let (trials, max_p) = if args.quick { (4, 2) } else { (12, 4) };
+                ratio::ratio_experiment(trials, max_p, args.seed)
+            }
+            "prealert" => {
+                let trials = if args.quick { 3 } else { 12 };
+                sheriff_bench::prealert::prealert_experiment(trials, args.seed)
+            }
+            _ => unreachable!("validated above"),
+        };
+        // raw trace/forecast tables are long; print their summaries only
+        let long = table.rows.len() > 40;
+        if long {
+            let mut short = table.clone();
+            short.rows.truncate(8);
+            let mut rendered = short.render();
+            rendered.push_str(&format!("  … ({} rows total, full data in JSON)\n", table.rows.len()));
+            println!("{rendered}");
+        } else {
+            println!("{}", table.render());
+        }
+        if let Err(e) = table.write_json(&args.out) {
+            eprintln!("warning: could not write {}/{}.json: {e}", args.out.display(), table.id);
+        }
+        emitted.push(table.id.clone());
+    }
+    println!(
+        "wrote {} result file(s) to {}/: {}",
+        emitted.len(),
+        args.out.display(),
+        emitted.join(", ")
+    );
+}

@@ -1,0 +1,21 @@
+//! # sheriff-bench
+//!
+//! Experiment harness regenerating every figure of the paper's evaluation
+//! (Sec. VI): the raw traces (Fig. 3–5), the forecasting study
+//! (Fig. 6–8), the balance trajectories (Fig. 9/10), the APP-vs-OPT scale
+//! sweeps (Fig. 11–14), and the approximation-ratio check (Sec. VI-C).
+//! Run them with `cargo run --release -p sheriff-bench --bin experiments`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod balance;
+pub mod congestion_exp;
+pub mod forecast;
+pub mod prealert;
+pub mod ratio;
+pub mod report;
+pub mod scale;
+pub mod traces;
+
+pub use report::Table;

@@ -1,0 +1,94 @@
+//! Fig. 3–5: the raw traces (CPU utilisation, disk-I/O rate, weekly
+//! traffic). The paper plots proprietary ZopleCloud data; we emit the
+//! synthetic substitutes with the same ranges and periodic structure
+//! (DESIGN.md §1) plus their summary statistics.
+
+use crate::report::Table;
+use timeseries::generator::{cpu_trace, disk_io_trace, weekly_traffic_trace, TraceConfig};
+use timeseries::stats::{acf, mean, variance};
+
+fn summarize(t: &mut Table, id_note: &str, y: &[f64], samples_per_day: usize) {
+    let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let daily_acf = if y.len() > samples_per_day {
+        acf(y, samples_per_day)[samples_per_day]
+    } else {
+        0.0
+    };
+    t.note(format!(
+        "{id_note}: n={}, range [{lo:.1}, {hi:.1}], mean {:.1}, std {:.1}, daily-lag ACF {daily_acf:.2}",
+        y.len(),
+        mean(y),
+        variance(y).sqrt(),
+    ));
+}
+
+/// Fig. 3 — raw CPU utilisation (24 h, percent).
+pub fn fig3(seed: u64) -> Table {
+    let cfg = TraceConfig {
+        len: 24 * 6,
+        samples_per_day: 24 * 6,
+        seed,
+    };
+    let y = cpu_trace(&cfg);
+    let mut t = Table::new("fig3", "Raw data of CPU utility (%)", &["t", "cpu_pct"]);
+    for (i, v) in y.iter().enumerate() {
+        t.push(vec![i as f64, *v]);
+    }
+    summarize(&mut t, "CPU", &y, cfg.samples_per_day);
+    t
+}
+
+/// Fig. 4 — raw disk-I/O rate (24 h, MB).
+pub fn fig4(seed: u64) -> Table {
+    let cfg = TraceConfig {
+        len: 24 * 6,
+        samples_per_day: 24 * 6,
+        seed,
+    };
+    let y = disk_io_trace(&cfg);
+    let mut t = Table::new("fig4", "Raw data of disk I/O rate (MB)", &["t", "io_mb"]);
+    for (i, v) in y.iter().enumerate() {
+        t.push(vec![i as f64, *v]);
+    }
+    summarize(&mut t, "I/O", &y, cfg.samples_per_day);
+    t
+}
+
+/// Fig. 5 — raw weekly switch traffic (7 days, MB).
+pub fn fig5(seed: u64) -> Table {
+    let cfg = TraceConfig {
+        len: 7 * 72,
+        samples_per_day: 72,
+        seed,
+    };
+    let y = weekly_traffic_trace(&cfg);
+    let mut t = Table::new("fig5", "Raw data of weekly traffic (MB)", &["t", "traffic_mb"]);
+    for (i, v) in y.iter().enumerate() {
+        t.push(vec![i as f64, *v]);
+    }
+    summarize(&mut t, "traffic", &y, cfg.samples_per_day);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_have_expected_lengths_and_ranges() {
+        let f3 = fig3(1);
+        assert_eq!(f3.rows.len(), 144);
+        assert!(f3.rows.iter().all(|r| (0.0..=100.0).contains(&r[1])));
+        let f4 = fig4(1);
+        assert!(f4.rows.iter().all(|r| (0.0..=1200.0).contains(&r[1])));
+        let f5 = fig5(1);
+        assert_eq!(f5.rows.len(), 7 * 72);
+    }
+
+    #[test]
+    fn notes_record_periodicity() {
+        let f5 = fig5(2);
+        assert!(f5.notes[0].contains("daily-lag ACF"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Simulation parameters, defaulting to the paper's settings (Sec. VI-B).
+
+use serde::{Deserialize, Serialize};
+
+/// Global simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// `C_r`: fixed cost of initialization + reservation + commitment +
+    /// activation of a live migration (paper: 100).
+    pub c_r: f64,
+    /// `δ`: weight of the transmission-time term (paper: 1).
+    pub delta: f64,
+    /// `η`: weight of the bandwidth-utility term (paper: 1).
+    pub eta: f64,
+    /// `C_d`: unit dependency cost per distance in `G_d` (paper: 1).
+    pub c_d: f64,
+    /// Maximum VM capacity (paper: 20).
+    pub vm_capacity_max: f64,
+    /// `B_t`: minimum available bandwidth for a link to carry a migration.
+    pub bandwidth_threshold: f64,
+    /// `THRESHOLD` on the normalised workload profile that triggers an
+    /// ALERT (Sec. III-A uses 90 % utilisation as the canonical example).
+    pub alert_threshold: f64,
+    /// `α`: portion of switch capacity released per round when handling an
+    /// outer-switch alert (Alg. 2).
+    pub alpha: f64,
+    /// `β`: portion of ToR capacity released per round when handling an
+    /// uplink-congestion alert (Alg. 1 line 10 / Alg. 2).
+    pub beta: f64,
+    /// `T`: seconds between controller rounds (alert collection period).
+    pub period_secs: f64,
+    /// Weight of the load-aware tie-break added to Eqn. 1 when ranking
+    /// destination hosts: `weight × post-move utilisation`. Among
+    /// equal-cost destinations (e.g. every host of the same rack costs
+    /// exactly `C_r`), this steers the matching toward the least-loaded
+    /// host — the balancing objective behind constraint (10) and the
+    /// declining curves of Fig. 9/10. Set to 0 for the literal Eqn. 1.
+    pub load_balance_weight: f64,
+    /// Scope of a shim's dominating region in graph hops when picking
+    /// migration destinations (paper: one-hop wired neighbours; two graph
+    /// hops = rack → switch → rack).
+    pub region_hops: usize,
+    /// Candidate paths considered per FLOWREROUTE (Yen's k-shortest);
+    /// 1 recovers the paper's single-alternative reroute, larger values
+    /// spread detours across the fabric's parallel paths.
+    pub reroute_paths: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            c_r: 100.0,
+            delta: 1.0,
+            eta: 1.0,
+            c_d: 1.0,
+            vm_capacity_max: 20.0,
+            bandwidth_threshold: 0.05,
+            alert_threshold: 0.9,
+            alpha: 0.2,
+            beta: 0.2,
+            period_secs: 60.0,
+            load_balance_weight: 200.0,
+            region_hops: 2,
+            reroute_paths: 4,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The exact settings of the paper's Sec. VI-B simulation.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings_match_section_vi_b() {
+        let c = SimConfig::paper();
+        assert_eq!(c.c_r, 100.0);
+        assert_eq!(c.delta, 1.0);
+        assert_eq!(c.eta, 1.0);
+        assert_eq!(c.c_d, 1.0);
+        assert_eq!(c.vm_capacity_max, 20.0);
+    }
+
+    #[test]
+    fn debug_covers_every_tunable() {
+        let dbg = format!("{:?}", SimConfig::paper());
+        for field in ["c_r", "delta", "eta", "c_d", "alert_threshold", "region_hops"] {
+            assert!(dbg.contains(field), "missing {field}");
+        }
+    }
+}

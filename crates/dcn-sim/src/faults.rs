@@ -1,0 +1,126 @@
+//! Failure injection: dead links and failed hosts. Sec. III-A assumes a
+//! backup system resolves crashes; these helpers create the crash
+//! scenarios that `sheriff-core`'s evacuation and the `B_t`-aware metric
+//! must survive, and the tests in both crates drive them.
+
+use dcn_topology::graph::EdgeIdx;
+use dcn_topology::Dcn;
+use rand::Rng;
+
+/// Kill one link: its available bandwidth drops to zero, putting it
+/// below every positive `B_t` threshold so the metric routes around it.
+pub fn fail_link(dcn: &mut Dcn, e: EdgeIdx) {
+    let cap = dcn.graph.link(e).capacity;
+    dcn.graph.link_mut(e).consume(cap);
+}
+
+/// Restore a previously failed link to full capacity.
+pub fn restore_link(dcn: &mut Dcn, e: EdgeIdx) {
+    let cap = dcn.graph.link(e).capacity;
+    dcn.graph.link_mut(e).release(cap);
+}
+
+/// Fail a random `fraction` of all links. Returns the failed edge ids.
+pub fn fail_random_links<R: Rng>(dcn: &mut Dcn, rng: &mut R, fraction: f64) -> Vec<EdgeIdx> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+    let m = dcn.graph.edge_count();
+    let want = (m as f64 * fraction).round() as usize;
+    let mut ids: Vec<EdgeIdx> = (0..m).collect();
+    for i in (1..m).rev() {
+        ids.swap(i, rng.gen_range(0..=i));
+    }
+    ids.truncate(want);
+    for &e in &ids {
+        fail_link(dcn, e);
+    }
+    ids
+}
+
+/// Whether every rack can still reach every other rack over links with
+/// available bandwidth above `threshold` (BFS on the live subgraph).
+pub fn racks_connected(dcn: &Dcn, threshold: f64) -> bool {
+    let g = &dcn.graph;
+    if dcn.rack_nodes.is_empty() {
+        return true;
+    }
+    let mut seen = vec![false; g.node_count()];
+    let start = dcn.rack_nodes[0];
+    seen[start] = true;
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        for &(v, e) in g.neighbors(u) {
+            if !seen[v] && g.link(e).usable(threshold) {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    dcn.rack_nodes.iter().all(|&n| seen[n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::fattree::{self, FatTreeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fail_and_restore_roundtrip() {
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        fail_link(&mut dcn, 0);
+        assert_eq!(dcn.graph.link(0).available_bw, 0.0);
+        assert!(!dcn.graph.link(0).usable(0.01));
+        restore_link(&mut dcn, 0);
+        assert_eq!(dcn.graph.link(0).available_bw, dcn.graph.link(0).capacity);
+    }
+
+    #[test]
+    fn fattree_survives_single_link_failure() {
+        // fat-trees are multipath: one dead link never partitions racks
+        let base = fattree::build(&FatTreeConfig::paper(4));
+        for e in 0..base.graph.edge_count() {
+            let mut dcn = base.clone();
+            fail_link(&mut dcn, e);
+            assert!(racks_connected(&dcn, 0.01), "edge {e} partitioned the fabric");
+        }
+    }
+
+    #[test]
+    fn random_failures_eventually_partition() {
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        let mut rng = StdRng::seed_from_u64(5);
+        let failed = fail_random_links(&mut dcn, &mut rng, 0.9);
+        assert_eq!(failed.len(), (dcn.graph.edge_count() as f64 * 0.9).round() as usize);
+        assert!(!racks_connected(&dcn, 0.01), "90% failures should partition");
+    }
+
+    #[test]
+    fn zero_fraction_fails_nothing() {
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(fail_random_links(&mut dcn, &mut rng, 0.0).is_empty());
+        assert!(racks_connected(&dcn, 0.01));
+    }
+
+    #[test]
+    fn metric_routes_around_failed_links() {
+        use crate::migration::RackMetric;
+        use crate::SimConfig;
+        use dcn_topology::RackId;
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        let sim = SimConfig::paper();
+        let before = RackMetric::build(&dcn, &sim);
+        // kill one of rack 0's two uplinks
+        let node = dcn.rack_node(RackId(0));
+        let (_, e) = dcn.graph.neighbors(node)[0];
+        fail_link(&mut dcn, e);
+        let after = RackMetric::build(&dcn, &sim);
+        // still reachable through the second uplink
+        assert!(after.reachable(RackId(0), RackId(1)));
+        // and never cheaper than the healthy fabric
+        let b = before.transmission_cost(&sim, 10.0, RackId(0), RackId(1));
+        let a = after.transmission_cost(&sim, 10.0, RackId(0), RackId(1));
+        assert!(a >= b - 1e-9);
+    }
+}

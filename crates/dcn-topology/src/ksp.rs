@@ -1,0 +1,245 @@
+//! Yen's k-shortest loopless paths. Fat-Tree and BCube are deliberately
+//! multipath; FLOWREROUTE benefits from choosing among several disjoint
+//! detours (ECMP-style) instead of only the single shortest one, and the
+//! congestion-aware reroute picks the least-loaded of the k candidates.
+
+use crate::graph::{EdgeIdx, NetGraph, NodeIdx};
+use crate::link::Link;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A path as node sequence plus its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Node sequence, inclusive of both endpoints.
+    pub nodes: Vec<NodeIdx>,
+    /// Total edge cost.
+    pub cost: f64,
+}
+
+impl Path {
+    /// The edge indices along the path.
+    pub fn edges(&self, g: &NetGraph) -> Vec<EdgeIdx> {
+        self.nodes
+            .windows(2)
+            .map(|w| g.edge_between(w[0], w[1]).expect("path edge exists"))
+            .collect()
+    }
+}
+
+/// Dijkstra variant honouring banned nodes/edges; returns the shortest
+/// path or `None`.
+fn shortest_with_bans(
+    g: &NetGraph,
+    src: NodeIdx,
+    dst: NodeIdx,
+    edge_cost: &impl Fn(&Link) -> f64,
+    banned_nodes: &[bool],
+    banned_edges: &[bool],
+) -> Option<Path> {
+    #[derive(PartialEq)]
+    struct E(f64, NodeIdx);
+    impl Eq for E {}
+    impl Ord for E {
+        fn cmp(&self, o: &Self) -> Ordering {
+            o.0.partial_cmp(&self.0).expect("no NaN costs")
+        }
+    }
+    impl PartialOrd for E {
+        fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    if banned_nodes[src] || banned_nodes[dst] {
+        return None;
+    }
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(E(0.0, src));
+    while let Some(E(d, u)) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for &(v, e) in g.neighbors(u) {
+            if banned_nodes[v] || banned_edges[e] {
+                continue;
+            }
+            let nd = d + edge_cost(g.link(e));
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = u;
+                heap.push(E(nd, v));
+            }
+        }
+    }
+    if !dist[dst].is_finite() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur];
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Some(Path {
+        nodes,
+        cost: dist[dst],
+    })
+}
+
+/// Yen's algorithm: up to `k` loopless shortest paths from `src` to
+/// `dst`, sorted by cost. Fewer than `k` are returned when the graph
+/// doesn't have that many distinct paths.
+pub fn k_shortest_paths(
+    g: &NetGraph,
+    src: NodeIdx,
+    dst: NodeIdx,
+    k: usize,
+    edge_cost: impl Fn(&Link) -> f64,
+) -> Vec<Path> {
+    assert!(k >= 1, "k must be positive");
+    let mut banned_nodes = vec![false; g.node_count()];
+    let mut banned_edges = vec![false; g.edge_count()];
+
+    let Some(first) = shortest_with_bans(g, src, dst, &edge_cost, &banned_nodes, &banned_edges)
+    else {
+        return Vec::new();
+    };
+    let mut found = vec![first];
+    let mut candidates: Vec<Path> = Vec::new();
+
+    for _ in 1..k {
+        let last = found.last().expect("at least the first path").clone();
+        // branch at every spur node of the previous path
+        for spur_idx in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[spur_idx];
+            let root = &last.nodes[..=spur_idx];
+
+            banned_edges.iter_mut().for_each(|b| *b = false);
+            banned_nodes.iter_mut().for_each(|b| *b = false);
+            // ban edges used by previous paths that share this root
+            for p in &found {
+                if p.nodes.len() > spur_idx && p.nodes[..=spur_idx] == *root {
+                    if let Some(e) = g.edge_between(p.nodes[spur_idx], p.nodes[spur_idx + 1]) {
+                        banned_edges[e] = true;
+                    }
+                }
+            }
+            // ban root nodes (except the spur) to keep paths loopless
+            for &n in &root[..spur_idx] {
+                banned_nodes[n] = true;
+            }
+
+            if let Some(spur) =
+                shortest_with_bans(g, spur_node, dst, &edge_cost, &banned_nodes, &banned_edges)
+            {
+                let mut nodes = root[..spur_idx].to_vec();
+                nodes.extend(spur.nodes);
+                let cost: f64 = nodes
+                    .windows(2)
+                    .map(|w| edge_cost(g.link(g.edge_between(w[0], w[1]).expect("edge"))))
+                    .sum();
+                let cand = Path { nodes, cost };
+                if !found.contains(&cand) && !candidates.contains(&cand) {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // take the cheapest candidate
+        let (best_idx, _) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("no NaN"))
+            .expect("non-empty");
+        found.push(candidates.swap_remove(best_idx));
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::{self, FatTreeConfig};
+    use crate::ids::RackId;
+    use crate::path::distance_cost;
+
+    #[test]
+    fn finds_all_equal_cost_paths_in_fattree() {
+        // same-pod racks in a 4-pod fat-tree have exactly k/2 = 2 disjoint
+        // 2-hop paths (one per aggregation switch)
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let src = dcn.rack_node(RackId(0));
+        let dst = dcn.rack_node(RackId(1));
+        let paths = k_shortest_paths(&dcn.graph, src, dst, 4, distance_cost);
+        assert!(paths.len() >= 2, "expected >= 2 paths, got {}", paths.len());
+        assert!((paths[0].cost - 2.0).abs() < 1e-12);
+        assert!((paths[1].cost - 2.0).abs() < 1e-12);
+        // middle hops must differ (different agg switches)
+        assert_ne!(paths[0].nodes[1], paths[1].nodes[1]);
+    }
+
+    #[test]
+    fn paths_are_sorted_and_loopless() {
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let src = dcn.rack_node(RackId(0));
+        let dst = dcn.rack_node(RackId(4)); // cross-pod
+        let paths = k_shortest_paths(&dcn.graph, src, dst, 6, distance_cost);
+        assert!(!paths.is_empty());
+        for w in paths.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-12, "not sorted");
+        }
+        for p in &paths {
+            let set: std::collections::HashSet<_> = p.nodes.iter().collect();
+            assert_eq!(set.len(), p.nodes.len(), "loop in path {:?}", p.nodes);
+            assert_eq!(p.nodes[0], src);
+            assert_eq!(*p.nodes.last().unwrap(), dst);
+        }
+    }
+
+    #[test]
+    fn cost_matches_edge_sum() {
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let src = dcn.rack_node(RackId(0));
+        let dst = dcn.rack_node(RackId(2));
+        for p in k_shortest_paths(&dcn.graph, src, dst, 3, distance_cost) {
+            let sum: f64 = p
+                .edges(&dcn.graph)
+                .iter()
+                .map(|&e| dcn.graph.link(e).distance)
+                .sum();
+            assert!((sum - p.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_path_count_is_fine() {
+        // a DCell0 star has exactly one path between any two servers
+        let dcn = crate::dcell::build(&crate::dcell::DCellConfig::paper(3, 0));
+        let paths = k_shortest_paths(
+            &dcn.graph,
+            dcn.rack_node(RackId(0)),
+            dcn.rack_node(RackId(1)),
+            5,
+            distance_cost,
+        );
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_returns_empty() {
+        let mut g = crate::graph::NetGraph::new();
+        let a = g.add_rack(RackId(0));
+        let b = g.add_rack(RackId(1));
+        assert!(k_shortest_paths(&g, a, b, 3, distance_cost).is_empty());
+    }
+}

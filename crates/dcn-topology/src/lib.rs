@@ -1,0 +1,43 @@
+//! # dcn-topology
+//!
+//! Data center network substrates for the Sheriff reproduction (ICPP'15):
+//! Fat-Tree and BCube topology builders, the wired graph
+//! `G_r = (V ∪ S, E_r)` with per-link capacity/distance/bandwidth state,
+//! all-pairs shortest paths (Floyd–Warshall and repeated Dijkstra),
+//! rack/host inventories, the VM placement map, and the VM dependency
+//! (conflict) graph `G_d`.
+//!
+//! ```
+//! use dcn_topology::fattree::{self, FatTreeConfig};
+//! use dcn_topology::path::{PathCosts, distance_cost};
+//!
+//! let dcn = fattree::build(&FatTreeConfig::paper(4));
+//! assert_eq!(dcn.rack_count(), 8);
+//! let costs = PathCosts::dijkstra_all(&dcn.graph, distance_cost);
+//! assert!(costs.dist(dcn.rack_node(0.into()), dcn.rack_node(7.into())).is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bcube;
+pub mod dcell;
+pub mod dcn;
+pub mod dependency;
+pub mod fattree;
+pub mod graph;
+pub mod ids;
+pub mod ksp;
+pub mod link;
+pub mod path;
+pub mod placement;
+pub mod rack;
+pub mod vl2;
+
+pub use dcn::{Dcn, TopologyKind};
+pub use dependency::DependencyGraph;
+pub use graph::{EdgeIdx, NetGraph, NodeIdx};
+pub use ids::{HostId, NodeId, RackId, SwitchId, VmId};
+pub use link::{Link, LinkTier};
+pub use path::PathCosts;
+pub use placement::{Placement, PlacementError, VmSpec};
+pub use rack::{Host, Inventory, Rack};

@@ -1,0 +1,352 @@
+//! The threaded shim runtime: each shim runs on its own thread, plans
+//! migrations against a snapshot of the cluster state, and commits through
+//! the FCFS REQUEST/ACK protocol of Alg. 4 (Sec. II-B/V-B — "each local
+//! manager adjusts network traffic locally, they need to communicate
+//! between each other to avoid conflictions").
+//!
+//! Concurrency model: optimistic planning, pessimistic commit. A shim
+//! clones the placement under a brief lock, solves PRIORITY + matching on
+//! the snapshot, then re-validates and commits each move under the lock —
+//! exactly the paper's "a node can be migrated to another place only when
+//! the destination's delegation node accepts the migration request;
+//! otherwise … v_i should recalculate".
+
+use crate::matching::{min_cost_assignment_padded, FORBIDDEN};
+use crate::priority::{priority, Budget};
+use crate::request::{request_migration, RequestOutcome};
+use crate::vmmigration::{MigrationPlan, Move};
+use dcn_sim::engine::Cluster;
+use dcn_sim::{Alert, AlertSource, RackMetric, SimConfig};
+use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
+use parking_lot::Mutex;
+
+/// Result of one distributed round.
+#[derive(Debug, Clone, Default)]
+pub struct DistributedReport {
+    /// Merged migration plan across all shims.
+    pub plan: MigrationPlan,
+    /// Commit attempts that were rejected and retried.
+    pub retries: usize,
+    /// Shim threads that ran.
+    pub shims: usize,
+}
+
+/// Run one management round with every alerted shim on its own thread.
+///
+/// `alert_values[vm]` supplies the ALERT magnitude for PRIORITY's `w = 1`
+/// branch. Mutates `cluster.placement` in place on return.
+pub fn distributed_round(
+    cluster: &mut Cluster,
+    metric: &RackMetric,
+    alerts: &[Alert],
+    alert_values: &[f64],
+    max_retry: usize,
+) -> DistributedReport {
+    let mut racks: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
+    racks.sort_unstable();
+    racks.dedup();
+    if racks.is_empty() {
+        return DistributedReport::default();
+    }
+
+    let shared = Mutex::new(cluster.placement.clone());
+    let deps = &cluster.deps;
+    let inventory = &cluster.dcn.inventory;
+    let sim = &cluster.sim;
+    let regions: Vec<Vec<RackId>> = racks
+        .iter()
+        .map(|&r| cluster.dcn.neighbor_racks(r, sim.region_hops))
+        .collect();
+
+    let mut report = DistributedReport {
+        shims: racks.len(),
+        ..DistributedReport::default()
+    };
+
+    let results: Vec<(MigrationPlan, usize)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = racks
+            .iter()
+            .enumerate()
+            .map(|(i, &rack)| {
+                let shared = &shared;
+                let region = &regions[i];
+                scope.spawn(move |_| {
+                    shim_worker(
+                        shared,
+                        inventory,
+                        deps,
+                        metric,
+                        sim,
+                        rack,
+                        region,
+                        alerts,
+                        alert_values,
+                        max_retry,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shim thread panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    for (plan, retries) in results {
+        report.plan.absorb(plan);
+        report.retries += retries;
+    }
+    cluster.placement = shared.into_inner();
+    report
+}
+
+/// One shim's work: select victims, plan on a snapshot, commit under the
+/// shared lock with revalidation, retry on rejection.
+#[allow(clippy::too_many_arguments)]
+fn shim_worker(
+    shared: &Mutex<Placement>,
+    inventory: &Inventory,
+    deps: &DependencyGraph,
+    metric: &RackMetric,
+    sim: &SimConfig,
+    rack: RackId,
+    region: &[RackId],
+    alerts: &[Alert],
+    alert_values: &[f64],
+    max_retry: usize,
+) -> (MigrationPlan, usize) {
+    let mut plan = MigrationPlan::default();
+    let mut retries = 0usize;
+
+    // victim selection on the first snapshot (Alg. 1)
+    let mut pending: Vec<VmId> = {
+        let snapshot = shared.lock().clone();
+        let mut set: Vec<VmId> = Vec::new();
+        let mut tor_alert = false;
+        for alert in alerts.iter().filter(|a| a.rack == rack) {
+            match alert.source {
+                AlertSource::Host(h) => {
+                    let f: Vec<VmId> = snapshot.vms_on(h).to_vec();
+                    set.extend(priority(
+                        &f,
+                        &snapshot,
+                        |vm| alert_values[vm.index()],
+                        Budget::SingleMaxAlert,
+                    ));
+                }
+                AlertSource::LocalTor(_) => tor_alert = true,
+                AlertSource::OuterSwitch(_) => {} // reroute path not simulated here
+            }
+        }
+        if tor_alert {
+            let mut f: Vec<VmId> = Vec::new();
+            for &host in inventory.hosts_in(rack) {
+                f.extend_from_slice(snapshot.vms_on(host));
+            }
+            let budget = sim.beta * inventory.rack(rack).tor_capacity;
+            set.extend(priority(
+                &f,
+                &snapshot,
+                |vm| alert_values[vm.index()],
+                Budget::Capacity(budget),
+            ));
+        }
+        set.sort_unstable();
+        set.dedup();
+        set
+    };
+
+    // destination slots: the region plus this rack
+    let mut slot_hosts: Vec<HostId> = Vec::new();
+    for &r in region.iter().chain(std::iter::once(&rack)) {
+        slot_hosts.extend_from_slice(inventory.hosts_in(r));
+    }
+
+    let mut excluded: Vec<(VmId, HostId)> = Vec::new();
+    for _attempt in 0..=max_retry {
+        if pending.is_empty() || slot_hosts.is_empty() {
+            break;
+        }
+        // optimistic plan on a snapshot
+        let snapshot = shared.lock().clone();
+        plan.search_space += pending.len() * slot_hosts.len();
+        let mut cost = vec![vec![FORBIDDEN; slot_hosts.len()]; pending.len()];
+        let mut adjusted = vec![vec![FORBIDDEN; slot_hosts.len()]; pending.len()];
+        for (i, &vm) in pending.iter().enumerate() {
+            let spec = snapshot.spec(vm);
+            let from_host = snapshot.host_of(vm);
+            let from_rack = snapshot.rack_of(vm);
+            for (j, &host) in slot_hosts.iter().enumerate() {
+                if host == from_host
+                    || excluded.contains(&(vm, host))
+                    || snapshot.free_capacity(host) < spec.capacity
+                    || deps.conflicts_on_host(vm, host, &snapshot)
+                {
+                    continue;
+                }
+                let to_rack = snapshot.rack_of_host(host);
+                if !metric.reachable(from_rack, to_rack) {
+                    continue;
+                }
+                let chi = deps.chi(vm, to_rack, &snapshot);
+                let c = metric.migration_cost(sim, spec.capacity, from_rack, to_rack, chi);
+                let post_util =
+                    (snapshot.used_capacity(host) + spec.capacity) / snapshot.host_capacity(host);
+                cost[i][j] = c;
+                adjusted[i][j] = c + sim.load_balance_weight * post_util;
+            }
+        }
+        let (assignment, _) = min_cost_assignment_padded(&adjusted);
+
+        // pessimistic commit: FCFS under the lock, revalidated by Alg. 4
+        let mut next_pending = Vec::new();
+        let mut progressed = false;
+        {
+            let mut placement = shared.lock();
+            for (i, assigned) in assignment.into_iter().enumerate() {
+                let vm = pending[i];
+                let Some(j) = assigned else {
+                    next_pending.push(vm);
+                    continue;
+                };
+                let host = slot_hosts[j];
+                let from = placement.host_of(vm);
+                match request_migration(&mut placement, deps, vm, host) {
+                    RequestOutcome::Ack => {
+                        plan.moves.push(Move {
+                            vm,
+                            from,
+                            to: host,
+                            cost: cost[i][j],
+                        });
+                        plan.total_cost += cost[i][j];
+                        progressed = true;
+                    }
+                    _ => {
+                        plan.rejected += 1;
+                        retries += 1;
+                        excluded.push((vm, host));
+                        next_pending.push(vm);
+                    }
+                }
+            }
+        }
+        pending = next_pending;
+        if !progressed {
+            break;
+        }
+    }
+    plan.unplaced.extend(pending);
+    (plan, retries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::engine::ClusterConfig;
+    use dcn_topology::fattree::{self, FatTreeConfig};
+
+    fn cluster(seed: u64) -> Cluster {
+        let dcn = fattree::build(&FatTreeConfig::paper(8));
+        Cluster::build(
+            dcn,
+            &ClusterConfig {
+                vms_per_host: 2.5,
+                skew: 3.0,
+                seed,
+                ..ClusterConfig::default()
+            },
+            dcn_sim::SimConfig::paper(),
+        )
+    }
+
+    fn alert_values(c: &Cluster) -> Vec<f64> {
+        c.placement
+            .vm_ids()
+            .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_shims_preserve_capacity_invariants() {
+        let mut c = cluster(21);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let report = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        assert!(report.shims > 1, "want true concurrency in this test");
+        assert!(!report.plan.moves.is_empty());
+        for h in 0..c.placement.host_count() {
+            let h = HostId::from_index(h);
+            assert!(
+                c.placement.used_capacity(h) <= c.placement.host_capacity(h) + 1e-9,
+                "host {h} over capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_shims_respect_dependency_conflicts() {
+        let mut c = cluster(22);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let _ = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        for vm in c.placement.vm_ids() {
+            let host = c.placement.host_of(vm);
+            for &other in c.placement.vms_on(host) {
+                if other != vm {
+                    assert!(
+                        !c.deps.dependent(vm, other),
+                        "dependent VMs {vm} and {other} co-located on {host}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_round_improves_balance() {
+        let mut c = cluster(23);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let before = c.utilization_stddev();
+        for t in 0..6 {
+            let alerts = c.fraction_alerts(0.05, t);
+            let vals = alert_values(&c);
+            distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        }
+        let after = c.utilization_stddev();
+        assert!(after < before, "std-dev {before} -> {after}");
+    }
+
+    #[test]
+    fn moves_recorded_match_final_placement() {
+        let mut c = cluster(24);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.05, 0);
+        let vals = alert_values(&c);
+        let report = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        // each VM's final host equals its last recorded move
+        let mut last: std::collections::HashMap<VmId, HostId> = Default::default();
+        for m in &report.plan.moves {
+            last.insert(m.vm, m.to);
+        }
+        for (vm, to) in last {
+            assert_eq!(c.placement.host_of(vm), to);
+        }
+        let sum: f64 = report.plan.moves.iter().map(|m| m.cost).sum();
+        assert!((report.plan.total_cost - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_alerts_is_a_noop() {
+        let mut c = cluster(25);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let before = c.utilization_stddev();
+        let report = distributed_round(&mut c, &metric, &[], &[], 3);
+        assert_eq!(report.shims, 0);
+        assert!(report.plan.moves.is_empty());
+        assert_eq!(c.utilization_stddev(), before);
+    }
+}

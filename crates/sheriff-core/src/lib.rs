@@ -1,0 +1,52 @@
+//! # sheriff-core
+//!
+//! The primary contribution of *Sheriff: A Regional Pre-Alert Management
+//! Scheme in Data Center Networks* (ICPP'15): the per-rack shim
+//! controllers and their management algorithms —
+//!
+//! * Alg. 1 `pre_alert_management` — the framework routine dispatching on
+//!   alert type,
+//! * Alg. 2 [`priority()`] — knapsack victim selection,
+//! * Alg. 3 [`vmmigration()`] — minimum-weight-matching migration with
+//!   negotiation,
+//! * Alg. 4 [`request_migration`] — FCFS ACK/REJECT at the destination,
+//! * Alg. 5 [`kmedian::local_search`] — the p-swap local search with
+//!   ratio 3 + 2/p, plus the VMMIGRATION → k-median transformation,
+//!
+//! together with FLOWREROUTE, the centralized-manager baseline, a
+//! deterministic sequential runtime ([`Sheriff`]) and a threaded runtime
+//! with optimistic planning and FCFS commit ([`distributed_round`]).
+
+#![warn(missing_docs)]
+
+pub mod alert_mgmt;
+pub mod centralized;
+pub mod distributed;
+pub mod evacuation;
+pub mod kmedian;
+pub mod matching;
+pub mod metrics;
+pub mod priority;
+pub mod request;
+pub mod reroute;
+pub mod sharded;
+pub mod shim;
+pub mod strategy;
+pub mod system;
+pub mod vmmigration;
+
+pub use alert_mgmt::{pre_alert_management, ShimOutcome};
+pub use centralized::{centralized_migration, centralized_migration_chunked, destination_tors, kmedian_migration};
+pub use distributed::{distributed_round, DistributedReport};
+pub use evacuation::{drain_rack, evacuate_host};
+pub use kmedian::{exact_optimal, local_search, KMedianInstance, KMedianSolution};
+pub use matching::{min_cost_assignment, min_cost_assignment_padded};
+pub use metrics::{RatioPoint, Series, Totals};
+pub use priority::{priority, Budget};
+pub use request::{request_migration, RequestOutcome};
+pub use reroute::{flow_reroute, flow_reroute_balanced, RerouteReport};
+pub use sharded::{sharded_round, ShardedReport};
+pub use shim::{RoundReport, Sheriff};
+pub use strategy::{run_policy, AlertPolicy, StrategyOutcome};
+pub use system::{StepReport, System};
+pub use vmmigration::{vmmigration, vmmigration_scoped, MigrationContext, MigrationPlan, Move};

@@ -1,0 +1,151 @@
+//! Aggregate evaluation metrics used by the experiment harness
+//! (Fig. 9–14): balance trajectories, cost/search-space accumulation, and
+//! the empirical approximation-ratio record.
+
+use crate::vmmigration::MigrationPlan;
+use serde::{Deserialize, Serialize};
+
+/// A labelled experiment series: (x, y) points with axis names, exactly
+/// what each paper figure plots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label (e.g. "Sheriff", "Centralized Manager").
+    pub label: String,
+    /// X-axis values.
+    pub x: Vec<f64>,
+    /// Y-axis values.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Build a series from integer x values.
+    pub fn from_points(label: impl Into<String>, points: &[(f64, f64)]) -> Self {
+        Self {
+            label: label.into(),
+            x: points.iter().map(|p| p.0).collect(),
+            y: points.iter().map(|p| p.1).collect(),
+        }
+    }
+
+    /// True when the series is (weakly) decreasing within tolerance `tol`
+    /// — used to verify the Fig. 9/10 "keeps going down" claim.
+    pub fn is_decreasing(&self, tol: f64) -> bool {
+        self.y.windows(2).all(|w| w[1] <= w[0] + tol)
+    }
+
+    /// Relative drop from first to last point.
+    pub fn total_drop(&self) -> f64 {
+        match (self.y.first(), self.y.last()) {
+            (Some(&a), Some(&b)) if a != 0.0 => (a - b) / a,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Cumulative counters across rounds or shims.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Totals {
+    /// Committed migrations.
+    pub moves: usize,
+    /// Total Eqn. 1 cost.
+    pub cost: f64,
+    /// Candidate pairs examined.
+    pub search_space: usize,
+    /// Rejected REQUESTs.
+    pub rejected: usize,
+}
+
+impl Totals {
+    /// Fold a plan into the totals.
+    pub fn add(&mut self, plan: &MigrationPlan) {
+        self.moves += plan.moves.len();
+        self.cost += plan.total_cost;
+        self.search_space += plan.search_space;
+        self.rejected += plan.rejected;
+    }
+}
+
+/// One data point of the approximation-ratio experiment (Sec. VI-C).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RatioPoint {
+    /// Swap size `p`.
+    pub p: usize,
+    /// Empirical cost(local search) / cost(optimal).
+    pub ratio: f64,
+    /// The theoretical bound `3 + 2/p`.
+    pub bound: f64,
+}
+
+impl RatioPoint {
+    /// Build a point, computing the bound from `p`.
+    pub fn new(p: usize, ls_cost: f64, opt_cost: f64) -> Self {
+        Self {
+            p,
+            ratio: if opt_cost > 0.0 { ls_cost / opt_cost } else { 1.0 },
+            bound: 3.0 + 2.0 / p as f64,
+        }
+    }
+
+    /// Does the empirical ratio respect the theoretical guarantee?
+    pub fn within_bound(&self) -> bool {
+        self.ratio <= self.bound + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmmigration::Move;
+    use dcn_topology::{HostId, VmId};
+
+    #[test]
+    fn series_decrease_detection() {
+        let s = Series::from_points("t", &[(0.0, 45.0), (1.0, 30.0), (2.0, 20.0)]);
+        assert!(s.is_decreasing(0.0));
+        assert!((s.total_drop() - 25.0 / 45.0).abs() < 1e-12);
+        let bumpy = Series::from_points("t", &[(0.0, 10.0), (1.0, 12.0)]);
+        assert!(!bumpy.is_decreasing(0.0));
+        assert!(bumpy.is_decreasing(3.0));
+    }
+
+    #[test]
+    fn totals_accumulate_plans() {
+        let mut t = Totals::default();
+        let plan = MigrationPlan {
+            moves: vec![Move {
+                vm: VmId(0),
+                from: HostId(0),
+                to: HostId(1),
+                cost: 110.0,
+            }],
+            total_cost: 110.0,
+            search_space: 40,
+            rejected: 2,
+            unplaced: vec![],
+        };
+        t.add(&plan);
+        t.add(&plan);
+        assert_eq!(t.moves, 2);
+        assert_eq!(t.cost, 220.0);
+        assert_eq!(t.search_space, 80);
+        assert_eq!(t.rejected, 4);
+    }
+
+    #[test]
+    fn ratio_point_bounds() {
+        let good = RatioPoint::new(2, 4.0, 1.5);
+        assert!((good.bound - 4.0).abs() < 1e-12);
+        assert!(good.within_bound());
+        let bad = RatioPoint::new(1, 6.0, 1.0);
+        assert!(!bad.within_bound());
+        // zero optimum degenerates to ratio 1
+        assert_eq!(RatioPoint::new(1, 5.0, 0.0).ratio, 1.0);
+    }
+
+    #[test]
+    fn empty_series_has_zero_drop() {
+        let s = Series::from_points("e", &[]);
+        assert_eq!(s.total_drop(), 0.0);
+        assert!(s.is_decreasing(0.0));
+    }
+}

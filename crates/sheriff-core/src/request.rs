@@ -1,0 +1,131 @@
+//! Alg. 4 — the REQUEST action at the destination shim.
+//!
+//! A migration only proceeds once the destination's delegation node
+//! accepts: it checks that the target host still has capacity (Eqn. 8) —
+//! and, per constraint (7), that no dependent VM already lives there —
+//! then commits the reservation and replies ACK; otherwise it replies
+//! REJECT and the source shim must recalculate.
+
+use dcn_topology::{DependencyGraph, HostId, Placement, PlacementError, VmId};
+use serde::{Deserialize, Serialize};
+
+/// The destination shim's reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// Accepted; the VM has been moved and capacity committed.
+    Ack,
+    /// Rejected: the host no longer has enough free capacity.
+    RejectCapacity,
+    /// Rejected: a dependent VM occupies the host (χ constraint, Eqn. 7).
+    RejectConflict,
+    /// Rejected: the VM is already on that host (no-op request).
+    RejectNoop,
+}
+
+impl RequestOutcome {
+    /// Whether the request succeeded.
+    pub fn is_ack(self) -> bool {
+        self == RequestOutcome::Ack
+    }
+}
+
+/// Process one migration REQUEST against the authoritative placement.
+/// FCFS ordering is the caller's responsibility (sequential runtime:
+/// iteration order; distributed runtime: per-rack agent channel order).
+pub fn request_migration(
+    placement: &mut Placement,
+    deps: &DependencyGraph,
+    vm: VmId,
+    dest: HostId,
+) -> RequestOutcome {
+    if deps.conflicts_on_host(vm, dest, placement) {
+        return RequestOutcome::RejectConflict;
+    }
+    match placement.migrate(vm, dest) {
+        Ok(()) => RequestOutcome::Ack,
+        Err(PlacementError::CapacityExceeded { .. }) => RequestOutcome::RejectCapacity,
+        Err(PlacementError::AlreadyPlaced { .. }) => RequestOutcome::RejectNoop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::{Inventory, VmSpec};
+
+    fn setup() -> (Placement, DependencyGraph) {
+        let mut inv = Inventory::new();
+        inv.add_rack(2, 10.0, 100.0); // hosts 0, 1
+        let mut p = Placement::new(&inv);
+        for _ in 0..2 {
+            let s = VmSpec {
+                id: p.next_vm_id(),
+                capacity: 6.0,
+                value: 1.0,
+                delay_sensitive: false,
+            };
+            p.add_vm(s, HostId(0)).ok();
+        }
+        // only VM 0 fits on host 0 (6+6 > 10): second add failed
+        let s = VmSpec {
+            id: p.next_vm_id(),
+            capacity: 6.0,
+            value: 1.0,
+            delay_sensitive: false,
+        };
+        p.add_vm(s, HostId(1)).unwrap();
+        (p, DependencyGraph::new(3))
+    }
+
+    #[test]
+    fn ack_commits_the_move() {
+        let (mut p, deps) = setup();
+        // VM 0 is on host 0, VM 1 on host 1 (ids 0 and 1; the failed add
+        // never allocated an id, so ids are dense)
+        let vm = VmId(0);
+        let out = request_migration(&mut p, &deps, vm, HostId(1));
+        // host 1 has 10-6=4 free < 6 -> capacity reject
+        assert_eq!(out, RequestOutcome::RejectCapacity);
+        assert_eq!(p.host_of(vm), HostId(0));
+    }
+
+    #[test]
+    fn conflict_rejected_before_capacity() {
+        let (mut p, mut deps) = setup();
+        deps.add_dependency(VmId(0), VmId(1));
+        let out = request_migration(&mut p, &deps, VmId(0), HostId(1));
+        assert_eq!(out, RequestOutcome::RejectConflict);
+    }
+
+    #[test]
+    fn noop_request_rejected() {
+        let (mut p, deps) = setup();
+        let out = request_migration(&mut p, &deps, VmId(0), HostId(0));
+        assert_eq!(out, RequestOutcome::RejectNoop);
+    }
+
+    #[test]
+    fn successful_request_is_fcfs_first_wins() {
+        let mut inv = Inventory::new();
+        inv.add_rack(3, 10.0, 100.0);
+        let mut p = Placement::new(&inv);
+        for h in [0usize, 1] {
+            let s = VmSpec {
+                id: p.next_vm_id(),
+                capacity: 6.0,
+                value: 1.0,
+                delay_sensitive: false,
+            };
+            p.add_vm(s, HostId::from_index(h)).unwrap();
+        }
+        let deps = DependencyGraph::new(2);
+        // both VMs request host 2; only the first fits
+        assert!(request_migration(&mut p, &deps, VmId(0), HostId(2)).is_ack());
+        assert_eq!(
+            request_migration(&mut p, &deps, VmId(1), HostId(2)),
+            RequestOutcome::RejectCapacity
+        );
+        assert_eq!(p.host_of(VmId(0)), HostId(2));
+        assert_eq!(p.host_of(VmId(1)), HostId(1));
+    }
+}

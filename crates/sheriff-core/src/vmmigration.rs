@@ -1,0 +1,413 @@
+//! Alg. 3 — VMMIGRATION: pair candidate VMs with destination hosts by
+//! minimum-weight matching, then negotiate each move with the destination
+//! shim (Alg. 4), recalculating for rejected VMs.
+
+use crate::matching::{min_cost_assignment_padded, FORBIDDEN};
+use crate::request::{request_migration, RequestOutcome};
+use dcn_topology::{DependencyGraph, HostId, Placement, RackId, VmId};
+use dcn_sim::{RackMetric, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One committed migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Move {
+    /// The migrated VM.
+    pub vm: VmId,
+    /// Where it came from.
+    pub from: HostId,
+    /// Where it landed.
+    pub to: HostId,
+    /// The Eqn. 1 cost of this move.
+    pub cost: f64,
+}
+
+/// Outcome of a VMMIGRATION invocation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// Committed moves, in commit order.
+    pub moves: Vec<Move>,
+    /// Total Eqn. 1 cost of the committed moves.
+    pub total_cost: f64,
+    /// Candidate (VM × destination-slot) pairs examined — the paper's
+    /// "searching space" metric of Fig. 12/14.
+    pub search_space: usize,
+    /// REQUESTs rejected by destination shims.
+    pub rejected: usize,
+    /// Candidates that could not be placed anywhere.
+    pub unplaced: Vec<VmId>,
+}
+
+impl MigrationPlan {
+    /// Merge another plan into this one (used when aggregating shims).
+    pub fn absorb(&mut self, other: MigrationPlan) {
+        self.total_cost += other.total_cost;
+        self.search_space += other.search_space;
+        self.rejected += other.rejected;
+        self.moves.extend(other.moves);
+        self.unplaced.extend(other.unplaced);
+    }
+}
+
+/// Mutable state VMMIGRATION operates on (split out so the distributed
+/// runtime can hold it behind a lock).
+pub struct MigrationContext<'a> {
+    /// The authoritative placement.
+    pub placement: &'a mut Placement,
+    /// Rack/host inventory (rack → host index).
+    pub inventory: &'a dcn_topology::Inventory,
+    /// Dependency/conflict graph.
+    pub deps: &'a DependencyGraph,
+    /// Precomputed rack-to-rack cost metric.
+    pub metric: &'a RackMetric,
+    /// Simulation parameters.
+    pub sim: &'a SimConfig,
+}
+
+/// Alg. 3. `candidates` are the VMs selected by PRIORITY; `target_racks`
+/// is the shim's dominating region (destination hosts are drawn from
+/// these racks *and* the VMs' own racks, since an overloaded host may
+/// shed load onto a rack-local peer at cost `C_r` only).
+///
+/// Each round builds the VM × slot cost matrix under Eqn. 1 (FORBIDDEN
+/// for slots lacking capacity, conflicting under χ, or unreachable under
+/// `B_t`), solves minimum-weight matching, then issues REQUESTs in
+/// matching order; rejected VMs are retried in the next round with the
+/// rejecting host excluded. Terminates when every candidate is placed,
+/// no slot remains, or `max_rounds` is hit.
+pub fn vmmigration(
+    ctx: &mut MigrationContext<'_>,
+    candidates: &[VmId],
+    target_racks: &[RackId],
+    max_rounds: usize,
+) -> MigrationPlan {
+    vmmigration_scoped(ctx, candidates, target_racks, max_rounds, true)
+}
+
+/// [`vmmigration`] with explicit control over whether the candidates' own
+/// racks join the destination set. Rack draining and ToR-failure
+/// evacuation must keep evacuees *out* of the failing rack
+/// (`include_own_racks = false`); the ordinary alert path allows
+/// rack-local reshuffles at cost `C_r`.
+pub fn vmmigration_scoped(
+    ctx: &mut MigrationContext<'_>,
+    candidates: &[VmId],
+    target_racks: &[RackId],
+    max_rounds: usize,
+    include_own_racks: bool,
+) -> MigrationPlan {
+    let mut plan = MigrationPlan::default();
+    let mut pending: Vec<VmId> = candidates.to_vec();
+    // per-VM hosts that rejected or are otherwise excluded
+    let mut excluded: Vec<(VmId, HostId)> = Vec::new();
+
+    for _round in 0..max_rounds {
+        if pending.is_empty() {
+            break;
+        }
+        // destination slots: hosts of the target racks plus (optionally)
+        // the pending VMs' own racks, minus each VM's current host
+        // (per-pair check)
+        let mut slot_hosts: Vec<HostId> = Vec::new();
+        let mut seen = HashSet::new();
+        let mut rack_list: Vec<RackId> = target_racks.to_vec();
+        if include_own_racks {
+            for &vm in &pending {
+                rack_list.push(ctx.placement.rack_of(vm));
+            }
+        }
+        for &rack in &rack_list {
+            if seen.insert(rack) {
+                slot_hosts.extend_from_slice(ctx.inventory.hosts_in(rack));
+            }
+        }
+        if slot_hosts.is_empty() {
+            break;
+        }
+
+        plan.search_space += pending.len() * slot_hosts.len();
+
+        // Two matrices: `base` is the literal Eqn. 1 cost (what the plan
+        // reports), `adjusted` adds the load-aware tie-break that steers
+        // the matching toward under-utilised hosts (the balancing
+        // objective behind constraint (10)).
+        let mut base = vec![vec![FORBIDDEN; slot_hosts.len()]; pending.len()];
+        let mut adjusted = vec![vec![FORBIDDEN; slot_hosts.len()]; pending.len()];
+        for (i, &vm) in pending.iter().enumerate() {
+            let spec = ctx.placement.spec(vm);
+            let from_host = ctx.placement.host_of(vm);
+            let from_rack = ctx.placement.rack_of(vm);
+            for (j, &host) in slot_hosts.iter().enumerate() {
+                if host == from_host
+                    || excluded.contains(&(vm, host))
+                    || ctx.placement.free_capacity(host) < spec.capacity
+                    || ctx.deps.conflicts_on_host(vm, host, ctx.placement)
+                {
+                    continue;
+                }
+                let to_rack = ctx.placement.rack_of_host(host);
+                if !ctx.metric.reachable(from_rack, to_rack) {
+                    continue;
+                }
+                let chi = ctx.deps.chi(vm, to_rack, ctx.placement);
+                let c =
+                    ctx.metric
+                        .migration_cost(ctx.sim, spec.capacity, from_rack, to_rack, chi);
+                let post_util = (ctx.placement.used_capacity(host) + spec.capacity)
+                    / ctx.placement.host_capacity(host);
+                base[i][j] = c;
+                adjusted[i][j] = c + ctx.sim.load_balance_weight * post_util;
+            }
+        }
+
+        let (assignment, _) = min_cost_assignment_padded(&adjusted);
+        let cost = base;
+
+        let mut next_pending = Vec::new();
+        let mut any_progress = false;
+        for (i, assigned) in assignment.into_iter().enumerate() {
+            let vm = pending[i];
+            let Some(j) = assigned else {
+                next_pending.push(vm);
+                continue;
+            };
+            let host = slot_hosts[j];
+            let from = ctx.placement.host_of(vm);
+            let move_cost = cost[i][j];
+            match request_migration(ctx.placement, ctx.deps, vm, host) {
+                RequestOutcome::Ack => {
+                    plan.moves.push(Move {
+                        vm,
+                        from,
+                        to: host,
+                        cost: move_cost,
+                    });
+                    plan.total_cost += move_cost;
+                    any_progress = true;
+                }
+                _ => {
+                    plan.rejected += 1;
+                    excluded.push((vm, host));
+                    next_pending.push(vm);
+                }
+            }
+        }
+        pending = next_pending;
+        if !any_progress {
+            break;
+        }
+    }
+    plan.unplaced.extend(pending);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::engine::{Cluster, ClusterConfig};
+    use dcn_topology::fattree::{self, FatTreeConfig};
+    use dcn_topology::VmSpec;
+
+    fn cluster() -> Cluster {
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        Cluster::build(
+            dcn,
+            &ClusterConfig {
+                vms_per_host: 2.5,
+                skew: 3.0,
+                seed: 7,
+                ..ClusterConfig::default()
+            },
+            SimConfig::paper(),
+        )
+    }
+
+    #[test]
+    fn migration_reduces_source_load_and_respects_capacity() {
+        let mut c = cluster();
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        // pick the most loaded host's VMs as candidates
+        let host = (0..c.placement.host_count())
+            .map(HostId::from_index)
+            .max_by(|&a, &b| {
+                c.placement
+                    .utilization(a)
+                    .partial_cmp(&c.placement.utilization(b))
+                    .unwrap()
+            })
+            .unwrap();
+        let candidates: Vec<VmId> = c
+            .placement
+            .vms_on(host)
+            .iter()
+            .copied()
+            .filter(|&vm| !c.placement.spec(vm).delay_sensitive)
+            .take(2)
+            .collect();
+        assert!(!candidates.is_empty());
+        let before = c.placement.used_capacity(host);
+        let rack = c.placement.rack_of_host(host);
+        let region = c.dcn.neighbor_racks(rack, 4);
+        let mut ctx = MigrationContext {
+            placement: &mut c.placement,
+            inventory: &c.dcn.inventory,
+            deps: &c.deps,
+            metric: &metric,
+            sim: &c.sim,
+        };
+        let plan = vmmigration(&mut ctx, &candidates, &region, 5);
+        assert!(!plan.moves.is_empty(), "nothing migrated");
+        assert!(c.placement.used_capacity(host) < before);
+        for h in 0..c.placement.host_count() {
+            let h = HostId::from_index(h);
+            assert!(c.placement.used_capacity(h) <= c.placement.host_capacity(h) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_cost_matches_sum_of_moves() {
+        let mut c = cluster();
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let candidates: Vec<VmId> = c.placement.vm_ids().take(3).collect();
+        let rack = c.placement.rack_of(candidates[0]);
+        let region = c.dcn.neighbor_racks(rack, 4);
+        let mut ctx = MigrationContext {
+            placement: &mut c.placement,
+            inventory: &c.dcn.inventory,
+            deps: &c.deps,
+            metric: &metric,
+            sim: &c.sim,
+        };
+        let plan = vmmigration(&mut ctx, &candidates, &region, 5);
+        let sum: f64 = plan.moves.iter().map(|m| m.cost).sum();
+        assert!((plan.total_cost - sum).abs() < 1e-9);
+        // every committed move is reflected in the placement
+        for m in &plan.moves {
+            assert_eq!(c.placement.host_of(m.vm), m.to);
+        }
+    }
+
+    #[test]
+    fn conflicting_destinations_are_avoided() {
+        // two dependent VMs: they must never land on the same host
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let mut placement = Placement::new(&dcn.inventory);
+        let mut ids = Vec::new();
+        for _ in 0..2 {
+            let s = VmSpec {
+                id: placement.next_vm_id(),
+                capacity: 20.0,
+                value: 1.0,
+                delay_sensitive: false,
+            };
+            ids.push(placement.add_vm(s, HostId(0)).unwrap());
+        }
+        let mut deps = DependencyGraph::new(2);
+        deps.add_dependency(ids[0], ids[1]);
+        let sim = SimConfig::paper();
+        let metric = RackMetric::build(&dcn, &sim);
+        let region = dcn.neighbor_racks(RackId(0), 4);
+        let mut ctx = MigrationContext {
+            placement: &mut placement,
+            inventory: &dcn.inventory,
+            deps: &deps,
+            metric: &metric,
+            sim: &sim,
+        };
+        let plan = vmmigration(&mut ctx, &ids, &region, 5);
+        assert_eq!(plan.moves.len(), 2);
+        assert_ne!(
+            placement.host_of(ids[0]),
+            placement.host_of(ids[1]),
+            "dependent VMs co-located"
+        );
+    }
+
+    #[test]
+    fn search_space_grows_with_region_size() {
+        let mut c1 = cluster();
+        let mut c2 = cluster();
+        let metric1 = RackMetric::build(&c1.dcn, &c1.sim);
+        let metric2 = RackMetric::build(&c2.dcn, &c2.sim);
+        let candidates: Vec<VmId> = c1.placement.vm_ids().take(2).collect();
+        let rack = c1.placement.rack_of(candidates[0]);
+        let small = c1.dcn.neighbor_racks(rack, 2);
+        let large = c1.dcn.neighbor_racks(rack, 4);
+        assert!(large.len() > small.len());
+        let p1 = {
+            let mut ctx = MigrationContext {
+                placement: &mut c1.placement,
+                inventory: &c1.dcn.inventory,
+                deps: &c1.deps,
+                metric: &metric1,
+                sim: &c1.sim,
+            };
+            vmmigration(&mut ctx, &candidates, &small, 1)
+        };
+        let p2 = {
+            let mut ctx = MigrationContext {
+                placement: &mut c2.placement,
+                inventory: &c2.dcn.inventory,
+                deps: &c2.deps,
+                metric: &metric2,
+                sim: &c2.sim,
+            };
+            vmmigration(&mut ctx, &candidates, &large, 1)
+        };
+        assert!(p2.search_space > p1.search_space);
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_plan() {
+        let mut c = cluster();
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let mut ctx = MigrationContext {
+            placement: &mut c.placement,
+            inventory: &c.dcn.inventory,
+            deps: &c.deps,
+            metric: &metric,
+            sim: &c.sim,
+        };
+        let plan = vmmigration(&mut ctx, &[], &[RackId(1)], 5);
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.search_space, 0);
+        assert!(plan.unplaced.is_empty());
+    }
+
+    #[test]
+    fn oversized_vm_reported_unplaced() {
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let mut placement = Placement::new(&dcn.inventory);
+        // fill every host of racks 0 and 1 to the brim except host 0
+        let s = VmSpec {
+            id: placement.next_vm_id(),
+            capacity: 90.0,
+            value: 1.0,
+            delay_sensitive: false,
+        };
+        let vm = placement.add_vm(s, HostId(0)).unwrap();
+        for h in 1..placement.host_count() {
+            let s = VmSpec {
+                id: placement.next_vm_id(),
+                capacity: 95.0,
+                value: 1.0,
+                delay_sensitive: false,
+            };
+            placement.add_vm(s, HostId::from_index(h)).unwrap();
+        }
+        let deps = DependencyGraph::new(placement.vm_count());
+        let sim = SimConfig::paper();
+        let metric = RackMetric::build(&dcn, &sim);
+        let region = dcn.neighbor_racks(RackId(0), 4);
+        let mut ctx = MigrationContext {
+            placement: &mut placement,
+            inventory: &dcn.inventory,
+            deps: &deps,
+            metric: &metric,
+            sim: &sim,
+        };
+        let plan = vmmigration(&mut ctx, &[vm], &region, 3);
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.unplaced, vec![vm]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Pure autoregressive estimation: Yule–Walker equations solved with the
+//! Levinson recursion. Used directly for AR(p) models and as the first
+//! stage of the Hannan–Rissanen ARMA estimator.
+
+use crate::linalg::solve_toeplitz;
+use crate::stats::autocovariance;
+
+/// Result of fitting an AR(p) process to a (stationary) series.
+#[derive(Debug, Clone)]
+pub struct ArFit {
+    /// AR coefficients φ_1..φ_p.
+    pub phi: Vec<f64>,
+    /// Innovation variance σ².
+    pub sigma2: f64,
+    /// Series mean (the model is fit on the demeaned series).
+    pub mean: f64,
+}
+
+/// Fit AR(p) by Yule–Walker. Returns `None` when the autocovariance
+/// sequence is degenerate (e.g. constant series).
+pub fn fit_ar(y: &[f64], p: usize) -> Option<ArFit> {
+    assert!(p >= 1, "AR order must be at least 1");
+    assert!(y.len() > p + 1, "series too short for AR({p})");
+    let gamma = autocovariance(y, p);
+    if gamma[0] <= 1e-12 {
+        return None;
+    }
+    let phi = solve_toeplitz(&gamma[..p], &gamma[1..=p])?;
+    let sigma2 = gamma[0]
+        - phi
+            .iter()
+            .zip(&gamma[1..=p])
+            .map(|(f, g)| f * g)
+            .sum::<f64>();
+    Some(ArFit {
+        phi,
+        sigma2: sigma2.max(1e-12),
+        mean: crate::stats::mean(y),
+    })
+}
+
+impl ArFit {
+    /// In-sample one-step residuals `e_t = y_t − ŷ_t` (conditional on the
+    /// first `p` observations; those entries are zero).
+    pub fn residuals(&self, y: &[f64]) -> Vec<f64> {
+        let p = self.phi.len();
+        let mut out = vec![0.0; y.len()];
+        for t in p..y.len() {
+            let pred = self.mean
+                + self
+                    .phi
+                    .iter()
+                    .enumerate()
+                    .map(|(j, f)| f * (y[t - 1 - j] - self.mean))
+                    .sum::<f64>();
+            out[t] = y[t] - pred;
+        }
+        out
+    }
+
+    /// One-step-ahead prediction given the most recent observations
+    /// (`history` on the same scale the model was fit on).
+    pub fn predict_next(&self, history: &[f64]) -> f64 {
+        let p = self.phi.len();
+        assert!(history.len() >= p, "need at least p observations");
+        self.mean
+            + self
+                .phi
+                .iter()
+                .enumerate()
+                .map(|(j, f)| f * (history[history.len() - 1 - j] - self.mean))
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ar_series(phi: &[f64], n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = phi.len();
+        let mut y = vec![0.0; p];
+        for _ in 0..n {
+            let e: f64 = rng.gen_range(-0.5..0.5);
+            let t = y.len();
+            let v: f64 = phi
+                .iter()
+                .enumerate()
+                .map(|(j, f)| f * y[t - 1 - j])
+                .sum::<f64>()
+                + e;
+            y.push(v);
+        }
+        y
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let y = ar_series(&[0.75], 30_000, 3);
+        let fit = fit_ar(&y, 1).unwrap();
+        assert!((fit.phi[0] - 0.75).abs() < 0.03, "phi = {:?}", fit.phi);
+    }
+
+    #[test]
+    fn recovers_ar2_coefficients() {
+        let y = ar_series(&[0.5, 0.3], 50_000, 11);
+        let fit = fit_ar(&y, 2).unwrap();
+        assert!((fit.phi[0] - 0.5).abs() < 0.05, "phi = {:?}", fit.phi);
+        assert!((fit.phi[1] - 0.3).abs() < 0.05, "phi = {:?}", fit.phi);
+    }
+
+    #[test]
+    fn sigma2_close_to_innovation_variance() {
+        // uniform(-0.5, 0.5) has variance 1/12
+        let y = ar_series(&[0.6], 40_000, 5);
+        let fit = fit_ar(&y, 1).unwrap();
+        assert!((fit.sigma2 - 1.0 / 12.0).abs() < 0.01, "sigma2 = {}", fit.sigma2);
+    }
+
+    #[test]
+    fn residuals_are_whiter_than_series() {
+        let y = ar_series(&[0.8], 5_000, 7);
+        let fit = fit_ar(&y, 1).unwrap();
+        let resid = fit.residuals(&y);
+        let r_res = crate::stats::acf(&resid[1..], 1)[1].abs();
+        let r_y = crate::stats::acf(&y, 1)[1].abs();
+        assert!(r_res < r_y / 4.0, "resid acf {r_res}, series acf {r_y}");
+    }
+
+    #[test]
+    fn predict_next_uses_latest_values() {
+        let fit = ArFit {
+            phi: vec![0.5],
+            sigma2: 1.0,
+            mean: 0.0,
+        };
+        assert_eq!(fit.predict_next(&[2.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn constant_series_returns_none() {
+        assert!(fit_ar(&[3.0; 100], 2).is_none());
+    }
+}

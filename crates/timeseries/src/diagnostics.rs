@@ -1,0 +1,158 @@
+//! Model-fit diagnostics: the checks Box–Jenkins practice runs after
+//! estimation — residual whiteness (Ljung–Box), residual mean/variance,
+//! and in-sample accuracy — bundled into one report so callers (and the
+//! experiment harness) can decide whether a fitted model is trustworthy
+//! before wiring it into the alert pipeline.
+
+use crate::arima::ArimaModel;
+use crate::sarima::SarimaModel;
+use crate::series::difference;
+use crate::stats::{ljung_box, looks_white, mean, variance};
+use serde::{Deserialize, Serialize};
+
+/// Diagnostic summary of a fitted model's residuals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Human-readable model name.
+    pub model: String,
+    /// Residual mean (should be ≈ 0).
+    pub residual_mean: f64,
+    /// Residual variance (≈ σ̂²).
+    pub residual_variance: f64,
+    /// Ljung–Box Q statistic at the chosen lag.
+    pub ljung_box_q: f64,
+    /// Lags used for the portmanteau test.
+    pub lags: usize,
+    /// True when every residual autocorrelation stays inside the
+    /// ±2/√n band — the "residuals look like white noise" verdict.
+    pub residuals_white: bool,
+    /// Akaike information criterion of the fit.
+    pub aic: f64,
+    /// Observations the residuals were computed over.
+    pub n: usize,
+}
+
+impl FitReport {
+    /// Overall verdict: a usable model has near-zero-mean, white
+    /// residuals.
+    pub fn acceptable(&self) -> bool {
+        self.residuals_white
+            && self.residual_mean.abs() <= 3.0 * (self.residual_variance / self.n as f64).sqrt()
+    }
+}
+
+/// Diagnose a fitted ARIMA model against the series it was fit on.
+pub fn diagnose_arima(model: &ArimaModel, y: &[f64], lags: usize) -> FitReport {
+    let (w, _) = difference(y, model.spec.d);
+    let resid = model.residuals_differenced(&w);
+    let start = model.phi.len().max(model.theta.len());
+    let used = &resid[start..];
+    FitReport {
+        model: model.spec.to_string(),
+        residual_mean: mean(used),
+        residual_variance: variance(used),
+        ljung_box_q: ljung_box(used, lags.min(used.len().saturating_sub(2)).max(1)),
+        lags,
+        residuals_white: looks_white(used, lags.min(used.len().saturating_sub(2)).max(1)),
+        aic: model.aic(),
+        n: used.len(),
+    }
+}
+
+/// Diagnose a fitted seasonal ARIMA model.
+pub fn diagnose_sarima(model: &SarimaModel, y: &[f64], lags: usize) -> FitReport {
+    let (w1, _) = crate::sarima::seasonal_difference(y, model.spec.s, model.spec.sd);
+    let (w, _) = difference(&w1, model.spec.d);
+    let resid = model.residuals_differenced(&w);
+    let start = model
+        .phi
+        .len()
+        .max(model.theta.len())
+        .max(model.sphi.len() * model.spec.s)
+        .max(model.stheta.len() * model.spec.s);
+    let used = &resid[start..];
+    FitReport {
+        model: model.spec.to_string(),
+        residual_mean: mean(used),
+        residual_variance: variance(used),
+        ljung_box_q: ljung_box(used, lags.min(used.len().saturating_sub(2)).max(1)),
+        lags,
+        residuals_white: looks_white(used, lags.min(used.len().saturating_sub(2)).max(1)),
+        aic: model.aic(),
+        n: used.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arima::ArimaSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ar1(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut y = vec![0.0];
+        for _ in 0..n {
+            let e: f64 = rng.gen_range(-0.5..0.5);
+            let prev = *y.last().expect("non-empty");
+            y.push(phi * prev + e);
+        }
+        y
+    }
+
+    #[test]
+    fn correct_model_passes_diagnostics() {
+        let y = ar1(0.7, 8_000, 1);
+        let m = ArimaModel::fit(&y, ArimaSpec::new(1, 0, 0)).unwrap();
+        let report = diagnose_arima(&m, &y, 10);
+        assert!(report.residuals_white, "{report:?}");
+        assert!(report.acceptable(), "{report:?}");
+        assert!(report.residual_mean.abs() < 0.02);
+        // σ² of uniform(-0.5, 0.5) = 1/12
+        assert!((report.residual_variance - 1.0 / 12.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn underfitted_model_fails_diagnostics() {
+        // AR(2) data fit with white-noise-only ARIMA(0,0,q=0 is rejected;
+        // use an MA(1) which cannot absorb the AR(2) structure)
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut y = vec![0.0, 0.0];
+        for t in 2..8_000 {
+            let e: f64 = rng.gen_range(-0.5..0.5);
+            y.push(0.6 * y[t - 1] + 0.3 * y[t - 2] + e);
+        }
+        let m = ArimaModel::fit(&y, ArimaSpec::new(0, 0, 1)).unwrap();
+        let report = diagnose_arima(&m, &y, 10);
+        assert!(!report.residuals_white, "underfit must show in residuals");
+        assert!(!report.acceptable());
+    }
+
+    #[test]
+    fn diagnostics_rank_models_by_aic() {
+        let y = ar1(0.7, 4_000, 5);
+        let right = ArimaModel::fit(&y, ArimaSpec::new(1, 0, 0)).unwrap();
+        let wrong = ArimaModel::fit(&y, ArimaSpec::new(0, 0, 1)).unwrap();
+        let r1 = diagnose_arima(&right, &y, 10);
+        let r2 = diagnose_arima(&wrong, &y, 10);
+        assert!(r1.aic < r2.aic, "correct model should win on AIC");
+    }
+
+    #[test]
+    fn sarima_diagnostics_on_seasonal_data() {
+        use crate::generator::{weekly_traffic_trace, TraceConfig};
+        use crate::sarima::{SarimaModel, SarimaSpec};
+        let s = 24;
+        let y = weekly_traffic_trace(&TraceConfig {
+            len: 7 * s,
+            samples_per_day: s,
+            seed: 8,
+        });
+        let m = SarimaModel::fit(&y, SarimaSpec::new(1, 0, 1, 1, 1, 0, s)).unwrap();
+        let report = diagnose_sarima(&m, &y, 12);
+        assert!(report.n > 0);
+        assert!(report.residual_variance > 0.0);
+        assert!(report.model.contains("SARIMA"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Holt–Winters triple exponential smoothing (additive seasonality) — a
+//! third model family for the dynamic selector's pool. Exponential
+//! smoothing is the classical cheap alternative to ARIMA for workload
+//! forecasting (the NWS line of work the paper cites \[33\], \[34\] uses
+//! exactly this family) and costs O(1) per update, making it suitable for
+//! per-VM background forecasting at scale.
+
+use serde::{Deserialize, Serialize};
+
+/// Smoothing parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// Level smoothing α ∈ (0, 1).
+    pub alpha: f64,
+    /// Trend smoothing β ∈ (0, 1).
+    pub beta: f64,
+    /// Seasonal smoothing γ ∈ (0, 1).
+    pub gamma: f64,
+    /// Season length.
+    pub season: usize,
+}
+
+impl HwConfig {
+    /// Reasonable defaults for DC traces.
+    pub fn with_season(season: usize) -> Self {
+        assert!(season >= 2, "season must be at least 2");
+        Self {
+            alpha: 0.3,
+            beta: 0.05,
+            gamma: 0.25,
+            season,
+        }
+    }
+}
+
+/// A fitted (state-initialised and smoothed-through) Holt–Winters model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HoltWinters {
+    cfg: HwConfig,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    /// index of the next seasonal slot
+    phase: usize,
+    /// running one-step squared-error sum and count (for fit diagnostics)
+    sse: f64,
+    n: usize,
+}
+
+impl HoltWinters {
+    /// Initialise from at least two full seasons and smooth through the
+    /// whole series.
+    pub fn fit(y: &[f64], cfg: HwConfig) -> Self {
+        let s = cfg.season;
+        assert!(y.len() >= 2 * s, "need at least two full seasons");
+        for &p in [cfg.alpha, cfg.beta, cfg.gamma].iter() {
+            assert!((0.0..=1.0).contains(&p), "smoothing params in [0,1]");
+        }
+        // classical initialisation: first-season mean level, trend from
+        // season-over-season change, seasonal indices from first season
+        let first_mean = y[..s].iter().sum::<f64>() / s as f64;
+        let second_mean = y[s..2 * s].iter().sum::<f64>() / s as f64;
+        let mut model = Self {
+            cfg,
+            level: first_mean,
+            trend: (second_mean - first_mean) / s as f64,
+            seasonal: y[..s].iter().map(|v| v - first_mean).collect(),
+            phase: 0,
+            sse: 0.0,
+            n: 0,
+        };
+        for &v in &y[s..] {
+            model.update(v);
+        }
+        model
+    }
+
+    /// Feed one new observation, updating level/trend/seasonal state.
+    pub fn update(&mut self, y: f64) {
+        let HwConfig {
+            alpha,
+            beta,
+            gamma,
+            season,
+        } = self.cfg;
+        let sidx = self.phase % season;
+        let pred = self.level + self.trend + self.seasonal[sidx];
+        self.sse += (y - pred) * (y - pred);
+        self.n += 1;
+
+        let prev_level = self.level;
+        self.level = alpha * (y - self.seasonal[sidx]) + (1.0 - alpha) * (self.level + self.trend);
+        self.trend = beta * (self.level - prev_level) + (1.0 - beta) * self.trend;
+        self.seasonal[sidx] = gamma * (y - self.level) + (1.0 - gamma) * self.seasonal[sidx];
+        self.phase += 1;
+    }
+
+    /// h-step-ahead forecast from the current state.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let s = self.cfg.season;
+        (1..=horizon)
+            .map(|h| self.level + h as f64 * self.trend + self.seasonal[(self.phase + h - 1) % s])
+            .collect()
+    }
+
+    /// One-step prediction without mutating state.
+    pub fn predict_next(&self) -> f64 {
+        self.forecast(1)[0]
+    }
+
+    /// Mean squared one-step error accumulated while smoothing.
+    pub fn in_sample_mse(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sse / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{weekly_traffic_trace, TraceConfig};
+    use crate::metrics::mse;
+
+    #[test]
+    fn learns_pure_seasonal_pattern() {
+        let s = 8;
+        let pattern = [2.0, 5.0, 9.0, 12.0, 10.0, 7.0, 4.0, 1.0];
+        let y: Vec<f64> = (0..12 * s).map(|t| pattern[t % s] + 20.0).collect();
+        let hw = HoltWinters::fit(&y, HwConfig::with_season(s));
+        let fc = hw.forecast(s);
+        for (h, f) in fc.iter().enumerate() {
+            let expect = pattern[(y.len() + h) % s] + 20.0;
+            assert!((f - expect).abs() < 0.2, "h={h}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn tracks_trend_plus_season() {
+        let s = 6;
+        let y: Vec<f64> = (0..20 * s)
+            .map(|t| 0.5 * t as f64 + 3.0 * ((t % s) as f64))
+            .collect();
+        let hw = HoltWinters::fit(&y, HwConfig::with_season(s));
+        let fc = hw.forecast(3);
+        for (h, f) in fc.iter().enumerate() {
+            let t = y.len() + h;
+            let expect = 0.5 * t as f64 + 3.0 * ((t % s) as f64);
+            assert!((f - expect).abs() < 2.5, "h={h}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn beats_persistence_at_seasonal_horizons() {
+        // Like all seasonal models, HW's edge over last-value persistence
+        // appears at horizons where the cycle moves.
+        let s = 48;
+        let cfg = TraceConfig {
+            len: 7 * s,
+            samples_per_day: s,
+            seed: 2,
+        };
+        let y = weekly_traffic_trace(&cfg);
+        let split = 5 * s;
+        let hw = HoltWinters::fit(&y[..split], HwConfig::with_season(s));
+        let horizon = s / 2; // half a day ahead
+        let fc = hw.forecast(horizon);
+        let actual = &y[split..split + horizon];
+        let hw_mse = mse(&fc, actual);
+        let persist: Vec<f64> = vec![y[split - 1]; horizon];
+        let persist_mse = mse(&persist, actual);
+        assert!(
+            hw_mse < persist_mse,
+            "HW {hw_mse} vs persistence {persist_mse}"
+        );
+    }
+
+    #[test]
+    fn update_keeps_seasonal_shape() {
+        let s = 4;
+        let y: Vec<f64> = (0..10 * s).map(|t| (t % s) as f64).collect();
+        let mut hw = HoltWinters::fit(&y, HwConfig::with_season(s));
+        assert!(hw.in_sample_mse() < 1.0);
+        // feeding its own predictions keeps the cycle intact
+        for _ in 0..s {
+            let p = hw.predict_next();
+            hw.update(p);
+        }
+        let fc = hw.forecast(s);
+        for (h, f) in fc.iter().enumerate() {
+            let expect = ((y.len() + s + h) % s) as f64;
+            assert!((f - expect).abs() < 0.5, "h={h}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two full seasons")]
+    fn short_series_rejected() {
+        HoltWinters::fit(&[1.0; 7], HwConfig::with_season(4));
+    }
+}

@@ -1,0 +1,187 @@
+//! Trace I/O: load real data-center traces from CSV (the format
+//! monitoring stacks export) and save generated ones. The paper's
+//! pipeline starts from ZopleCloud's collected series; this is the seam
+//! where a deployment would feed its own.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// I/O or parse failure while reading a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell contents.
+        cell: String,
+    },
+    /// The requested column is absent.
+    MissingColumn(String),
+    /// Rows have inconsistent arity.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::Parse { line, cell } => {
+                write!(f, "line {line}: cannot parse {cell:?} as a number")
+            }
+            TraceIoError::MissingColumn(c) => write!(f, "column {c:?} not found"),
+            TraceIoError::RaggedRow { line } => write!(f, "line {line}: wrong number of cells"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Write named series as a CSV with a header row. All series must share
+/// a length.
+pub fn write_csv(path: &Path, columns: &[(&str, &[f64])]) -> Result<(), TraceIoError> {
+    assert!(!columns.is_empty(), "need at least one column");
+    let len = columns[0].1.len();
+    assert!(
+        columns.iter().all(|(_, c)| c.len() == len),
+        "columns must be aligned"
+    );
+    let mut out = BufWriter::new(File::create(path)?);
+    let header: Vec<&str> = columns.iter().map(|(n, _)| *n).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for row in 0..len {
+        let cells: Vec<String> = columns.iter().map(|(_, c)| c[row].to_string()).collect();
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a CSV with a header row into named columns.
+pub fn read_csv(path: &Path) -> Result<Vec<(String, Vec<f64>)>, TraceIoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let Some(header) = lines.next() else {
+        return Ok(Vec::new());
+    };
+    let names: Vec<String> = header?.split(',').map(|s| s.trim().to_string()).collect();
+    let mut columns: Vec<(String, Vec<f64>)> =
+        names.into_iter().map(|n| (n, Vec::new())).collect();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != columns.len() {
+            return Err(TraceIoError::RaggedRow { line: i + 2 });
+        }
+        for (col, cell) in columns.iter_mut().zip(cells) {
+            let v: f64 = cell.trim().parse().map_err(|_| TraceIoError::Parse {
+                line: i + 2,
+                cell: cell.to_string(),
+            })?;
+            col.1.push(v);
+        }
+    }
+    Ok(columns)
+}
+
+/// Read one named column from a CSV trace file.
+pub fn read_csv_column(path: &Path, name: &str) -> Result<Vec<f64>, TraceIoError> {
+    let columns = read_csv(path)?;
+    columns
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, c)| c)
+        .ok_or_else(|| TraceIoError::MissingColumn(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sheriff-ts-io-{name}-{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let path = tmp("roundtrip");
+        let a = [1.0, 2.5, -3.0];
+        let b = [0.1, 0.2, 0.3];
+        write_csv(&path, &[("traffic", &a), ("cpu", &b)]).unwrap();
+        let cols = read_csv(&path).unwrap();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].0, "traffic");
+        assert_eq!(cols[0].1, a.to_vec());
+        assert_eq!(cols[1].1, b.to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_single_column_by_name() {
+        let path = tmp("column");
+        write_csv(&path, &[("x", &[1.0, 2.0]), ("y", &[3.0, 4.0])]).unwrap();
+        assert_eq!(read_csv_column(&path, "y").unwrap(), vec![3.0, 4.0]);
+        let err = read_csv_column(&path, "z").unwrap_err();
+        assert!(matches!(err, TraceIoError::MissingColumn(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let path = tmp("bad");
+        std::fs::write(&path, "a,b\n1.0,2.0\nx,3.0\n").unwrap();
+        let err = read_csv(&path).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, cell } => {
+                assert_eq!(line, 3);
+                assert_eq!(cell, "x");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let path = tmp("ragged");
+        std::fs::write(&path, "a,b\n1.0\n").unwrap();
+        assert!(matches!(
+            read_csv(&path).unwrap_err(),
+            TraceIoError::RaggedRow { line: 2 }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generated_trace_roundtrips_through_csv_and_fits() {
+        use crate::arima::{ArimaModel, ArimaSpec};
+        use crate::generator::{weekly_traffic_trace, TraceConfig};
+        let path = tmp("fit");
+        let y = weekly_traffic_trace(&TraceConfig {
+            len: 300,
+            samples_per_day: 48,
+            seed: 1,
+        });
+        write_csv(&path, &[("traffic", &y)]).unwrap();
+        let loaded = read_csv_column(&path, "traffic").unwrap();
+        assert_eq!(loaded, y);
+        // the loaded trace feeds straight into the paper pipeline
+        assert!(ArimaModel::fit(&loaded, ArimaSpec::new(1, 1, 1)).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

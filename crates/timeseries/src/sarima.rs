@@ -1,0 +1,415 @@
+//! Seasonal ARIMA — `SARIMA(p, d, q)(P, D, Q)_s`.
+//!
+//! The paper's headline trace (Fig. 5) is *weekly* traffic with a strong
+//! daily period; plain ARIMA(1,1,1) captures the local dynamics but not
+//! the seasonal structure. Box–Jenkins practice on such data is seasonal
+//! differencing plus seasonal AR/MA terms — the natural "further
+//! exploration" of the paper's prediction phase.
+//!
+//! Estimation mirrors the non-seasonal Hannan–Rissanen path: seasonally
+//! difference `D` times at lag `s`, regularly difference `d` times, fit a
+//! long AR for innovation estimates, then one OLS with regressors
+//! `{w_{t−1..p}, w_{t−s..Ps}, e_{t−1..q}, e_{t−s..Qs}}` (the
+//! multiplicative polynomial is approximated additively, which is
+//! standard for HR-style estimation and exact when cross terms vanish).
+
+use crate::ar::fit_ar;
+use crate::arima::FitError;
+use crate::linalg::{least_squares, Matrix};
+use crate::series::{difference, undifference};
+use crate::stats::mean;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Orders of a seasonal ARIMA model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SarimaSpec {
+    /// Non-seasonal AR order.
+    pub p: usize,
+    /// Non-seasonal differencing.
+    pub d: usize,
+    /// Non-seasonal MA order.
+    pub q: usize,
+    /// Seasonal AR order `P`.
+    pub sp: usize,
+    /// Seasonal differencing `D`.
+    pub sd: usize,
+    /// Seasonal MA order `Q`.
+    pub sq: usize,
+    /// Season length `s` (samples per period).
+    pub s: usize,
+}
+
+impl SarimaSpec {
+    /// `SARIMA(p,d,q)(P,D,Q)_s`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(p: usize, d: usize, q: usize, sp: usize, sd: usize, sq: usize, s: usize) -> Self {
+        assert!(s >= 2, "season length must be at least 2");
+        Self {
+            p,
+            d,
+            q,
+            sp,
+            sd,
+            sq,
+            s,
+        }
+    }
+
+    /// Number of estimated coefficients (plus intercept).
+    pub fn param_count(&self) -> usize {
+        self.p + self.q + self.sp + self.sq + 1
+    }
+
+    fn max_lag(&self) -> usize {
+        (self.p)
+            .max(self.q)
+            .max(self.sp * self.s)
+            .max(self.sq * self.s)
+            .max(1)
+    }
+}
+
+impl fmt::Display for SarimaSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SARIMA({},{},{})({},{},{})_{}",
+            self.p, self.d, self.q, self.sp, self.sd, self.sq, self.s
+        )
+    }
+}
+
+/// Apply the lag-`s` seasonal difference `D` times. Returns the
+/// differenced series and, per level, the `s` seed values needed to
+/// invert forecasts.
+pub fn seasonal_difference(y: &[f64], s: usize, levels: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    assert!(
+        y.len() > s * levels,
+        "series too short for {levels} seasonal differences at lag {s}"
+    );
+    let mut cur = y.to_vec();
+    let mut seeds = Vec::with_capacity(levels);
+    for _ in 0..levels {
+        seeds.push(cur[cur.len() - s..].to_vec());
+        cur = cur.windows(s + 1).map(|w| w[s] - w[0]).collect();
+    }
+    (cur, seeds)
+}
+
+/// Invert [`seasonal_difference`] on a block of future values.
+pub fn seasonal_undifference(forecasts: &[f64], seeds: &[Vec<f64>]) -> Vec<f64> {
+    let mut cur = forecasts.to_vec();
+    for seed in seeds.iter().rev() {
+        let s = seed.len();
+        let mut ring = seed.clone();
+        for (h, v) in cur.iter_mut().enumerate() {
+            let base = ring[h % s];
+            *v += base;
+            ring[h % s] = *v;
+        }
+    }
+    cur
+}
+
+/// A fitted seasonal ARIMA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SarimaModel {
+    /// The orders.
+    pub spec: SarimaSpec,
+    /// Non-seasonal AR coefficients.
+    pub phi: Vec<f64>,
+    /// Non-seasonal MA coefficients.
+    pub theta: Vec<f64>,
+    /// Seasonal AR coefficients (lags s, 2s, …).
+    pub sphi: Vec<f64>,
+    /// Seasonal MA coefficients.
+    pub stheta: Vec<f64>,
+    /// Mean of the fully differenced series.
+    pub mean: f64,
+    /// Innovation variance.
+    pub sigma2: f64,
+    /// Observations used in the regression.
+    pub nobs: usize,
+}
+
+impl SarimaModel {
+    /// Fit by the seasonal Hannan–Rissanen procedure.
+    pub fn fit(y: &[f64], spec: SarimaSpec) -> Result<Self, FitError> {
+        let need = spec.s * spec.sd + spec.d + 3 * spec.max_lag() + 20;
+        if y.len() < need {
+            return Err(FitError::TooShort {
+                have: y.len(),
+                need,
+            });
+        }
+        let (w1, _) = seasonal_difference(y, spec.s, spec.sd);
+        let (w, _) = difference(&w1, spec.d);
+        let mu = mean(&w);
+        let wc: Vec<f64> = w.iter().map(|v| v - mu).collect();
+        if crate::stats::variance(&wc) < 1e-12 {
+            // the differencing already explains the series perfectly
+            // (e.g. a pure periodic signal): the zero-coefficient model is
+            // exact, not an error
+            return Ok(Self {
+                spec,
+                phi: vec![],
+                theta: vec![],
+                sphi: vec![],
+                stheta: vec![],
+                mean: mu,
+                sigma2: 1e-12,
+                nobs: wc.len(),
+            });
+        }
+
+        // Stage 1: long AR covering at least one season.
+        let long_p = (spec.max_lag() + 2)
+            .max(spec.s + 1)
+            .min(wc.len() / 4)
+            .max(1);
+        let long = fit_ar(&wc, long_p).ok_or(FitError::Degenerate)?;
+        let e = long.residuals(&wc);
+
+        // Stage 2: OLS with seasonal and non-seasonal regressors.
+        let start = long_p.max(spec.max_lag());
+        let rows = wc.len().saturating_sub(start);
+        let ncols = spec.p + spec.sp + spec.q + spec.sq;
+        if rows < ncols + 5 {
+            return Err(FitError::TooShort {
+                have: y.len(),
+                need: y.len() + ncols + 5 - rows,
+            });
+        }
+        if ncols == 0 {
+            let s2 = crate::stats::variance(&wc).max(1e-12);
+            return Ok(Self {
+                spec,
+                phi: vec![],
+                theta: vec![],
+                sphi: vec![],
+                stheta: vec![],
+                mean: mu,
+                sigma2: s2,
+                nobs: wc.len(),
+            });
+        }
+        let mut xd = Vec::with_capacity(rows * ncols);
+        let mut targets = Vec::with_capacity(rows);
+        for t in start..wc.len() {
+            for j in 1..=spec.p {
+                xd.push(wc[t - j]);
+            }
+            for j in 1..=spec.sp {
+                xd.push(wc[t - j * spec.s]);
+            }
+            for j in 1..=spec.q {
+                xd.push(e[t - j]);
+            }
+            for j in 1..=spec.sq {
+                xd.push(e[t - j * spec.s]);
+            }
+            targets.push(wc[t]);
+        }
+        let x = Matrix::from_vec(rows, ncols, xd);
+        let beta = least_squares(&x, &targets).ok_or(FitError::Degenerate)?;
+        let (phi, rest) = beta.split_at(spec.p);
+        let (sphi, rest) = rest.split_at(spec.sp);
+        let (theta, stheta) = rest.split_at(spec.q);
+
+        let mut model = Self {
+            spec,
+            phi: phi.to_vec(),
+            theta: theta.to_vec(),
+            sphi: sphi.to_vec(),
+            stheta: stheta.to_vec(),
+            mean: mu,
+            sigma2: 1.0,
+            nobs: rows,
+        };
+        let resid = model.residuals_differenced(&w);
+        let used = &resid[start..];
+        model.sigma2 = (used.iter().map(|r| r * r).sum::<f64>() / used.len() as f64).max(1e-12);
+        Ok(model)
+    }
+
+    /// Conditional residuals on the fully differenced scale.
+    pub fn residuals_differenced(&self, w: &[f64]) -> Vec<f64> {
+        let start = self.spec.max_lag();
+        let mut e = vec![0.0; w.len()];
+        for t in start..w.len() {
+            e[t] = w[t] - self.predict_differenced(w, &e, t);
+        }
+        e
+    }
+
+    /// One-step conditional mean at index `t` of the differenced series.
+    fn predict_differenced(&self, w: &[f64], e: &[f64], t: usize) -> f64 {
+        let s = self.spec.s;
+        let mut pred = self.mean;
+        for (j, f) in self.phi.iter().enumerate() {
+            pred += f * (w[t - 1 - j] - self.mean);
+        }
+        for (j, f) in self.sphi.iter().enumerate() {
+            pred += f * (w[t - (j + 1) * s] - self.mean);
+        }
+        for (j, th) in self.theta.iter().enumerate() {
+            pred += th * e[t - 1 - j];
+        }
+        for (j, th) in self.stheta.iter().enumerate() {
+            pred += th * e[t - (j + 1) * s];
+        }
+        pred
+    }
+
+    /// MMSE forecast on the original scale (Eqn. 12 with the seasonal
+    /// operators included).
+    pub fn forecast(&self, history: &[f64], horizon: usize) -> Vec<f64> {
+        let (w1, sseeds) = seasonal_difference(history, self.spec.s, self.spec.sd);
+        let (w, dseeds) = difference(&w1, self.spec.d);
+        assert!(
+            w.len() > self.spec.max_lag(),
+            "history too short to forecast"
+        );
+        let mut wx = w.clone();
+        let mut ex = self.residuals_differenced(&w);
+        for _ in 0..horizon {
+            let t = wx.len();
+            // future innovations are zero; guard underflow for seasonal lags
+            let pred = if t >= self.spec.max_lag() {
+                self.predict_differenced(&wx, &ex, t)
+            } else {
+                self.mean
+            };
+            wx.push(pred);
+            ex.push(0.0);
+        }
+        let inner = undifference(&wx[w.len()..], &dseeds);
+        seasonal_undifference(&inner, &sseeds)
+    }
+
+    /// One-step rolling predictions over `series[split..]` (Fig. 6
+    /// protocol).
+    pub fn rolling_one_step(&self, series: &[f64], split: usize) -> Vec<f64> {
+        (split..series.len())
+            .map(|t| self.forecast(&series[..t], 1)[0])
+            .collect()
+    }
+
+    /// Akaike information criterion.
+    pub fn aic(&self) -> f64 {
+        self.nobs as f64 * self.sigma2.ln() + 2.0 * self.spec.param_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{weekly_traffic_trace, TraceConfig};
+    use crate::metrics::mse;
+
+    #[test]
+    fn seasonal_difference_removes_period() {
+        // pure periodic signal: seasonal difference is exactly zero
+        let s = 12;
+        let y: Vec<f64> = (0..120)
+            .map(|t| ((t % s) as f64) * 2.0 + 5.0)
+            .collect();
+        let (w, seeds) = seasonal_difference(&y, s, 1);
+        assert!(w.iter().all(|v| v.abs() < 1e-12));
+        assert_eq!(seeds[0].len(), s);
+    }
+
+    #[test]
+    fn seasonal_undifference_inverts() {
+        let s = 4;
+        let y: Vec<f64> = (0..32).map(|t| (t as f64 * 0.7).sin() * 3.0 + t as f64 * 0.1).collect();
+        // difference the full series, then "forecast" the true future
+        // values' differences and invert: must reproduce them
+        let future: Vec<f64> = (32..40).map(|t| (t as f64 * 0.7).sin() * 3.0 + t as f64 * 0.1).collect();
+        let mut extended = y.clone();
+        extended.extend_from_slice(&future);
+        let (wext, _) = seasonal_difference(&extended, s, 1);
+        let (_, seeds) = seasonal_difference(&y, s, 1);
+        let future_diffs = &wext[wext.len() - 8..];
+        let rebuilt = seasonal_undifference(future_diffs, &seeds);
+        for (a, b) in rebuilt.iter().zip(&future) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn two_level_seasonal_roundtrip() {
+        let s = 3;
+        let y: Vec<f64> = (0..60).map(|t| (t * t) as f64 * 0.01 + (t % 3) as f64).collect();
+        let future: Vec<f64> = (60..66).map(|t| (t * t) as f64 * 0.01 + (t % 3) as f64).collect();
+        let mut ext = y.clone();
+        ext.extend_from_slice(&future);
+        let (wext, _) = seasonal_difference(&ext, s, 2);
+        let (_, seeds) = seasonal_difference(&y, s, 2);
+        let rebuilt = seasonal_undifference(&wext[wext.len() - 6..], &seeds);
+        for (a, b) in rebuilt.iter().zip(&future) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sarima_beats_plain_arima_at_seasonal_horizons() {
+        // One step ahead, AR noise dominates and plain ARIMA is already
+        // near-optimal; the seasonal structure pays off at day-scale
+        // horizons where ARIMA's forecast decays to the mean but SARIMA
+        // reproduces the daily cycle.
+        let s = 48;
+        let cfg = TraceConfig {
+            len: 7 * s,
+            samples_per_day: s,
+            seed: 5,
+        };
+        let y = weekly_traffic_trace(&cfg);
+        let horizon = s; // one full day ahead
+        let sarima = SarimaModel::fit(&y[..5 * s], SarimaSpec::new(1, 0, 0, 1, 1, 0, s))
+            .expect("seasonal fit");
+        let arima =
+            crate::arima::ArimaModel::fit(&y[..5 * s], crate::arima::ArimaSpec::new(1, 1, 1))
+                .expect("plain fit");
+        let mut sarima_err = 0.0;
+        let mut arima_err = 0.0;
+        for origin in [5 * s, 5 * s + s / 2] {
+            let actual = &y[origin..origin + horizon];
+            sarima_err += mse(&sarima.forecast(&y[..origin], horizon), actual);
+            arima_err += mse(&arima.forecast(&y[..origin], horizon), actual);
+        }
+        assert!(
+            sarima_err < arima_err,
+            "SARIMA {sarima_err} should beat ARIMA {arima_err} a day ahead"
+        );
+    }
+
+    #[test]
+    fn seasonal_forecast_repeats_the_period() {
+        // noiseless seasonal pattern: multi-step forecast must reproduce it
+        let s = 6;
+        let pattern = [10.0, 14.0, 20.0, 18.0, 12.0, 8.0];
+        let y: Vec<f64> = (0..20 * s).map(|t| pattern[t % s]).collect();
+        let m = SarimaModel::fit(&y, SarimaSpec::new(0, 0, 0, 1, 1, 0, s)).unwrap();
+        let fc = m.forecast(&y, s);
+        for (h, f) in fc.iter().enumerate() {
+            let expect = pattern[(y.len() + h) % s];
+            assert!((f - expect).abs() < 0.5, "h={h}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let y = vec![1.0; 20];
+        let err = SarimaModel::fit(&y, SarimaSpec::new(1, 0, 1, 1, 1, 1, 12)).unwrap_err();
+        assert!(matches!(err, FitError::TooShort { .. }));
+    }
+
+    #[test]
+    fn display_format() {
+        let spec = SarimaSpec::new(1, 0, 1, 1, 1, 1, 48);
+        assert_eq!(spec.to_string(), "SARIMA(1,0,1)(1,1,1)_48");
+        assert_eq!(spec.param_count(), 5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Lag and difference operators over raw series (Sec. IV-B).
+//!
+//! The paper defines the lag operator `L^j Y_t = Y_{t−j}` and the lag-1
+//! difference `∇Y_t = Y_t − Y_{t−1}`, applied `d` times to render a series
+//! stationary before ARMA fitting, then inverted to undifference the
+//! forecasts back to the original scale (Eqn. 12's `(∇^d)^{-1}`).
+
+/// Apply the lag-1 difference operator once: output length is `n − 1`.
+pub fn difference_once(y: &[f64]) -> Vec<f64> {
+    y.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Apply `∇^d`: difference `d` times. Returns the differenced series and
+/// the *seed values* (the last original value at each level) needed to
+/// invert the transform.
+pub fn difference(y: &[f64], d: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(y.len() > d, "series too short to difference {d} times");
+    let mut cur = y.to_vec();
+    let mut seeds = Vec::with_capacity(d);
+    for _ in 0..d {
+        seeds.push(*cur.last().expect("non-empty by assertion"));
+        cur = difference_once(&cur);
+    }
+    (cur, seeds)
+}
+
+/// Invert `∇^d` on a block of *future* values: given forecasts of the
+/// differenced series and the seeds captured by [`difference`], reconstruct
+/// forecasts on the original scale.
+pub fn undifference(forecasts: &[f64], seeds: &[f64]) -> Vec<f64> {
+    let mut cur = forecasts.to_vec();
+    // seeds were pushed outermost-first; integrate innermost-first
+    for &seed in seeds.iter().rev() {
+        let mut acc = seed;
+        for v in cur.iter_mut() {
+            acc += *v;
+            *v = acc;
+        }
+    }
+    cur
+}
+
+/// Build a lagged design matrix: row `t` is `[y_{t−1}, …, y_{t−p}]` for
+/// each `t in p..n`, paired with the targets `y_t`. Used by AR and NARNET
+/// fitting.
+pub fn lag_matrix(y: &[f64], p: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    assert!(p >= 1 && y.len() > p, "need more observations than lags");
+    let mut rows = Vec::with_capacity(y.len() - p);
+    let mut targets = Vec::with_capacity(y.len() - p);
+    for t in p..y.len() {
+        let row: Vec<f64> = (1..=p).map(|j| y[t - j]).collect();
+        rows.push(row);
+        targets.push(y[t]);
+    }
+    (rows, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_once_known() {
+        assert_eq!(difference_once(&[1.0, 4.0, 9.0, 16.0]), vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn double_difference_of_quadratic_is_constant() {
+        let y: Vec<f64> = (0..8).map(|i| (i * i) as f64).collect();
+        let (dd, seeds) = difference(&y, 2);
+        assert_eq!(seeds.len(), 2);
+        assert!(dd.iter().all(|&v| (v - 2.0).abs() < 1e-12), "{dd:?}");
+    }
+
+    #[test]
+    fn undifference_inverts_difference_d1() {
+        let y = [5.0, 7.0, 6.0, 9.0, 12.0];
+        let (dy, seeds) = difference(&y, 1);
+        // treat the last 2 differenced points as "forecasts" of themselves:
+        // undifferencing the whole differenced tail must reproduce the tail
+        let rebuilt = undifference(&dy, &[y[0]]);
+        assert_eq!(rebuilt, y[1..].to_vec());
+        assert_eq!(seeds, vec![12.0]);
+    }
+
+    #[test]
+    fn undifference_inverts_difference_d2() {
+        let y: Vec<f64> = vec![1.0, 3.0, 8.0, 17.0, 31.0, 52.0];
+        let (dd, _) = difference(&y, 2);
+        // seeds for forward forecasting: last value at each level
+        // level0 last = 52, level1 last = 52-31 = 21
+        // forecast the "next" double-diff value = dd pattern; verify algebra:
+        let next_dd = 2.0; // arbitrary
+        let out = undifference(&[next_dd], &[52.0, 21.0]);
+        // next level1 = 21 + 2 = 23; next level0 = 52 + 23 = 75
+        assert_eq!(out, vec![75.0]);
+        assert_eq!(dd.len(), 4);
+    }
+
+    #[test]
+    fn multi_step_undifference_accumulates() {
+        let out = undifference(&[1.0, 1.0, 1.0], &[10.0]);
+        assert_eq!(out, vec![11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn lag_matrix_shapes_and_values() {
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (rows, targets) = lag_matrix(&y, 2);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![2.0, 1.0]); // y_{t-1}, y_{t-2} for t = 2
+        assert_eq!(targets, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "series too short")]
+    fn difference_rejects_short_series() {
+        difference(&[1.0], 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # sheriff-dcn
+//!
+//! Facade crate for the Sheriff reproduction (ICPP'15: *Sheriff: A
+//! Regional Pre-Alert Management Scheme in Data Center Networks*).
+//! Re-exports the four workspace crates:
+//!
+//! * [`topology`] — Fat-Tree/BCube builders, wired graph, shortest paths,
+//!   placement, dependency graph;
+//! * [`forecast`] — ARIMA, NARNET, dynamic model selection, synthetic
+//!   traces;
+//! * [`sim`] — workload profiles, alerts, migration cost model, QCN,
+//!   flows, the cluster engine;
+//! * [`sheriff`] — the management algorithms (PRIORITY, VMMIGRATION,
+//!   REQUEST, k-median local search) and both runtimes.
+//!
+//! ```
+//! use sheriff_dcn::prelude::*;
+//!
+//! let dcn = fattree::build(&FatTreeConfig::paper(4));
+//! let cluster = Cluster::build(dcn, &ClusterConfig::default(), SimConfig::paper());
+//! let metric = RackMetric::build(&cluster.dcn, &cluster.sim);
+//! let controller = Sheriff::new(&cluster);
+//! assert!(!controller.region(RackId(0)).is_empty());
+//! let _ = metric;
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dcn_sim as sim;
+pub use dcn_topology as topology;
+pub use sheriff_core as sheriff;
+pub use timeseries as forecast;
+
+/// Everything a typical application needs, one `use` away.
+pub mod prelude {
+    pub use dcn_sim::engine::{Cluster, ClusterConfig, HoltPredictor, ProfilePredictor};
+    pub use dcn_sim::{
+        Alert, AlertSource, ArimaProfilePredictor, CongestionSim, Profile, RackMetric, SimConfig,
+        TorMonitor, VmWorkload,
+    };
+    pub use dcn_topology::bcube::{self, BCubeConfig};
+    pub use dcn_topology::dcell::{self, DCellConfig};
+    pub use dcn_topology::fattree::{self, FatTreeConfig};
+    pub use dcn_topology::{Dcn, DependencyGraph, HostId, Placement, RackId, VmId, VmSpec};
+    pub use sheriff_core::{
+        distributed_round, drain_rack, evacuate_host, priority, sharded_round, vmmigration,
+        Budget, MigrationContext, MigrationPlan, RoundReport, Sheriff, System,
+    };
+    pub use timeseries::{
+        ArimaModel, ArimaSpec, DynamicSelector, HoltWinters, HwConfig, Narnet, NarnetConfig,
+        Predictor, SarimaModel, SarimaSpec,
+    };
+}

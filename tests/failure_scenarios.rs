@@ -1,0 +1,187 @@
+//! Failure-injection integration tests: dead links, failing hosts, rack
+//! drains, and degraded-fabric balancing — the crash scenarios Sec. III-A
+//! delegates to the "backup system".
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sheriff_dcn::prelude::*;
+use sheriff_dcn::sheriff::{drain_rack, evacuate_host, MigrationContext, Sheriff};
+use sheriff_dcn::sim::faults::{fail_link, fail_random_links, racks_connected};
+
+fn cluster(seed: u64) -> Cluster {
+    let dcn = fattree::build(&FatTreeConfig::paper(8));
+    Cluster::build(
+        dcn,
+        &ClusterConfig {
+            vms_per_host: 2.5,
+            skew: 4.0,
+            seed,
+            ..ClusterConfig::default()
+        },
+        SimConfig::paper(),
+    )
+}
+
+#[test]
+fn balancing_still_works_on_degraded_fabric() {
+    let mut c = cluster(51);
+    let mut rng = StdRng::seed_from_u64(7);
+    // kill 10% of links; an 8-pod fat-tree stays connected
+    fail_random_links(&mut c.dcn, &mut rng, 0.10);
+    assert!(racks_connected(&c.dcn, c.sim.bandwidth_threshold));
+    let metric = RackMetric::build(&c.dcn, &c.sim);
+    let sheriff = Sheriff::new(&c);
+    let (traj, plan) = sheriff.balance_trajectory(&mut c, &metric, 0.05, 16);
+    assert!(!plan.moves.is_empty(), "no migrations on degraded fabric");
+    assert!(
+        *traj.last().unwrap() < traj[0],
+        "balancing regressed: {traj:?}"
+    );
+    // capacity invariants survive
+    for h in 0..c.placement.host_count() {
+        let h = HostId::from_index(h);
+        assert!(c.placement.used_capacity(h) <= c.placement.host_capacity(h) + 1e-9);
+    }
+}
+
+#[test]
+fn migrations_avoid_dead_links() {
+    let mut c = cluster(52);
+    // cut every uplink of rack 0 except one: migrations out of rack 0
+    // must still succeed through the survivor
+    let node = c.dcn.rack_node(RackId(0));
+    let edges: Vec<_> = c.dcn.graph.neighbors(node).iter().map(|&(_, e)| e).collect();
+    for &e in &edges[1..] {
+        fail_link(&mut c.dcn, e);
+    }
+    let metric = RackMetric::build(&c.dcn, &c.sim);
+    assert!(metric.reachable(RackId(0), RackId(1)));
+    let host = *c.dcn.inventory.hosts_in(RackId(0)).first().unwrap();
+    if c.placement.vms_on(host).is_empty() {
+        return;
+    }
+    let region = c.dcn.neighbor_racks(RackId(0), 2);
+    let mut ctx = MigrationContext {
+        placement: &mut c.placement,
+        inventory: &c.dcn.inventory,
+        deps: &c.deps,
+        metric: &metric,
+        sim: &c.sim,
+    };
+    let plan = evacuate_host(&mut ctx, host, &region, 5);
+    assert!(c.placement.vms_on(host).is_empty());
+    assert!(plan.unplaced.is_empty());
+}
+
+#[test]
+fn cascading_host_failures_are_absorbed() {
+    let mut c = cluster(53);
+    let metric = RackMetric::build(&c.dcn, &c.sim);
+    let vm_total = c.placement.vm_count();
+    // fail the three busiest hosts in sequence
+    for _ in 0..3 {
+        let host = (0..c.placement.host_count())
+            .map(HostId::from_index)
+            .max_by_key(|&h| c.placement.vms_on(h).len())
+            .unwrap();
+        let rack = c.placement.rack_of_host(host);
+        let region = c.dcn.neighbor_racks(rack, 2);
+        let mut ctx = MigrationContext {
+            placement: &mut c.placement,
+            inventory: &c.dcn.inventory,
+            deps: &c.deps,
+            metric: &metric,
+            sim: &c.sim,
+        };
+        let plan = evacuate_host(&mut ctx, host, &region, 5);
+        assert!(plan.unplaced.is_empty(), "evacuation left VMs stranded");
+        assert!(c.placement.vms_on(host).is_empty());
+    }
+    // nothing was lost
+    assert_eq!(c.placement.vm_count(), vm_total);
+    // and no dependency conflicts were created
+    for vm in c.placement.vm_ids() {
+        let host = c.placement.host_of(vm);
+        for &other in c.placement.vms_on(host) {
+            assert!(other == vm || !c.deps.dependent(vm, other));
+        }
+    }
+}
+
+#[test]
+fn rack_drain_then_balance_round_trip() {
+    let mut c = cluster(54);
+    let metric = RackMetric::build(&c.dcn, &c.sim);
+    let rack = RackId(2);
+    let region = c.dcn.neighbor_racks(rack, 4);
+    {
+        let mut ctx = MigrationContext {
+            placement: &mut c.placement,
+            inventory: &c.dcn.inventory,
+            deps: &c.deps,
+            metric: &metric,
+            sim: &c.sim,
+        };
+        let plan = drain_rack(&mut ctx, rack, &region, 5);
+        assert!(plan.unplaced.is_empty());
+    }
+    for &h in c.dcn.inventory.hosts_in(rack) {
+        assert!(c.placement.vms_on(h).is_empty());
+    }
+    // the drain concentrated load elsewhere; a few Sheriff rounds spread
+    // it back out
+    let before = c.utilization_stddev();
+    let sheriff = Sheriff::new(&c);
+    let (traj, _) = sheriff.balance_trajectory(&mut c, &metric, 0.05, 10);
+    assert!(*traj.last().unwrap() <= before, "{traj:?}");
+}
+
+#[test]
+fn partitioned_rack_reports_unplaced_instead_of_panicking() {
+    let mut c = cluster(55);
+    // isolate rack 0 completely
+    let node = c.dcn.rack_node(RackId(0));
+    let edges: Vec<_> = c.dcn.graph.neighbors(node).iter().map(|&(_, e)| e).collect();
+    for e in edges {
+        fail_link(&mut c.dcn, e);
+    }
+    let metric = RackMetric::build(&c.dcn, &c.sim);
+    assert!(!metric.reachable(RackId(0), RackId(1)));
+    // fill rack 0's hosts so an intra-rack reshuffle cannot absorb the
+    // evacuation, then try to evacuate one host
+    let hosts = c.dcn.inventory.hosts_in(RackId(0)).to_vec();
+    let host = hosts[0];
+    let vms: Vec<VmId> = c.placement.vms_on(host).to_vec();
+    if vms.is_empty() {
+        return;
+    }
+    // consume the sibling hosts' free capacity
+    for &h in &hosts[1..] {
+        while c.placement.free_capacity(h) >= 5.0 {
+            let spec = VmSpec {
+                id: c.placement.next_vm_id(),
+                capacity: 5.0,
+                value: 1.0,
+                delay_sensitive: false,
+            };
+            if c.placement.add_vm(spec, h).is_err() {
+                break;
+            }
+        }
+    }
+    let region = c.dcn.neighbor_racks(RackId(0), 4);
+    let mut ctx = MigrationContext {
+        placement: &mut c.placement,
+        inventory: &c.dcn.inventory,
+        deps: &c.deps,
+        metric: &metric,
+        sim: &c.sim,
+    };
+    let plan = evacuate_host(&mut ctx, host, &region, 3);
+    // VMs that cannot cross the partition are reported, not lost
+    for vm in &plan.unplaced {
+        assert_eq!(c.placement.host_of(*vm), host);
+    }
+    let accounted = plan.moves.len() + plan.unplaced.len();
+    assert_eq!(accounted, vms.len());
+}

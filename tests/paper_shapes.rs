@@ -1,0 +1,131 @@
+//! Shape tests for the paper's evaluation claims, run at reduced scale
+//! through the same harness code that generates EXPERIMENTS.md (see
+//! DESIGN.md §6 for what "matching the paper" means here).
+
+use sheriff_bench::scale::{run_point, sweep, Topo};
+use sheriff_bench::{balance, forecast, ratio, traces};
+
+#[test]
+fn fig3_to_5_traces_have_paper_ranges() {
+    let cpu = traces::fig3(1);
+    assert!(cpu.rows.iter().all(|r| (0.0..=100.0).contains(&r[1])));
+    let io = traces::fig4(1);
+    assert!(io.rows.iter().all(|r| (0.0..=1200.0).contains(&r[1])));
+    let traffic = traces::fig5(1);
+    // "peaks and troughs regularly": strong daily autocorrelation noted
+    assert!(traffic.notes[0].contains("daily-lag ACF"));
+    let acf: f64 = traffic.notes[0]
+        .rsplit("ACF ")
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(acf > 0.3, "weekly traffic lost its periodicity: {acf}");
+}
+
+#[test]
+fn fig6_arima_tracks_traffic() {
+    let t = forecast::fig6(1);
+    // bias column stays small relative to the signal for most points
+    let big_bias = t
+        .rows
+        .iter()
+        .filter(|r| r[3].abs() > 0.5 * r[1].abs().max(1.0))
+        .count();
+    assert!(
+        big_bias * 10 < t.rows.len(),
+        "{big_bias}/{} points with >50% bias",
+        t.rows.len()
+    );
+}
+
+#[test]
+fn fig8_combined_model_is_competitive() {
+    let t = forecast::fig8(1);
+    // last-but-one note holds "combined ... (best single = ...)"
+    let note = t
+        .notes
+        .iter()
+        .find(|n| n.contains("combined model"))
+        .expect("combined note present");
+    let combined: f64 = extract(note, "test MSE = ");
+    let best: f64 = extract(note, "best single = ");
+    assert!(combined <= best * 1.25, "combined {combined} vs best {best}");
+}
+
+#[test]
+fn fig9_fig10_balance_curves_decline() {
+    for t in [balance::fig9(1), balance::fig10(1)] {
+        let first = t.rows.first().unwrap()[1];
+        let last = t.rows.last().unwrap()[1];
+        assert!(
+            last < first * 0.65,
+            "{}: {first:.1} -> {last:.1}",
+            t.id
+        );
+        // near-monotone decline, as in the paper's curves
+        let ups = t
+            .rows
+            .windows(2)
+            .filter(|w| w[1][1] > w[0][1] + 1.0)
+            .count();
+        assert!(ups <= 2, "{}: {ups} significant upticks", t.id);
+    }
+}
+
+#[test]
+fn fig11_to_14_shapes_hold_at_reduced_scale() {
+    for topo in [Topo::FatTree, Topo::BCube] {
+        let (cost, space) = sweep(topo, &[4, 8, 12], 1);
+        // cost grows with scale for both managers
+        assert!(cost.rows[2][2] > cost.rows[0][2], "{topo:?} sheriff cost flat");
+        assert!(cost.rows[2][3] > cost.rows[0][3], "{topo:?} central cost flat");
+        // Sheriff stays close to the centralized optimal
+        for row in &cost.rows {
+            if row[3] > 0.0 {
+                let ratio = row[2] / row[3];
+                assert!(
+                    (0.5..=1.5).contains(&ratio),
+                    "{topo:?}: APP/OPT ratio {ratio} out of band"
+                );
+            }
+        }
+        // search-space gap exists everywhere and widens with scale
+        for row in &space.rows {
+            assert!(row[2] > row[1], "{topo:?}: centralized space not larger");
+        }
+        assert!(
+            space.rows[2][3] > space.rows[0][3],
+            "{topo:?}: gap must widen with scale"
+        );
+    }
+}
+
+#[test]
+fn approximation_ratio_respects_bound() {
+    let t = ratio::ratio_experiment(6, 3, 1);
+    for row in &t.rows {
+        assert_eq!(row[4], 1.0, "p={} violated 3+2/p", row[0]);
+    }
+    // the bound itself decreases in p
+    assert!(t.rows[2][3] < t.rows[0][3]);
+}
+
+#[test]
+fn single_point_reproducible() {
+    let a = run_point(Topo::FatTree, 4, 9);
+    let b = run_point(Topo::FatTree, 4, 9);
+    assert_eq!(a.sheriff_cost, b.sheriff_cost);
+    assert_eq!(a.central_space, b.central_space);
+    assert_eq!(a.candidates, b.candidates);
+}
+
+fn extract(note: &str, key: &str) -> f64 {
+    let start = note.find(key).expect("key present") + key.len();
+    let rest = &note[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("number parses")
+}
