@@ -225,7 +225,12 @@ pub fn ablation_pswap(trials: usize, seed: u64) -> Table {
             iter_sum += sol.iterations;
         }
         let n = insts.len() as f64;
-        t.push(vec![p as f64, cost_sum / n, ratio_sum / n, iter_sum as f64 / n]);
+        t.push(vec![
+            p as f64,
+            cost_sum / n,
+            ratio_sum / n,
+            iter_sum as f64 / n,
+        ]);
     }
     t.note("deeper swaps trade iterations for solution quality".to_string());
     t
@@ -250,10 +255,7 @@ pub fn ablation_selector(seed: u64) -> Table {
         ("combined".into(), vec![0, 1, 2, 3]),
     ];
     for (name, idxs) in families {
-        let sub: Vec<Predictor> = idxs
-            .iter()
-            .filter_map(|&i| pool.get(i).cloned())
-            .collect();
+        let sub: Vec<Predictor> = idxs.iter().filter_map(|&i| pool.get(i).cloned()).collect();
         if sub.is_empty() {
             continue;
         }
@@ -273,7 +275,13 @@ pub fn ablation_scope(seed: u64) -> Table {
     let mut t = Table::new(
         "ablation-scope",
         "Dominating-region radius: balance quality vs search space",
-        &["hops", "final_stddev", "total_cost", "search_space", "moves"],
+        &[
+            "hops",
+            "final_stddev",
+            "total_cost",
+            "search_space",
+            "moves",
+        ],
     );
     for hops in [2usize, 4, 6] {
         let dcn = fattree::build(&FatTreeConfig::paper(8));

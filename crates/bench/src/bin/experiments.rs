@@ -120,8 +120,8 @@ fn main() {
                 sheriff_bench::congestion_exp::qcn_experiment(steps, args.seed)
             }
             "fig11" | "fig12" => {
-                let pair = fattree_sweep
-                    .get_or_insert_with(|| sweep(Topo::FatTree, &sizes, args.seed));
+                let pair =
+                    fattree_sweep.get_or_insert_with(|| sweep(Topo::FatTree, &sizes, args.seed));
                 if id == "fig11" {
                     pair.0.clone()
                 } else {
@@ -129,8 +129,7 @@ fn main() {
                 }
             }
             "fig13" | "fig14" => {
-                let pair =
-                    bcube_sweep.get_or_insert_with(|| sweep(Topo::BCube, &sizes, args.seed));
+                let pair = bcube_sweep.get_or_insert_with(|| sweep(Topo::BCube, &sizes, args.seed));
                 if id == "fig13" {
                     pair.0.clone()
                 } else {
@@ -153,13 +152,20 @@ fn main() {
             let mut short = table.clone();
             short.rows.truncate(8);
             let mut rendered = short.render();
-            rendered.push_str(&format!("  … ({} rows total, full data in JSON)\n", table.rows.len()));
+            rendered.push_str(&format!(
+                "  … ({} rows total, full data in JSON)\n",
+                table.rows.len()
+            ));
             println!("{rendered}");
         } else {
             println!("{}", table.render());
         }
         if let Err(e) = table.write_json(&args.out) {
-            eprintln!("warning: could not write {}/{}.json: {e}", args.out.display(), table.id);
+            eprintln!(
+                "warning: could not write {}/{}.json: {e}",
+                args.out.display(),
+                table.id
+            );
         }
         emitted.push(table.id.clone());
     }

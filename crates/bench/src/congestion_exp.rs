@@ -8,14 +8,14 @@ use crate::report::Table;
 use dcn_sim::congestion::{CongestionConfig, CongestionSim};
 use dcn_sim::engine::{Cluster, ClusterConfig};
 use dcn_sim::flows::{Flow, FlowNetwork};
+use dcn_sim::{Alert, AlertSource};
 use dcn_sim::{RackMetric, SimConfig};
 use dcn_topology::fattree::{self, FatTreeConfig};
 use dcn_topology::{RackId, VmId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sheriff_core::vmmigration::MigrationContext;
 use sheriff_core::pre_alert_management;
-use dcn_sim::{Alert, AlertSource};
+use sheriff_core::vmmigration::MigrationContext;
 
 /// Run the congestion loop for `steps` steps: heavy cross-pod flows, QCN
 /// queues, and shims reacting through Alg. 1 at each alert. Reports the

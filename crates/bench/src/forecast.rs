@@ -43,7 +43,9 @@ pub fn fig6(seed: u64) -> Table {
     }
     let train_mse = mse(&train_pred, train_actual);
     let test_mse = mse(&test_pred, test_actual);
-    t.note(format!("train MSE = {train_mse:.3}, test MSE = {test_mse:.3}"));
+    t.note(format!(
+        "train MSE = {train_mse:.3}, test MSE = {test_mse:.3}"
+    ));
     t.note(format!(
         "test MAE = {:.3} on series with std {:.3}",
         mae(&test_pred, test_actual),

@@ -64,13 +64,40 @@ pub fn prealert_experiment(trials: usize, seed: u64) -> Table {
         let metric = RackMetric::build(&reactive.dcn, &reactive.sim);
         // damped trend: 4-step extrapolation on noisy traces overshoots
         // with the default gains and floods the system with false alarms
-        let p = HoltPredictor { alpha: 0.35, beta: 0.05 };
+        let p = HoltPredictor {
+            alpha: 0.35,
+            beta: 0.05,
+        };
         // pre-copy takes 3 simulation steps (Fig. 2's t1+t2 at trace scale)
-        let r = run_policy(&mut reactive, &metric, &p, AlertPolicy::Reactive, 50, 250, 3);
-        let a = run_policy(&mut prealert, &metric, &p, AlertPolicy::PreAlert, 50, 250, 3);
+        let r = run_policy(
+            &mut reactive,
+            &metric,
+            &p,
+            AlertPolicy::Reactive,
+            50,
+            250,
+            3,
+        );
+        let a = run_policy(
+            &mut prealert,
+            &metric,
+            &p,
+            AlertPolicy::PreAlert,
+            50,
+            250,
+            3,
+        );
         // the full per-VM ARIMA background service (Sec. III-B.1)
         let arima_pred = ArimaProfilePredictor::new(50);
-        let ar = run_policy(&mut arima, &metric, &arima_pred, AlertPolicy::PreAlert, 50, 250, 3);
+        let ar = run_policy(
+            &mut arima,
+            &metric,
+            &arima_pred,
+            AlertPolicy::PreAlert,
+            50,
+            250,
+            3,
+        );
         let o = run_policy(&mut oracle, &metric, &p, AlertPolicy::Oracle, 50, 250, 3);
         let pct = |x: f64| {
             if r.overload_integral > 0.0 {
@@ -128,8 +155,14 @@ mod tests {
     fn both_policies_migrate() {
         let t = prealert_experiment(2, 11);
         for row in &t.rows {
-            assert!(row[5] > 0.0 || row[1] == 0.0, "reactive idle despite overload");
-            assert!(row[6] > 0.0 || row[2] == 0.0, "prealert idle despite overload");
+            assert!(
+                row[5] > 0.0 || row[1] == 0.0,
+                "reactive idle despite overload"
+            );
+            assert!(
+                row[6] > 0.0 || row[2] == 0.0,
+                "prealert idle despite overload"
+            );
         }
     }
 }

@@ -11,8 +11,14 @@ use sheriff_core::RatioPoint;
 /// Random metric k-median instance: clients and facilities are points in
 /// the unit square, costs are Euclidean distances (a metric, as required
 /// by the Arya et al. guarantee).
-pub fn random_instance(rng: &mut StdRng, clients: usize, facilities: usize, k: usize) -> KMedianInstance {
-    let pt = |rng: &mut StdRng| -> (f64, f64) { (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)) };
+pub fn random_instance(
+    rng: &mut StdRng,
+    clients: usize,
+    facilities: usize,
+    k: usize,
+) -> KMedianInstance {
+    let pt =
+        |rng: &mut StdRng| -> (f64, f64) { (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)) };
     let cs: Vec<_> = (0..clients).map(|_| pt(rng)).collect();
     let fs: Vec<_> = (0..facilities).map(|_| pt(rng)).collect();
     let cost = cs

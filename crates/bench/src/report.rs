@@ -76,8 +76,56 @@ impl Table {
     pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let mut f = std::fs::File::create(dir.join(format!("{}.json", self.id)))?;
-        let json = serde_json::to_string_pretty(self).expect("table serializes");
-        f.write_all(json.as_bytes())
+        f.write_all(self.to_json_pretty().as_bytes())
+    }
+
+    /// Hand-rolled serialization: the offline `serde_json` polyfill cannot
+    /// derive real output, and the shape is simple enough to emit directly.
+    fn to_json_pretty(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let columns: Vec<String> = self.columns.iter().map(|c| esc(c)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "[{}]",
+                    r.iter().map(|v| num(*v)).collect::<Vec<_>>().join(", ")
+                )
+            })
+            .collect();
+        let notes: Vec<String> = self.notes.iter().map(|n| esc(n)).collect();
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"columns\": [{}],\n  \"rows\": [{}],\n  \"notes\": [{}]\n}}\n",
+            esc(&self.id),
+            esc(&self.title),
+            columns.join(", "),
+            rows.join(", "),
+            notes.join(", ")
+        )
     }
 }
 

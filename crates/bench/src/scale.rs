@@ -157,7 +157,14 @@ pub fn sweep(topo: Topo, sizes: &[usize], seed: u64) -> (Table, Table) {
     let mut cost = Table::new(
         cost_id,
         cost_title,
-        &[xlabel, "candidates", "sheriff_cost", "central_cost", "sheriff_moves", "central_moves"],
+        &[
+            xlabel,
+            "candidates",
+            "sheriff_cost",
+            "central_cost",
+            "sheriff_moves",
+            "central_moves",
+        ],
     );
     let mut space = Table::new(
         space_id,

@@ -63,7 +63,11 @@ pub fn fig5(seed: u64) -> Table {
         seed,
     };
     let y = weekly_traffic_trace(&cfg);
-    let mut t = Table::new("fig5", "Raw data of weekly traffic (MB)", &["t", "traffic_mb"]);
+    let mut t = Table::new(
+        "fig5",
+        "Raw data of weekly traffic (MB)",
+        &["t", "traffic_mb"],
+    );
     for (i, v) in y.iter().enumerate() {
         t.push(vec![i as f64, *v]);
     }

@@ -58,10 +58,7 @@ pub struct VmAlert {
 
 /// Collect the per-VM alerts on one host given each VM's (predicted)
 /// profile at the current step.
-pub fn host_vm_alerts(
-    vms: &[(VmId, Profile)],
-    threshold: f64,
-) -> Vec<VmAlert> {
+pub fn host_vm_alerts(vms: &[(VmId, Profile)], threshold: f64) -> Vec<VmAlert> {
     vms.iter()
         .filter_map(|(vm, p)| {
             let v = alert_value(p, threshold);

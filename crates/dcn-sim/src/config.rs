@@ -44,6 +44,71 @@ pub struct SimConfig {
     /// 1 recovers the paper's single-alternative reroute, larger values
     /// spread detours across the fabric's parallel paths.
     pub reroute_paths: usize,
+    /// Fault model of the shim-to-shim control channel. The default is
+    /// reliable and in-order, under which the message-passing runtime
+    /// reproduces the shared-lock runtime move for move.
+    pub channel: ChannelFaults,
+}
+
+/// Fault model for the control channel carrying REQUEST/ACK/REJECT and
+/// heartbeat traffic between shims (the crash scenarios Sec. III-A
+/// delegates to a "backup system"). All probabilities are per message and
+/// applied independently; delivery delay is drawn uniformly from
+/// `[delay_min, delay_max]` virtual ticks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelFaults {
+    /// Probability a message is silently lost.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message is held back extra ticks, overtaking later
+    /// traffic from the same sender.
+    pub reorder: f64,
+    /// Minimum delivery delay in ticks (clamped to ≥ 1).
+    pub delay_min: u64,
+    /// Maximum delivery delay in ticks.
+    pub delay_max: u64,
+}
+
+impl Default for ChannelFaults {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+impl ChannelFaults {
+    /// A perfect channel: nothing dropped, duplicated, or reordered, and
+    /// every message takes exactly one tick.
+    pub fn reliable() -> Self {
+        Self {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay_min: 1,
+            delay_max: 1,
+        }
+    }
+
+    /// A uniformly lossy channel: each fault fires with probability `p`
+    /// and delays spread over 1–3 ticks.
+    pub fn lossy(p: f64) -> Self {
+        Self {
+            drop: p,
+            duplicate: p / 2.0,
+            reorder: p,
+            delay_min: 1,
+            delay_max: 3,
+        }
+    }
+
+    /// Whether every fault probability is zero and delay is deterministic
+    /// (the channel cannot perturb message order or delivery).
+    pub fn is_reliable(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.delay_min == self.delay_max
+    }
 }
 
 impl Default for SimConfig {
@@ -62,6 +127,7 @@ impl Default for SimConfig {
             load_balance_weight: 200.0,
             region_hops: 2,
             reroute_paths: 4,
+            channel: ChannelFaults::reliable(),
         }
     }
 }
@@ -88,9 +154,32 @@ mod tests {
     }
 
     #[test]
+    fn default_channel_is_reliable() {
+        let c = SimConfig::paper();
+        assert!(c.channel.is_reliable());
+        assert!(!ChannelFaults::lossy(0.1).is_reliable());
+        assert!(
+            !ChannelFaults {
+                delay_min: 1,
+                delay_max: 3,
+                ..ChannelFaults::reliable()
+            }
+            .is_reliable(),
+            "random delay can reorder across senders"
+        );
+    }
+
+    #[test]
     fn debug_covers_every_tunable() {
         let dbg = format!("{:?}", SimConfig::paper());
-        for field in ["c_r", "delta", "eta", "c_d", "alert_threshold", "region_hops"] {
+        for field in [
+            "c_r",
+            "delta",
+            "eta",
+            "c_d",
+            "alert_threshold",
+            "region_hops",
+        ] {
             assert!(dbg.contains(field), "missing {field}");
         }
     }

@@ -181,7 +181,10 @@ mod tests {
         let ids = flows.flows_through_switch(&dcn, sw);
         let src = dcn.rack_node(p.rack_of(VmId(0)));
         let dst = dcn.rack_node(p.rack_of(VmId(1)));
-        let hot_node = dcn.graph.node_idx(dcn_topology::NodeId::Switch(sw)).unwrap();
+        let hot_node = dcn
+            .graph
+            .node_idx(dcn_topology::NodeId::Switch(sw))
+            .unwrap();
         let route = crate::flows::shortest_route(&dcn, src, dst, &[hot_node]).unwrap();
         flows.reroute(ids[0], route);
         for _ in 0..40 {

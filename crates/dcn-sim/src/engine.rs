@@ -154,6 +154,11 @@ impl Cluster {
             let v = crate::alert::alert_value(&predicted, self.sim.alert_threshold);
             if v > 0.0 {
                 let host = self.placement.host_of(vm);
+                // a failed host raises no pre-alerts: its evacuation is
+                // driven by the fault injector's stranded-VM work-list
+                if !self.placement.is_host_online(host) {
+                    continue;
+                }
                 let cur = per_host.entry(host).or_insert(0.0);
                 if v > *cur {
                     *cur = v;
@@ -188,7 +193,7 @@ impl Cluster {
         let want = ((n as f64 * fraction).ceil() as usize).clamp(1, self.placement.host_count());
         let mut hosts: Vec<HostId> = (0..self.placement.host_count())
             .map(HostId::from_index)
-            .filter(|&h| !self.placement.vms_on(h).is_empty())
+            .filter(|&h| !self.placement.vms_on(h).is_empty() && self.placement.is_host_online(h))
             .collect();
         hosts.sort_by(|&a, &b| {
             self.placement
@@ -294,8 +299,7 @@ impl ProfilePredictor for HoltPredictor {
     }
 
     fn predict_ahead(&self, workload: &VmWorkload, t: usize, h: usize) -> Profile {
-        let f =
-            |feat: Feature| self.predict_series(workload.feature_history(feat, t), h.max(1));
+        let f = |feat: Feature| self.predict_series(workload.feature_history(feat, t), h.max(1));
         Profile {
             cpu: f(Feature::Cpu),
             mem: f(Feature::Mem),

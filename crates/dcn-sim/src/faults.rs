@@ -1,23 +1,55 @@
-//! Failure injection: dead links and failed hosts. Sec. III-A assumes a
-//! backup system resolves crashes; these helpers create the crash
-//! scenarios that `sheriff-core`'s evacuation and the `B_t`-aware metric
-//! must survive, and the tests in both crates drive them.
+//! Failure injection: dead links, failed hosts, and crashed shims.
+//! Sec. III-A assumes a backup system resolves crashes; these helpers
+//! create the crash scenarios that `sheriff-core`'s evacuation, the
+//! `B_t`-aware metric, and the shim fabric's degradation ladder must
+//! survive, and the tests in several crates drive them.
 
 use dcn_topology::graph::EdgeIdx;
-use dcn_topology::Dcn;
+use dcn_topology::placement::Placement;
+use dcn_topology::{Dcn, HostId, RackId, VmId};
 use rand::Rng;
+use std::collections::{BTreeSet, HashMap};
 
 /// Kill one link: its available bandwidth drops to zero, putting it
 /// below every positive `B_t` threshold so the metric routes around it.
-pub fn fail_link(dcn: &mut Dcn, e: EdgeIdx) {
-    let cap = dcn.graph.link(e).capacity;
+///
+/// Returns the bandwidth that flows had actually consumed on the link at
+/// failure time; pass it back to [`restore_link`] so recovery reinstates
+/// the pre-failure utilisation instead of a magically empty link.
+pub fn fail_link(dcn: &mut Dcn, e: EdgeIdx) -> f64 {
+    let link = dcn.graph.link(e);
+    let consumed = link.capacity - link.available_bw;
+    let cap = link.capacity;
     dcn.graph.link_mut(e).consume(cap);
+    consumed
 }
 
-/// Restore a previously failed link to full capacity.
-pub fn restore_link(dcn: &mut Dcn, e: EdgeIdx) {
+/// Restore a previously failed link, re-applying the utilisation it
+/// carried when it failed (`consumed`, as returned by [`fail_link`]).
+///
+/// The old implementation released the full capacity, so a link that was
+/// 40% utilised before the failure came back with 100% headroom —
+/// inflating `B_t` and letting the metric oversubscribe it.
+pub fn restore_link(dcn: &mut Dcn, e: EdgeIdx, consumed: f64) {
     let cap = dcn.graph.link(e).capacity;
-    dcn.graph.link_mut(e).release(cap);
+    let link = dcn.graph.link_mut(e);
+    link.release(cap);
+    link.consume(consumed);
+}
+
+/// Fail a host: its capacity becomes unavailable, so no planner will pick
+/// it as a destination, and every resident VM must be evacuated. Returns
+/// the stranded VMs (the evacuation work-list), hottest-first is not
+/// guaranteed — callers order them as their policy requires.
+pub fn fail_host(placement: &mut Placement, host: HostId) -> Vec<VmId> {
+    placement.set_host_online(host, false);
+    placement.vms_on(host).to_vec()
+}
+
+/// Bring a failed host back: it resumes accepting placements with
+/// whatever capacity its remaining residents leave free.
+pub fn restore_host(placement: &mut Placement, host: HostId) {
+    placement.set_host_online(host, true);
 }
 
 /// Fail a random `fraction` of all links. Returns the failed edge ids.
@@ -58,6 +90,91 @@ pub fn racks_connected(dcn: &Dcn, threshold: f64) -> bool {
     dcn.rack_nodes.iter().all(|&n| seen[n])
 }
 
+/// Stateful fault injector: remembers what it broke so recovery is exact.
+///
+/// - failed links record the bandwidth consumed at failure time and
+///   restore exactly that;
+/// - failed hosts are tracked so double-fail / double-restore are no-ops;
+/// - crashed shims (one per rack, Sec. III-A) are a pure bookkeeping set
+///   that the shim fabric consults for its liveness / degradation ladder.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    link_consumed: HashMap<EdgeIdx, f64>,
+    down_hosts: BTreeSet<HostId>,
+    down_shims: BTreeSet<RackId>,
+}
+
+impl FaultInjector {
+    /// Fresh injector with nothing failed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fail a link, remembering its pre-failure utilisation. No-op if the
+    /// link is already down.
+    pub fn fail_link(&mut self, dcn: &mut Dcn, e: EdgeIdx) {
+        if self.link_consumed.contains_key(&e) {
+            return;
+        }
+        let consumed = fail_link(dcn, e);
+        self.link_consumed.insert(e, consumed);
+    }
+
+    /// Restore a link to its exact pre-failure utilisation. No-op if the
+    /// link is not currently down.
+    pub fn restore_link(&mut self, dcn: &mut Dcn, e: EdgeIdx) {
+        if let Some(consumed) = self.link_consumed.remove(&e) {
+            restore_link(dcn, e, consumed);
+        }
+    }
+
+    /// Whether a link is currently failed by this injector.
+    pub fn link_down(&self, e: EdgeIdx) -> bool {
+        self.link_consumed.contains_key(&e)
+    }
+
+    /// Fail a host, returning its stranded VMs (empty if already down).
+    pub fn fail_host(&mut self, placement: &mut Placement, host: HostId) -> Vec<VmId> {
+        if !self.down_hosts.insert(host) {
+            return Vec::new();
+        }
+        fail_host(placement, host)
+    }
+
+    /// Restore a failed host. No-op if the host is not down.
+    pub fn restore_host(&mut self, placement: &mut Placement, host: HostId) {
+        if self.down_hosts.remove(&host) {
+            restore_host(placement, host);
+        }
+    }
+
+    /// Whether a host is currently failed by this injector.
+    pub fn host_down(&self, host: HostId) -> bool {
+        self.down_hosts.contains(&host)
+    }
+
+    /// Crash a rack's shim process: it stops sending heartbeats and
+    /// answering REQUESTs until [`FaultInjector::recover_shim`].
+    pub fn crash_shim(&mut self, rack: RackId) {
+        self.down_shims.insert(rack);
+    }
+
+    /// Recover a crashed shim.
+    pub fn recover_shim(&mut self, rack: RackId) {
+        self.down_shims.remove(&rack);
+    }
+
+    /// Whether a rack's shim is currently crashed.
+    pub fn shim_down(&self, rack: RackId) -> bool {
+        self.down_shims.contains(&rack)
+    }
+
+    /// The set of currently crashed shims, in rack order.
+    pub fn crashed_shims(&self) -> impl Iterator<Item = RackId> + '_ {
+        self.down_shims.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,11 +185,26 @@ mod tests {
     #[test]
     fn fail_and_restore_roundtrip() {
         let mut dcn = fattree::build(&FatTreeConfig::paper(4));
-        fail_link(&mut dcn, 0);
+        let consumed = fail_link(&mut dcn, 0);
+        assert_eq!(consumed, 0.0, "pristine link carries no traffic");
         assert_eq!(dcn.graph.link(0).available_bw, 0.0);
         assert!(!dcn.graph.link(0).usable(0.01));
-        restore_link(&mut dcn, 0);
+        restore_link(&mut dcn, 0, consumed);
         assert_eq!(dcn.graph.link(0).available_bw, dcn.graph.link(0).capacity);
+    }
+
+    #[test]
+    fn restore_preserves_prior_utilization() {
+        // the regression this fixes: a partially-utilised link must come
+        // back with its old utilisation, not with full headroom
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        let cap = dcn.graph.link(0).capacity;
+        dcn.graph.link_mut(0).consume(cap * 0.4);
+        let before = dcn.graph.link(0).available_bw;
+        let consumed = fail_link(&mut dcn, 0);
+        assert!((consumed - cap * 0.4).abs() < 1e-9);
+        restore_link(&mut dcn, 0, consumed);
+        assert!((dcn.graph.link(0).available_bw - before).abs() < 1e-9);
     }
 
     #[test]
@@ -82,7 +214,10 @@ mod tests {
         for e in 0..base.graph.edge_count() {
             let mut dcn = base.clone();
             fail_link(&mut dcn, e);
-            assert!(racks_connected(&dcn, 0.01), "edge {e} partitioned the fabric");
+            assert!(
+                racks_connected(&dcn, 0.01),
+                "edge {e} partitioned the fabric"
+            );
         }
     }
 
@@ -91,8 +226,14 @@ mod tests {
         let mut dcn = fattree::build(&FatTreeConfig::paper(4));
         let mut rng = StdRng::seed_from_u64(5);
         let failed = fail_random_links(&mut dcn, &mut rng, 0.9);
-        assert_eq!(failed.len(), (dcn.graph.edge_count() as f64 * 0.9).round() as usize);
-        assert!(!racks_connected(&dcn, 0.01), "90% failures should partition");
+        assert_eq!(
+            failed.len(),
+            (dcn.graph.edge_count() as f64 * 0.9).round() as usize
+        );
+        assert!(
+            !racks_connected(&dcn, 0.01),
+            "90% failures should partition"
+        );
     }
 
     #[test]
@@ -122,5 +263,62 @@ mod tests {
         let b = before.transmission_cost(&sim, 10.0, RackId(0), RackId(1));
         let a = after.transmission_cost(&sim, 10.0, RackId(0), RackId(1));
         assert!(a >= b - 1e-9);
+    }
+
+    #[test]
+    fn injector_link_roundtrip_is_exact_and_idempotent() {
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        let cap = dcn.graph.link(3).capacity;
+        dcn.graph.link_mut(3).consume(cap * 0.25);
+        let before = dcn.graph.link(3).available_bw;
+        let mut inj = FaultInjector::new();
+        inj.fail_link(&mut dcn, 3);
+        inj.fail_link(&mut dcn, 3); // double-fail is a no-op
+        assert!(inj.link_down(3));
+        assert_eq!(dcn.graph.link(3).available_bw, 0.0);
+        inj.restore_link(&mut dcn, 3);
+        inj.restore_link(&mut dcn, 3); // double-restore is a no-op
+        assert!(!inj.link_down(3));
+        assert!((dcn.graph.link(3).available_bw - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injector_host_failure_strands_vms() {
+        use crate::engine::{Cluster, ClusterConfig};
+        use crate::SimConfig;
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let mut cluster = Cluster::build(
+            dcn,
+            &ClusterConfig {
+                vms_per_host: 2.0,
+                seed: 3,
+                ..ClusterConfig::default()
+            },
+            SimConfig::paper(),
+        );
+        let host = HostId(0);
+        let resident_before = cluster.placement.vms_on(host).len();
+        let mut inj = FaultInjector::new();
+        let stranded = inj.fail_host(&mut cluster.placement, host);
+        assert_eq!(stranded.len(), resident_before);
+        assert!(inj.host_down(host));
+        assert_eq!(cluster.placement.free_capacity(host), 0.0);
+        assert!(inj.fail_host(&mut cluster.placement, host).is_empty());
+        inj.restore_host(&mut cluster.placement, host);
+        assert!(!inj.host_down(host));
+        assert!(cluster.placement.is_host_online(host));
+    }
+
+    #[test]
+    fn injector_tracks_shim_crashes() {
+        let mut inj = FaultInjector::new();
+        inj.crash_shim(RackId(2));
+        inj.crash_shim(RackId(0));
+        assert!(inj.shim_down(RackId(2)));
+        assert!(!inj.shim_down(RackId(1)));
+        let crashed: Vec<RackId> = inj.crashed_shims().collect();
+        assert_eq!(crashed, vec![RackId(0), RackId(2)]);
+        inj.recover_shim(RackId(2));
+        assert!(!inj.shim_down(RackId(2)));
     }
 }

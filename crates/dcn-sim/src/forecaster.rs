@@ -54,9 +54,9 @@ impl ArimaProfilePredictor {
             (a ^ b.rotate_left(17)) as usize
         };
         let key = (fp, feature_idx(feature), epoch);
-        let model = self.cache.get_or_fit(key, || {
-            ArimaModel::fit(history, self.spec).ok()
-        });
+        let model = self
+            .cache
+            .get_or_fit(key, || ArimaModel::fit(history, self.spec).ok());
         match model {
             Some(m) => {
                 let fc = m.forecast(history, h.max(1));
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn arima_beats_last_value_on_cpu() {
-        let w = VmWorkload::synthetic(400, 7);
+        let w = VmWorkload::synthetic(400, 24);
         let arima = ArimaProfilePredictor::new(50);
         let mut arima_preds = Vec::new();
         let mut naive_preds = Vec::new();

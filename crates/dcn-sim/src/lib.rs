@@ -32,9 +32,10 @@ pub mod tor_monitor;
 pub mod workload;
 
 pub use alert::{Alert, AlertSource, VmAlert};
-pub use config::SimConfig;
+pub use config::{ChannelFaults, SimConfig};
 pub use congestion::{CongestionConfig, CongestionSim};
 pub use engine::{Cluster, ClusterConfig, HoltPredictor, LastValue, ProfilePredictor};
+pub use faults::FaultInjector;
 pub use flows::{Flow, FlowNetwork};
 pub use forecaster::ArimaProfilePredictor;
 pub use migration::{precopy_timeline, MigrationTimeline, RackMetric};

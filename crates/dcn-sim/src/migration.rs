@@ -128,7 +128,13 @@ impl RackMetric {
     /// The transmission term `G(v_i, v_p) = Σ (δ·T(e) + η·P(e))` for a VM
     /// of size `vm_capacity`.
     #[inline]
-    pub fn transmission_cost(&self, cfg: &SimConfig, vm_capacity: f64, from: RackId, to: RackId) -> f64 {
+    pub fn transmission_cost(
+        &self,
+        cfg: &SimConfig,
+        vm_capacity: f64,
+        from: RackId,
+        to: RackId,
+    ) -> f64 {
         let idx = from.index() * self.n + to.index();
         cfg.delta * vm_capacity * self.inv_bw[idx] + cfg.eta * self.util[idx]
     }
@@ -274,7 +280,10 @@ mod tests {
     #[test]
     fn intra_rack_cost_is_cr_only() {
         let (_, cfg, m) = setup();
-        assert_eq!(m.migration_cost(&cfg, 10.0, RackId(3), RackId(3), 1.0), cfg.c_r);
+        assert_eq!(
+            m.migration_cost(&cfg, 10.0, RackId(3), RackId(3), 1.0),
+            cfg.c_r
+        );
     }
 
     #[test]

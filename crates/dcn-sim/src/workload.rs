@@ -2,7 +2,9 @@
 //! each element normalised to [0, 1], backed by synthetic traces.
 
 use serde::{Deserialize, Serialize};
-use timeseries::generator::{cpu_trace, disk_io_trace, memory_trace, weekly_traffic_trace, TraceConfig};
+use timeseries::generator::{
+    cpu_trace, disk_io_trace, memory_trace, weekly_traffic_trace, TraceConfig,
+};
 use timeseries::MinMaxScaler;
 
 /// One snapshot of a VM's workload profile, every element in [0, 1].

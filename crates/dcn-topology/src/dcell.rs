@@ -77,7 +77,10 @@ pub fn t_k(n: usize, k: usize) -> usize {
 /// Build a DCell [`Dcn`].
 pub fn build(cfg: &DCellConfig) -> Dcn {
     assert!(cfg.n >= 2, "DCell needs n >= 2");
-    assert!(cfg.k <= 2, "t_k explodes double-exponentially; k <= 2 covers 10^5+ servers");
+    assert!(
+        cfg.k <= 2,
+        "t_k explodes double-exponentially; k <= 2 covers 10^5+ servers"
+    );
     let servers = cfg.server_count();
 
     let mut graph = NetGraph::new();

@@ -68,7 +68,10 @@ impl FatTreeConfig {
 
 /// Build a Fat-Tree [`Dcn`] from a config.
 pub fn build(cfg: &FatTreeConfig) -> Dcn {
-    assert!(cfg.pods >= 2 && cfg.pods.is_multiple_of(2), "pods must be even and >= 2");
+    assert!(
+        cfg.pods >= 2 && cfg.pods.is_multiple_of(2),
+        "pods must be even and >= 2"
+    );
     let k = cfg.pods;
     let half = k / 2;
 

@@ -61,7 +61,10 @@ impl NetGraph {
 
     /// Add an undirected edge with the given link state; returns its index.
     pub fn add_edge(&mut self, a: NodeIdx, b: NodeIdx, link: Link) -> EdgeIdx {
-        assert!(a < self.nodes.len() && b < self.nodes.len(), "endpoint out of range");
+        assert!(
+            a < self.nodes.len() && b < self.nodes.len(),
+            "endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not meaningful in a DCN");
         let e = self.edges.len();
         self.edges.push((a, b, link));

@@ -62,6 +62,7 @@ pub struct Placement {
     host_used: Vec<f64>,
     host_capacity: Vec<f64>,
     host_rack: Vec<RackId>,
+    host_online: Vec<bool>,
 }
 
 impl Placement {
@@ -77,6 +78,7 @@ impl Placement {
             host_used: vec![0.0; n],
             host_capacity,
             host_rack,
+            host_online: vec![true; n],
         }
     }
 
@@ -159,10 +161,28 @@ impl Placement {
         self.host_used[host.index()]
     }
 
-    /// Free capacity on a host.
+    /// Free capacity on a host. An offline host reports zero so every
+    /// capacity check (Eqn. 8) naturally rejects it as a destination.
     #[inline]
     pub fn free_capacity(&self, host: HostId) -> f64 {
+        if !self.host_online[host.index()] {
+            return 0.0;
+        }
         self.host_capacity[host.index()] - self.host_used[host.index()]
+    }
+
+    /// Whether a host is accepting placements (true unless failed via
+    /// [`Placement::set_host_online`]).
+    #[inline]
+    pub fn is_host_online(&self, host: HostId) -> bool {
+        self.host_online[host.index()]
+    }
+
+    /// Mark a host failed (`online = false`) or recovered. Resident VMs
+    /// stay assigned — evacuating them is the management layer's job —
+    /// but the host stops being a valid migration destination.
+    pub fn set_host_online(&mut self, host: HostId, online: bool) {
+        self.host_online[host.index()] = online;
     }
 
     /// Utilisation fraction of a host in [0, 1].
@@ -294,6 +314,32 @@ mod tests {
         p.migrate(a, HostId(1)).unwrap();
         let after = p.utilization_stddev();
         assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn offline_host_rejects_placements_but_keeps_residents() {
+        let inv = inv();
+        let mut p = Placement::new(&inv);
+        let a = p.add_vm(spec(&p, 4.0), HostId(0)).unwrap();
+        let b = p.add_vm(spec(&p, 4.0), HostId(1)).unwrap();
+        p.set_host_online(HostId(0), false);
+        assert!(!p.is_host_online(HostId(0)));
+        assert_eq!(p.free_capacity(HostId(0)), 0.0);
+        // residents stay assigned and accounted
+        assert_eq!(p.host_of(a), HostId(0));
+        assert_eq!(p.used_capacity(HostId(0)), 4.0);
+        // inbound migration is rejected by the ordinary capacity check
+        assert!(matches!(
+            p.migrate(b, HostId(0)),
+            Err(PlacementError::CapacityExceeded { .. })
+        ));
+        // outbound evacuation still works
+        p.migrate(a, HostId(2)).unwrap();
+        assert_eq!(p.used_capacity(HostId(0)), 0.0);
+        // recovery restores the full headroom
+        p.set_host_online(HostId(0), true);
+        assert_eq!(p.free_capacity(HostId(0)), 10.0);
+        p.migrate(b, HostId(0)).unwrap();
     }
 
     #[test]

@@ -64,8 +64,14 @@ impl Vl2Config {
 
 /// Build a VL2 [`Dcn`].
 pub fn build(cfg: &Vl2Config) -> Dcn {
-    assert!(cfg.d_a >= 4 && cfg.d_a.is_multiple_of(2), "D_A must be even and >= 4");
-    assert!(cfg.d_i >= 2 && cfg.d_i.is_multiple_of(2), "D_I must be even and >= 2");
+    assert!(
+        cfg.d_a >= 4 && cfg.d_a.is_multiple_of(2),
+        "D_A must be even and >= 4"
+    );
+    assert!(
+        cfg.d_i >= 2 && cfg.d_i.is_multiple_of(2),
+        "D_I must be even and >= 2"
+    );
 
     let mut graph = NetGraph::new();
     let mut inventory = Inventory::new();
@@ -138,10 +144,7 @@ mod tests {
                 cfg.switch_count()
             );
             // edges: complete bipartite (d_i * d_a/2) + 2 per ToR
-            assert_eq!(
-                dcn.graph.edge_count(),
-                di * da / 2 + 2 * cfg.rack_count()
-            );
+            assert_eq!(dcn.graph.edge_count(), di * da / 2 + 2 * cfg.rack_count());
         }
     }
 

@@ -99,8 +99,7 @@ pub fn pre_alert_management(
                         .neighbors(node)
                         .iter()
                         .map(|&(_, e)| {
-                            flow_net.load(e)
-                                - (1.0 - ctx.sim.alpha) * dcn.graph.link(e).capacity
+                            flow_net.load(e) - (1.0 - ctx.sim.alpha) * dcn.graph.link(e).capacity
                         })
                         .fold(0.0f64, f64::max),
                     None => 0.0,
@@ -139,7 +138,12 @@ pub fn pre_alert_management(
             }
             AlertSource::Host(h) => {
                 let f: Vec<VmId> = ctx.placement.vms_on(h).to_vec();
-                migration_set.extend(priority(&f, ctx.placement, alert_of, Budget::SingleMaxAlert));
+                migration_set.extend(priority(
+                    &f,
+                    ctx.placement,
+                    alert_of,
+                    Budget::SingleMaxAlert,
+                ));
             }
         }
     }
@@ -240,7 +244,10 @@ mod tests {
             &|vm| alert_vals[vm.index()],
             5,
         );
-        assert_eq!(out.migration_candidates, 1, "w = 1 must pick exactly one VM");
+        assert_eq!(
+            out.migration_candidates, 1,
+            "w = 1 must pick exactly one VM"
+        );
         assert_eq!(out.plan.moves.len(), 1);
         assert_ne!(c.placement.host_of(out.plan.moves[0].vm), host);
     }
@@ -265,16 +272,8 @@ mod tests {
             metric: &metric,
             sim: &c.sim,
         };
-        let out = pre_alert_management(
-            &mut ctx,
-            &c.dcn,
-            None,
-            rack,
-            &region,
-            &alerts,
-            &|_| 0.95,
-            5,
-        );
+        let out =
+            pre_alert_management(&mut ctx, &c.dcn, None, rack, &region, &alerts, &|_| 0.95, 5);
         // selected victims' total capacity must respect the β budget
         let total: f64 = out
             .plan
@@ -282,7 +281,10 @@ mod tests {
             .iter()
             .map(|m| c.placement.spec(m.vm).capacity)
             .sum();
-        assert!(total <= beta_budget + 1e-9, "moved {total} > β budget {beta_budget}");
+        assert!(
+            total <= beta_budget + 1e-9,
+            "moved {total} > β budget {beta_budget}"
+        );
     }
 
     #[test]
@@ -368,16 +370,8 @@ mod tests {
             metric: &metric,
             sim: &c.sim,
         };
-        let out = pre_alert_management(
-            &mut ctx,
-            &c.dcn,
-            None,
-            rack,
-            &region,
-            &alerts,
-            &|_| 0.95,
-            5,
-        );
+        let out =
+            pre_alert_management(&mut ctx, &c.dcn, None, rack, &region, &alerts, &|_| 0.95, 5);
         assert_eq!(out.migration_candidates, 0);
         assert!(out.plan.moves.is_empty());
     }

@@ -88,7 +88,10 @@ pub fn kmedian_migration(
     assert!(k >= 1 && k <= n, "k in 1..=racks");
 
     // source racks of the alerting VMs
-    let mut sources: Vec<RackId> = candidates.iter().map(|&vm| ctx.placement.rack_of(vm)).collect();
+    let mut sources: Vec<RackId> = candidates
+        .iter()
+        .map(|&vm| ctx.placement.rack_of(vm))
+        .collect();
     sources.sort_unstable();
     sources.dedup();
 
@@ -110,8 +113,13 @@ pub fn kmedian_migration(
         .collect();
 
     let solution = destination_tors(&rack_cost, &sources, k, p);
-    let dest_racks: Vec<RackId> = solution.open.iter().map(|&f| RackId::from_index(f)).collect();
-    let plan = crate::vmmigration::vmmigration_scoped(ctx, candidates, &dest_racks, max_rounds, false);
+    let dest_racks: Vec<RackId> = solution
+        .open
+        .iter()
+        .map(|&f| RackId::from_index(f))
+        .collect();
+    let plan =
+        crate::vmmigration::vmmigration_scoped(ctx, candidates, &dest_racks, max_rounds, false);
     (plan, solution)
 }
 

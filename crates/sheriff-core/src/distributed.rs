@@ -1,37 +1,198 @@
-//! The threaded shim runtime: each shim runs on its own thread, plans
-//! migrations against a snapshot of the cluster state, and commits through
-//! the FCFS REQUEST/ACK protocol of Alg. 4 (Sec. II-B/V-B — "each local
-//! manager adjusts network traffic locally, they need to communicate
-//! between each other to avoid conflictions").
+//! The distributed shim runtimes: threaded planning with protocol-checked
+//! commits, and a message-passing fabric that survives a faulty channel.
 //!
-//! Concurrency model: optimistic planning, pessimistic commit. A shim
-//! clones the placement under a brief lock, solves PRIORITY + matching on
-//! the snapshot, then re-validates and commits each move under the lock —
-//! exactly the paper's "a node can be migrated to another place only when
-//! the destination's delegation node accepts the migration request;
-//! otherwise … v_i should recalculate".
+//! Two runtimes share one planning core (PRIORITY victim selection +
+//! min-cost matching on a snapshot, Algs. 1–3):
+//!
+//! * [`distributed_round`] — each shim plans on its own thread, then all
+//!   commits funnel through the destination racks' [`ShimEndpoint`]s in
+//!   deterministic rack order (Alg. 4 FCFS, Sec. II-B/V-B — "each local
+//!   manager adjusts network traffic locally, they need to communicate
+//!   between each other to avoid conflictions"). The shared mutex guards
+//!   only the placement snapshot/commit; the protocol layer decides.
+//! * [`fabric_round`] — the same negotiation as explicit
+//!   REQUEST/ACK/REJECT messages over a seeded, faulty [`SimNet`]
+//!   channel, with per-request deadlines, exponential backoff with
+//!   jitter, idempotent commits via request-id dedup, heartbeat liveness,
+//!   and a degradation ladder (exclude dead racks → fall back to
+//!   rack-local evacuation → report unplaced).
+//!
+//! With a [`ChannelFaults::reliable`] channel and no crashed shims,
+//! `fabric_round` reproduces `distributed_round` move for move: both
+//! issue the identical sequence of Alg. 4 requests in the identical
+//! order, so the ACK/REJECT outcomes — and therefore the plans — match.
 
+use crate::channel::SimNet;
 use crate::matching::{min_cost_assignment_padded, FORBIDDEN};
 use crate::priority::{priority, Budget};
-use crate::request::{request_migration, RequestOutcome};
+use crate::protocol::{BackoffPolicy, Liveness, ReqId, ShimEndpoint, ShimMsg, Verdict};
 use crate::vmmigration::{MigrationPlan, Move};
 use dcn_sim::engine::Cluster;
-use dcn_sim::{Alert, AlertSource, RackMetric, SimConfig};
+use dcn_sim::{Alert, AlertSource, ChannelFaults, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 
-/// Result of one distributed round.
+/// Result of one distributed round (either runtime).
 #[derive(Debug, Clone, Default)]
 pub struct DistributedReport {
     /// Merged migration plan across all shims.
     pub plan: MigrationPlan,
-    /// Commit attempts that were rejected and retried.
+    /// Commit attempts that were rejected and replanned.
     pub retries: usize,
-    /// Shim threads that ran.
+    /// Shims that participated.
     pub shims: usize,
+    /// Messages lost by the channel (fabric runtime only).
+    pub drops: usize,
+    /// Requests whose reply deadline expired at least once.
+    pub timeouts: usize,
+    /// Retransmissions sent after timeouts.
+    pub resends: usize,
+    /// Duplicate REQUEST deliveries absorbed by dedup logs.
+    pub dedup_hits: usize,
+    /// Shims that had to run with part of their region presumed dead.
+    pub degraded_shims: usize,
+    /// Alerted shims that were crashed and could not participate.
+    pub crashed_shims: usize,
+    /// Virtual ticks the fabric round took (0 for the threaded runtime).
+    pub ticks: u64,
 }
 
-/// Run one management round with every alerted shim on its own thread.
+/// One planned assignment awaiting the destination's verdict.
+#[derive(Debug, Clone, Copy)]
+struct Proposal {
+    vm: VmId,
+    dest: HostId,
+    cost: f64,
+}
+
+/// Alg. 1/2: pick migration victims for one rack's alerts on a snapshot.
+fn select_victims(
+    snapshot: &Placement,
+    inventory: &Inventory,
+    sim: &SimConfig,
+    rack: RackId,
+    alerts: &[Alert],
+    alert_values: &[f64],
+) -> Vec<VmId> {
+    let mut set: Vec<VmId> = Vec::new();
+    let mut tor_alert = false;
+    for alert in alerts.iter().filter(|a| a.rack == rack) {
+        match alert.source {
+            AlertSource::Host(h) => {
+                let f: Vec<VmId> = snapshot.vms_on(h).to_vec();
+                set.extend(priority(
+                    &f,
+                    snapshot,
+                    |vm| alert_values[vm.index()],
+                    Budget::SingleMaxAlert,
+                ));
+            }
+            AlertSource::LocalTor(_) => tor_alert = true,
+            AlertSource::OuterSwitch(_) => {} // reroute path not simulated here
+        }
+    }
+    if tor_alert {
+        let mut f: Vec<VmId> = Vec::new();
+        for &host in inventory.hosts_in(rack) {
+            f.extend_from_slice(snapshot.vms_on(host));
+        }
+        let budget = sim.beta * inventory.rack(rack).tor_capacity;
+        set.extend(priority(
+            &f,
+            snapshot,
+            |vm| alert_values[vm.index()],
+            Budget::Capacity(budget),
+        ));
+    }
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// Destination slots for a shim: every host of the given racks, plus its
+/// own rack's hosts (the rack-local fallback of the degradation ladder).
+fn region_slots(inventory: &Inventory, region_racks: &[RackId], rack: RackId) -> Vec<HostId> {
+    let mut slots: Vec<HostId> = Vec::new();
+    for &r in region_racks.iter().chain(std::iter::once(&rack)) {
+        slots.extend_from_slice(inventory.hosts_in(r));
+    }
+    slots
+}
+
+/// Alg. 3's matching on a snapshot: returns the accepted proposals in
+/// victim order, the victims left unassigned, and the explored search
+/// space.
+fn plan_proposals(
+    snapshot: &Placement,
+    deps: &DependencyGraph,
+    metric: &RackMetric,
+    sim: &SimConfig,
+    pending: &[VmId],
+    slot_hosts: &[HostId],
+    excluded: &[(VmId, HostId)],
+) -> (Vec<Proposal>, Vec<VmId>, usize) {
+    if pending.is_empty() || slot_hosts.is_empty() {
+        return (Vec::new(), pending.to_vec(), 0);
+    }
+    let search_space = pending.len() * slot_hosts.len();
+    let mut cost = vec![vec![FORBIDDEN; slot_hosts.len()]; pending.len()];
+    let mut adjusted = vec![vec![FORBIDDEN; slot_hosts.len()]; pending.len()];
+    for (i, &vm) in pending.iter().enumerate() {
+        let spec = snapshot.spec(vm);
+        let from_host = snapshot.host_of(vm);
+        let from_rack = snapshot.rack_of(vm);
+        for (j, &host) in slot_hosts.iter().enumerate() {
+            if host == from_host
+                || excluded.contains(&(vm, host))
+                || snapshot.free_capacity(host) < spec.capacity
+                || deps.conflicts_on_host(vm, host, snapshot)
+            {
+                continue;
+            }
+            let to_rack = snapshot.rack_of_host(host);
+            if !metric.reachable(from_rack, to_rack) {
+                continue;
+            }
+            let chi = deps.chi(vm, to_rack, snapshot);
+            let c = metric.migration_cost(sim, spec.capacity, from_rack, to_rack, chi);
+            let post_util =
+                (snapshot.used_capacity(host) + spec.capacity) / snapshot.host_capacity(host);
+            cost[i][j] = c;
+            adjusted[i][j] = c + sim.load_balance_weight * post_util;
+        }
+    }
+    let (assignment, _) = min_cost_assignment_padded(&adjusted);
+    let mut proposals = Vec::new();
+    let mut unassigned = Vec::new();
+    for (i, assigned) in assignment.into_iter().enumerate() {
+        match assigned {
+            Some(j) => proposals.push(Proposal {
+                vm: pending[i],
+                dest: slot_hosts[j],
+                cost: cost[i][j],
+            }),
+            None => unassigned.push(pending[i]),
+        }
+    }
+    (proposals, unassigned, search_space)
+}
+
+/// Per-shim negotiation state shared by both runtimes' bookkeeping.
+struct ShimState {
+    rack: RackId,
+    pending: Vec<VmId>,
+    slots: Vec<HostId>,
+    excluded: Vec<(VmId, HostId)>,
+    plan: MigrationPlan,
+    retries: usize,
+    seq: u32,
+    active: bool,
+}
+
+/// Run one management round with every alerted shim planning on its own
+/// thread and committing through the destination racks' protocol
+/// endpoints in deterministic rack order.
 ///
 /// `alert_values[vm]` supplies the ALERT magnitude for PRIORITY's `w = 1`
 /// branch. Mutates `cluster.placement` in place on return.
@@ -49,196 +210,618 @@ pub fn distributed_round(
         return DistributedReport::default();
     }
 
-    let shared = Mutex::new(cluster.placement.clone());
     let deps = &cluster.deps;
     let inventory = &cluster.dcn.inventory;
     let sim = &cluster.sim;
-    let regions: Vec<Vec<RackId>> = racks
-        .iter()
-        .map(|&r| cluster.dcn.neighbor_racks(r, sim.region_hops))
+    let shared = Mutex::new(cluster.placement.clone());
+    let mut endpoints: Vec<ShimEndpoint> = (0..cluster.dcn.rack_count())
+        .map(|r| ShimEndpoint::new(RackId::from_index(r)))
         .collect();
+
+    // victim selection on the initial snapshot (Alg. 1)
+    let mut states: Vec<ShimState> = {
+        let snapshot = shared.lock().clone();
+        racks
+            .iter()
+            .map(|&rack| {
+                let pending = select_victims(&snapshot, inventory, sim, rack, alerts, alert_values);
+                let region = cluster.dcn.neighbor_racks(rack, sim.region_hops);
+                let slots = region_slots(inventory, &region, rack);
+                ShimState {
+                    rack,
+                    active: !pending.is_empty() && !slots.is_empty(),
+                    pending,
+                    slots,
+                    excluded: Vec::new(),
+                    plan: MigrationPlan::default(),
+                    retries: 0,
+                    seq: 0,
+                }
+            })
+            .collect()
+    };
+
+    for _round in 0..=max_retry {
+        let idxs: Vec<usize> = (0..states.len()).filter(|&i| states[i].active).collect();
+        if idxs.is_empty() {
+            break;
+        }
+        // optimistic planning, one thread per active shim, on one snapshot
+        let snapshot = shared.lock().clone();
+        let proposals: Vec<(Vec<Proposal>, Vec<VmId>, usize)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = idxs
+                .iter()
+                .map(|&i| {
+                    let st = &states[i];
+                    let snapshot = &snapshot;
+                    scope.spawn(move |_| {
+                        plan_proposals(
+                            snapshot,
+                            deps,
+                            metric,
+                            sim,
+                            &st.pending,
+                            &st.slots,
+                            &st.excluded,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("planner thread panicked"))
+                .collect()
+        })
+        .expect("thread scope failed");
+
+        // pessimistic commit: FCFS through each destination's endpoint,
+        // shims in rack order, requests in matching order
+        let mut placement = shared.lock();
+        for (&i, (props, unassigned, space)) in idxs.iter().zip(proposals) {
+            let st = &mut states[i];
+            st.plan.search_space += space;
+            let mut next_pending = unassigned;
+            let mut progressed = false;
+            for p in props {
+                let from = placement.host_of(p.vm);
+                let dest_rack = placement.rack_of_host(p.dest);
+                let req_id = ReqId::new(st.rack, st.seq);
+                st.seq += 1;
+                match endpoints[dest_rack.index()].handle_request(
+                    &mut placement,
+                    deps,
+                    req_id,
+                    p.vm,
+                    p.dest,
+                ) {
+                    Verdict::Ack => {
+                        st.plan.moves.push(Move {
+                            vm: p.vm,
+                            from,
+                            to: p.dest,
+                            cost: p.cost,
+                        });
+                        st.plan.total_cost += p.cost;
+                        progressed = true;
+                    }
+                    Verdict::Reject(_) => {
+                        st.plan.rejected += 1;
+                        st.retries += 1;
+                        st.excluded.push((p.vm, p.dest));
+                        next_pending.push(p.vm);
+                    }
+                }
+            }
+            st.pending = next_pending;
+            st.active = progressed && !st.pending.is_empty();
+        }
+    }
 
     let mut report = DistributedReport {
         shims: racks.len(),
         ..DistributedReport::default()
     };
-
-    let results: Vec<(MigrationPlan, usize)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = racks
-            .iter()
-            .enumerate()
-            .map(|(i, &rack)| {
-                let shared = &shared;
-                let region = &regions[i];
-                scope.spawn(move |_| {
-                    shim_worker(
-                        shared,
-                        inventory,
-                        deps,
-                        metric,
-                        sim,
-                        rack,
-                        region,
-                        alerts,
-                        alert_values,
-                        max_retry,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shim thread panicked"))
-            .collect()
-    })
-    .expect("thread scope failed");
-
-    for (plan, retries) in results {
-        report.plan.absorb(plan);
-        report.retries += retries;
+    for mut st in states {
+        st.plan.unplaced.extend(st.pending);
+        report.plan.absorb(st.plan);
+        report.retries += st.retries;
     }
+    report.dedup_hits = endpoints.iter().map(|e| e.dedup_hits()).sum();
     cluster.placement = shared.into_inner();
     report
 }
 
-/// One shim's work: select victims, plan on a snapshot, commit under the
-/// shared lock with revalidation, retry on rejection.
-#[allow(clippy::too_many_arguments)]
-fn shim_worker(
-    shared: &Mutex<Placement>,
-    inventory: &Inventory,
-    deps: &DependencyGraph,
+/// Configuration of the message-passing fabric runtime.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Channel fault model (drop/duplicate/reorder/delay).
+    pub faults: ChannelFaults,
+    /// Seed for the channel's fault RNG.
+    pub seed: u64,
+    /// Replan rounds per shim after the first, mirroring
+    /// [`distributed_round`]'s `max_retry`.
+    pub max_retry: usize,
+    /// Timeout/retransmission policy per request.
+    pub backoff: BackoffPolicy,
+    /// Ticks to collect `Hello`s before the first planning round; must
+    /// exceed the channel's maximum delay or live racks look dead.
+    pub hello_window: u64,
+    /// Interval between liveness beacons.
+    pub heartbeat_period: u64,
+    /// Silence (in ticks) after which a rack is presumed dead.
+    pub liveness_deadline: u64,
+    /// Hard cap on virtual time — a deadlock backstop; unresolved
+    /// requests at the cap are abandoned and their VMs reported unplaced.
+    pub max_ticks: u64,
+    /// Racks whose shims are crashed for the whole round: they answer no
+    /// requests, send no heartbeats, and serve none of their own alerts.
+    pub crashed: Vec<RackId>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self {
+            faults: ChannelFaults::reliable(),
+            seed: 0x5EED,
+            max_retry: 3,
+            backoff: BackoffPolicy::default(),
+            hello_window: 2,
+            heartbeat_period: 8,
+            liveness_deadline: 24,
+            max_ticks: 4096,
+            crashed: Vec::new(),
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Adopt the cluster's configured channel fault model.
+    pub fn from_sim(sim: &SimConfig, seed: u64) -> Self {
+        let mut cfg = Self {
+            faults: sim.channel.clone(),
+            seed,
+            ..Self::default()
+        };
+        // keep the hello window ahead of the worst base delay so a
+        // healthy, slow channel is not mistaken for dead shims
+        cfg.hello_window = cfg.hello_window.max(sim.channel.delay_max + 1);
+        cfg
+    }
+}
+
+/// A request awaiting its verdict at the source shim.
+struct Outstanding {
+    vm: VmId,
+    from: HostId,
+    dest: HostId,
+    cost: f64,
+    attempt: u32,
+    deadline: u64,
+}
+
+/// Source-shim actor state for the fabric runtime.
+struct FabricShim {
+    st: ShimState,
+    liveness: Liveness,
+    region: Vec<RackId>,
+    outstanding: HashMap<ReqId, Outstanding>,
+    /// Given-up requests whose fate is unknown: a stale copy may still
+    /// commit at the destination, so the VM must not be replanned. The
+    /// entry's `deadline` becomes the patience cutoff for late verdicts.
+    zombies: HashMap<ReqId, Outstanding>,
+    /// Zombies whose patience expired with no verdict; resolved against
+    /// ground truth when the simulator assembles the report.
+    unresolved: Vec<Outstanding>,
+    /// Planning rounds still allowed (first plan included).
+    rounds_left: usize,
+    started: bool,
+    done: bool,
+    /// ACKs received for the current batch.
+    progressed: bool,
+    /// A timeout give-up resolved to a late REJECT since the last plan:
+    /// allows one replan even without progress (the degradation ladder's
+    /// recovery step).
+    gave_up: bool,
+    degraded: bool,
+}
+
+/// Run one management round entirely over the simulated shim channel:
+/// REQUEST/ACK/REJECT with deadlines, backoff, idempotent retransmission,
+/// heartbeat liveness, and graceful degradation around crashed shims.
+///
+/// Single-threaded and deterministic in virtual time; with
+/// [`ChannelFaults::reliable`] and no crashes it produces the same plan
+/// as [`distributed_round`] with `max_retry = cfg.max_retry`.
+pub fn fabric_round(
+    cluster: &mut Cluster,
     metric: &RackMetric,
-    sim: &SimConfig,
-    rack: RackId,
-    region: &[RackId],
     alerts: &[Alert],
     alert_values: &[f64],
-    max_retry: usize,
-) -> (MigrationPlan, usize) {
-    let mut plan = MigrationPlan::default();
-    let mut retries = 0usize;
-
-    // victim selection on the first snapshot (Alg. 1)
-    let mut pending: Vec<VmId> = {
-        let snapshot = shared.lock().clone();
-        let mut set: Vec<VmId> = Vec::new();
-        let mut tor_alert = false;
-        for alert in alerts.iter().filter(|a| a.rack == rack) {
-            match alert.source {
-                AlertSource::Host(h) => {
-                    let f: Vec<VmId> = snapshot.vms_on(h).to_vec();
-                    set.extend(priority(
-                        &f,
-                        &snapshot,
-                        |vm| alert_values[vm.index()],
-                        Budget::SingleMaxAlert,
-                    ));
-                }
-                AlertSource::LocalTor(_) => tor_alert = true,
-                AlertSource::OuterSwitch(_) => {} // reroute path not simulated here
-            }
-        }
-        if tor_alert {
-            let mut f: Vec<VmId> = Vec::new();
-            for &host in inventory.hosts_in(rack) {
-                f.extend_from_slice(snapshot.vms_on(host));
-            }
-            let budget = sim.beta * inventory.rack(rack).tor_capacity;
-            set.extend(priority(
-                &f,
-                &snapshot,
-                |vm| alert_values[vm.index()],
-                Budget::Capacity(budget),
-            ));
-        }
-        set.sort_unstable();
-        set.dedup();
-        set
+    cfg: &FabricConfig,
+) -> DistributedReport {
+    let mut racks: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
+    racks.sort_unstable();
+    racks.dedup();
+    let crashed_alerted = racks.iter().filter(|r| cfg.crashed.contains(r)).count();
+    racks.retain(|r| !cfg.crashed.contains(r));
+    let mut report = DistributedReport {
+        crashed_shims: crashed_alerted,
+        ..DistributedReport::default()
     };
+    if racks.is_empty() {
+        return report;
+    }
+    report.shims = racks.len();
 
-    // destination slots: the region plus this rack
-    let mut slot_hosts: Vec<HostId> = Vec::new();
-    for &r in region.iter().chain(std::iter::once(&rack)) {
-        slot_hosts.extend_from_slice(inventory.hosts_in(r));
+    let rack_count = cluster.dcn.rack_count();
+    let sim = cluster.sim.clone();
+    let mut net = SimNet::new(cfg.faults.clone(), cfg.seed);
+    for &r in &cfg.crashed {
+        net.set_down(r);
+    }
+    let mut endpoints: Vec<ShimEndpoint> = (0..rack_count)
+        .map(|r| ShimEndpoint::new(RackId::from_index(r)))
+        .collect();
+
+    // victim selection on the initial placement (Alg. 1), as in the
+    // threaded runtime
+    let mut shims: Vec<FabricShim> = racks
+        .iter()
+        .map(|&rack| {
+            let pending = select_victims(
+                &cluster.placement,
+                &cluster.dcn.inventory,
+                &sim,
+                rack,
+                alerts,
+                alert_values,
+            );
+            let region = cluster.dcn.neighbor_racks(rack, sim.region_hops);
+            FabricShim {
+                st: ShimState {
+                    rack,
+                    active: !pending.is_empty(),
+                    pending,
+                    slots: Vec::new(),
+                    excluded: Vec::new(),
+                    plan: MigrationPlan::default(),
+                    retries: 0,
+                    seq: 0,
+                },
+                liveness: Liveness::new(cfg.liveness_deadline),
+                region,
+                outstanding: HashMap::new(),
+                zombies: HashMap::new(),
+                unresolved: Vec::new(),
+                rounds_left: cfg.max_retry + 1,
+                started: false,
+                done: false,
+                progressed: false,
+                gave_up: false,
+                degraded: false,
+            }
+        })
+        .collect();
+    // shims with nothing to do are immediately done
+    for s in &mut shims {
+        if !s.st.active {
+            s.done = true;
+        }
     }
 
-    let mut excluded: Vec<(VmId, HostId)> = Vec::new();
-    for _attempt in 0..=max_retry {
-        if pending.is_empty() || slot_hosts.is_empty() {
-            break;
-        }
-        // optimistic plan on a snapshot
-        let snapshot = shared.lock().clone();
-        plan.search_space += pending.len() * slot_hosts.len();
-        let mut cost = vec![vec![FORBIDDEN; slot_hosts.len()]; pending.len()];
-        let mut adjusted = vec![vec![FORBIDDEN; slot_hosts.len()]; pending.len()];
-        for (i, &vm) in pending.iter().enumerate() {
-            let spec = snapshot.spec(vm);
-            let from_host = snapshot.host_of(vm);
-            let from_rack = snapshot.rack_of(vm);
-            for (j, &host) in slot_hosts.iter().enumerate() {
-                if host == from_host
-                    || excluded.contains(&(vm, host))
-                    || snapshot.free_capacity(host) < spec.capacity
-                    || deps.conflicts_on_host(vm, host, &snapshot)
-                {
-                    continue;
-                }
-                let to_rack = snapshot.rack_of_host(host);
-                if !metric.reachable(from_rack, to_rack) {
-                    continue;
-                }
-                let chi = deps.chi(vm, to_rack, &snapshot);
-                let c = metric.migration_cost(sim, spec.capacity, from_rack, to_rack, chi);
-                let post_util =
-                    (snapshot.used_capacity(host) + spec.capacity) / snapshot.host_capacity(host);
-                cost[i][j] = c;
-                adjusted[i][j] = c + sim.load_balance_weight * post_util;
-            }
-        }
-        let (assignment, _) = min_cost_assignment_padded(&adjusted);
+    let source_index: HashMap<RackId, usize> = shims
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.st.rack, i))
+        .collect();
+    let all_racks: Vec<RackId> = (0..rack_count).map(RackId::from_index).collect();
+    // longest possible request + reply round trip: base delay plus the
+    // reorder fault's extra hold-back (up to 3 ticks) each way, with slack
+    let patience = 2 * (cfg.faults.delay_max + 3) + 2;
 
-        // pessimistic commit: FCFS under the lock, revalidated by Alg. 4
-        let mut next_pending = Vec::new();
-        let mut progressed = false;
-        {
-            let mut placement = shared.lock();
-            for (i, assigned) in assignment.into_iter().enumerate() {
-                let vm = pending[i];
-                let Some(j) = assigned else {
-                    next_pending.push(vm);
+    let mut t: u64 = 0;
+    while t <= cfg.max_ticks {
+        // liveness beacons: every live rack announces itself to every
+        // source shim at t = 0 and on each heartbeat period
+        if t == 0 {
+            for &r in &all_racks {
+                if cfg.crashed.contains(&r) {
                     continue;
-                };
-                let host = slot_hosts[j];
-                let from = placement.host_of(vm);
-                match request_migration(&mut placement, deps, vm, host) {
-                    RequestOutcome::Ack => {
-                        plan.moves.push(Move {
-                            vm,
-                            from,
-                            to: host,
-                            cost: cost[i][j],
-                        });
-                        plan.total_cost += cost[i][j];
-                        progressed = true;
+                }
+                for &s in &racks {
+                    net.send(t, r, s, ShimMsg::Hello { rack: r });
+                }
+            }
+        } else if cfg.heartbeat_period > 0 && t.is_multiple_of(cfg.heartbeat_period) {
+            for &r in &all_racks {
+                if cfg.crashed.contains(&r) {
+                    continue;
+                }
+                for &s in &racks {
+                    net.send(t, r, s, ShimMsg::Heartbeat { rack: r, tick: t });
+                }
+            }
+        }
+
+        // deliveries: endpoints answer requests, sources absorb replies
+        for (from, to, msg) in net.poll(t) {
+            match msg {
+                ShimMsg::Hello { rack } | ShimMsg::Heartbeat { rack, .. } => {
+                    if let Some(&i) = source_index.get(&to) {
+                        shims[i].liveness.observe(rack, t);
                     }
-                    _ => {
-                        plan.rejected += 1;
-                        retries += 1;
-                        excluded.push((vm, host));
-                        next_pending.push(vm);
+                }
+                ShimMsg::Request { req_id, vm, dest } => {
+                    let verdict = endpoints[to.index()].handle_request(
+                        &mut cluster.placement,
+                        &cluster.deps,
+                        req_id,
+                        vm,
+                        dest,
+                    );
+                    net.send(t, to, from, ShimEndpoint::reply_msg(req_id, verdict));
+                }
+                ShimMsg::Ack { req_id } => {
+                    if let Some(&i) = source_index.get(&to) {
+                        let shim = &mut shims[i];
+                        // a late ACK for a given-up request still means
+                        // the destination committed: record it
+                        if let Some(o) = shim
+                            .outstanding
+                            .remove(&req_id)
+                            .or_else(|| shim.zombies.remove(&req_id))
+                        {
+                            shim.st.plan.moves.push(Move {
+                                vm: o.vm,
+                                from: o.from,
+                                to: o.dest,
+                                cost: o.cost,
+                            });
+                            shim.st.plan.total_cost += o.cost;
+                            shim.progressed = true;
+                        }
+                        // duplicate ACK: already resolved, ignore
+                    }
+                }
+                ShimMsg::Reject { req_id, .. } => {
+                    if let Some(&i) = source_index.get(&to) {
+                        let shim = &mut shims[i];
+                        if let Some(o) = shim.outstanding.remove(&req_id) {
+                            shim.st.plan.rejected += 1;
+                            shim.st.retries += 1;
+                            shim.st.excluded.push((o.vm, o.dest));
+                            shim.st.pending.push(o.vm);
+                        } else if let Some(o) = shim.zombies.remove(&req_id) {
+                            // late REJECT resolves the zombie: the VM
+                            // definitively did not move, so it is safe to
+                            // replan it elsewhere
+                            shim.st.plan.rejected += 1;
+                            shim.st.retries += 1;
+                            shim.st.pending.push(o.vm);
+                            shim.gave_up = true;
+                        }
                     }
                 }
             }
         }
-        pending = next_pending;
-        if !progressed {
+
+        // source-shim actions, in rack order for determinism
+        for shim in &mut shims {
+            if shim.done {
+                continue;
+            }
+            if !shim.started {
+                if t >= cfg.hello_window {
+                    shim.started = true;
+                    fabric_plan_and_send(
+                        shim,
+                        cluster,
+                        metric,
+                        &sim,
+                        &mut net,
+                        t,
+                        &cfg.backoff,
+                        &mut report,
+                    );
+                }
+                continue;
+            }
+
+            // expire deadlines: retransmit with backoff, then give up and
+            // presume the destination dead
+            let expired: Vec<ReqId> = shim
+                .outstanding
+                .iter()
+                .filter(|(_, o)| o.deadline <= t)
+                .map(|(&id, _)| id)
+                .collect();
+            for req_id in expired {
+                report.timeouts += 1;
+                let o = shim.outstanding.get_mut(&req_id).expect("collected above");
+                if o.attempt + 1 < cfg.backoff.max_attempts {
+                    o.attempt += 1;
+                    o.deadline = t + cfg.backoff.delay(o.attempt, req_id);
+                    report.resends += 1;
+                    let (vm, dest) = (o.vm, o.dest);
+                    let dest_rack = cluster.placement.rack_of_host(dest);
+                    net.send(
+                        t,
+                        shim.st.rack,
+                        dest_rack,
+                        ShimMsg::Request { req_id, vm, dest },
+                    );
+                } else {
+                    // give up: presume the destination dead — but a stale
+                    // copy of the request may still commit there, so the
+                    // VM's fate is unknown. Park it as a zombie and keep
+                    // listening for a late verdict within the patience
+                    // window; never replan a VM of unknown fate.
+                    let mut o = shim.outstanding.remove(&req_id).expect("collected above");
+                    let dest_rack = cluster.placement.rack_of_host(o.dest);
+                    shim.liveness.presume_dead(dest_rack);
+                    shim.degraded = true;
+                    shim.st.excluded.push((o.vm, o.dest));
+                    o.deadline = t + patience;
+                    shim.zombies.insert(req_id, o);
+                }
+            }
+
+            // zombies past their patience window stay unresolved; the
+            // report assembly settles them against ground truth
+            let expired: Vec<ReqId> = shim
+                .zombies
+                .iter()
+                .filter(|(_, o)| o.deadline <= t)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                let o = shim.zombies.remove(&id).expect("collected above");
+                shim.unresolved.push(o);
+            }
+
+            // batch resolved: replan or finish (zombies keep the shim
+            // listening even when nothing else is outstanding)
+            if shim.outstanding.is_empty() {
+                let replan = !shim.st.pending.is_empty()
+                    && shim.rounds_left > 0
+                    && (shim.progressed || shim.gave_up);
+                if replan {
+                    fabric_plan_and_send(
+                        shim,
+                        cluster,
+                        metric,
+                        &sim,
+                        &mut net,
+                        t,
+                        &cfg.backoff,
+                        &mut report,
+                    );
+                } else if shim.zombies.is_empty() {
+                    shim.done = true;
+                }
+            }
+        }
+
+        if shims.iter().all(|s| s.done) {
             break;
+        }
+        t += 1;
+    }
+
+    // settle unknown fates against ground truth: the simulator (unlike
+    // the shims) can see whether an unacknowledged request actually
+    // committed at its destination. Requests cut off by the tick cap are
+    // settled the same way.
+    for shim in &mut shims {
+        let leftovers: Vec<Outstanding> = shim
+            .unresolved
+            .drain(..)
+            .chain(shim.outstanding.drain().map(|(_, o)| o))
+            .chain(shim.zombies.drain().map(|(_, o)| o))
+            .collect();
+        for o in leftovers {
+            if cluster.placement.host_of(o.vm) == o.dest {
+                shim.st.plan.moves.push(Move {
+                    vm: o.vm,
+                    from: o.from,
+                    to: o.dest,
+                    cost: o.cost,
+                });
+                shim.st.plan.total_cost += o.cost;
+            } else {
+                shim.st.pending.push(o.vm);
+            }
         }
     }
-    plan.unplaced.extend(pending);
-    (plan, retries)
+
+    report.ticks = t.min(cfg.max_ticks);
+    report.drops = net.stats.dropped;
+    report.dedup_hits = endpoints.iter().map(|e| e.dedup_hits()).sum();
+    for shim in shims {
+        let mut plan = shim.st.plan;
+        let mut pending = shim.st.pending;
+        pending.sort_unstable();
+        pending.dedup();
+        plan.unplaced.extend(pending);
+        report.plan.absorb(plan);
+        report.retries += shim.st.retries;
+        if shim.degraded {
+            report.degraded_shims += 1;
+        }
+    }
+    report
+}
+
+/// One fabric planning round: rebuild the slot list from live racks
+/// (degradation ladder step 1; the own rack is always kept — step 2),
+/// run the matching, and send a REQUEST per assignment.
+#[allow(clippy::too_many_arguments)]
+fn fabric_plan_and_send(
+    shim: &mut FabricShim,
+    cluster: &Cluster,
+    metric: &RackMetric,
+    sim: &SimConfig,
+    net: &mut SimNet,
+    now: u64,
+    backoff: &BackoffPolicy,
+    report: &mut DistributedReport,
+) {
+    shim.rounds_left -= 1;
+    shim.progressed = false;
+    shim.gave_up = false;
+
+    let live_region: Vec<RackId> = shim
+        .region
+        .iter()
+        .copied()
+        .filter(|&r| shim.liveness.alive(r, now))
+        .collect();
+    if live_region.len() < shim.region.len() {
+        shim.degraded = true;
+    }
+    shim.st.slots = region_slots(&cluster.dcn.inventory, &live_region, shim.st.rack);
+
+    let pending = std::mem::take(&mut shim.st.pending);
+    let (proposals, unassigned, space) = plan_proposals(
+        &cluster.placement,
+        &cluster.deps,
+        metric,
+        sim,
+        &pending,
+        &shim.st.slots,
+        &shim.st.excluded,
+    );
+    shim.st.plan.search_space += space;
+    shim.st.pending = unassigned;
+
+    for p in proposals {
+        let req_id = ReqId::new(shim.st.rack, shim.st.seq);
+        shim.st.seq += 1;
+        let from = cluster.placement.host_of(p.vm);
+        let dest_rack = cluster.placement.rack_of_host(p.dest);
+        shim.outstanding.insert(
+            req_id,
+            Outstanding {
+                vm: p.vm,
+                from,
+                dest: p.dest,
+                cost: p.cost,
+                attempt: 0,
+                deadline: now + backoff.delay(0, req_id),
+            },
+        );
+        net.send(
+            now,
+            shim.st.rack,
+            dest_rack,
+            ShimMsg::Request {
+                req_id,
+                vm: p.vm,
+                dest: p.dest,
+            },
+        );
+    }
+    let _ = report; // counters for planning itself live on the shim state
 }
 
 #[cfg(test)]
@@ -268,15 +851,7 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn concurrent_shims_preserve_capacity_invariants() {
-        let mut c = cluster(21);
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let vals = alert_values(&c);
-        let report = distributed_round(&mut c, &metric, &alerts, &vals, 3);
-        assert!(report.shims > 1, "want true concurrency in this test");
-        assert!(!report.plan.moves.is_empty());
+    fn assert_capacity_ok(c: &Cluster) {
         for h in 0..c.placement.host_count() {
             let h = HostId::from_index(h);
             assert!(
@@ -286,13 +861,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn concurrent_shims_respect_dependency_conflicts() {
-        let mut c = cluster(22);
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let vals = alert_values(&c);
-        let _ = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+    fn assert_deps_ok(c: &Cluster) {
         for vm in c.placement.vm_ids() {
             let host = c.placement.host_of(vm);
             for &other in c.placement.vms_on(host) {
@@ -304,6 +873,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn concurrent_shims_preserve_capacity_invariants() {
+        let mut c = cluster(21);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let report = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        assert!(report.shims > 1, "want true concurrency in this test");
+        assert!(!report.plan.moves.is_empty());
+        assert_capacity_ok(&c);
+    }
+
+    #[test]
+    fn concurrent_shims_respect_dependency_conflicts() {
+        let mut c = cluster(22);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let _ = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        assert_deps_ok(&c);
     }
 
     #[test]
@@ -346,6 +937,140 @@ mod tests {
         let before = c.utilization_stddev();
         let report = distributed_round(&mut c, &metric, &[], &[], 3);
         assert_eq!(report.shims, 0);
+        assert!(report.plan.moves.is_empty());
+        assert_eq!(c.utilization_stddev(), before);
+    }
+
+    #[test]
+    fn reliable_fabric_reproduces_threaded_plan_exactly() {
+        let mut threaded = cluster(26);
+        let mut fabric = cluster(26);
+        let metric = RackMetric::build(&threaded.dcn, &threaded.sim);
+        let alerts = threaded.fraction_alerts(0.10, 0);
+        let vals = alert_values(&threaded);
+
+        let cfg = FabricConfig::default();
+        assert!(cfg.faults.is_reliable());
+        let rt = distributed_round(&mut threaded, &metric, &alerts, &vals, cfg.max_retry);
+        let rf = fabric_round(&mut fabric, &metric, &alerts, &vals, &cfg);
+
+        assert_eq!(rt.plan.moves.len(), rf.plan.moves.len());
+        for (a, b) in rt.plan.moves.iter().zip(&rf.plan.moves) {
+            assert_eq!((a.vm, a.from, a.to), (b.vm, b.from, b.to));
+            assert!((a.cost - b.cost).abs() < 1e-12);
+        }
+        assert!((rt.plan.total_cost - rf.plan.total_cost).abs() < 1e-9);
+        assert_eq!(rt.plan.rejected, rf.plan.rejected);
+        assert_eq!(rt.plan.unplaced, rf.plan.unplaced);
+        for vm in threaded.placement.vm_ids() {
+            assert_eq!(threaded.placement.host_of(vm), fabric.placement.host_of(vm));
+        }
+        // a perfect channel exercises none of the robustness machinery
+        assert_eq!(rf.drops, 0);
+        assert_eq!(rf.timeouts, 0);
+        assert_eq!(rf.resends, 0);
+        assert_eq!(rf.dedup_hits, 0);
+        assert_eq!(rf.degraded_shims, 0);
+        assert!(!rt.plan.moves.is_empty(), "vacuous equivalence");
+    }
+
+    #[test]
+    fn lossy_fabric_with_crash_completes_and_degrades_gracefully() {
+        let mut c = cluster(27);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        // crash the shim of the first alerted rack: its own alert goes
+        // unserved and every other shim must route around it
+        let crashed = alerts[0].rack;
+        let cfg = FabricConfig {
+            faults: ChannelFaults {
+                drop: 0.10,
+                ..ChannelFaults::lossy(0.10)
+            },
+            seed: 99,
+            crashed: vec![crashed],
+            ..FabricConfig::default()
+        };
+        let report = fabric_round(&mut c, &metric, &alerts, &vals, &cfg);
+
+        assert!(
+            report.ticks < cfg.max_ticks,
+            "round wedged until the tick cap"
+        );
+        assert!(
+            !report.plan.moves.is_empty(),
+            "lossy fabric still made progress"
+        );
+        assert_capacity_ok(&c);
+        assert_deps_ok(&c);
+        assert_eq!(report.crashed_shims, 1);
+        assert!(report.drops > 0, "10% loss must drop something");
+        assert!(report.timeouts > 0, "drops must surface as timeouts");
+        assert!(report.resends > 0, "timeouts must trigger retransmissions");
+        assert!(
+            report.degraded_shims > 0,
+            "crash must degrade someone's region"
+        );
+    }
+
+    #[test]
+    fn duplicated_requests_never_double_apply() {
+        let mut c = cluster(28);
+        let initial = c.placement.clone();
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let cfg = FabricConfig {
+            faults: ChannelFaults {
+                duplicate: 0.5,
+                ..ChannelFaults::reliable()
+            },
+            seed: 5,
+            ..FabricConfig::default()
+        };
+        let report = fabric_round(&mut c, &metric, &alerts, &vals, &cfg);
+        assert!(
+            report.dedup_hits > 0,
+            "50% duplication must hit the dedup log"
+        );
+        // chaining the recorded moves from the initial placement lands
+        // exactly on the final placement: every ACKed move applied once
+        let mut loc: std::collections::HashMap<VmId, HostId> = c
+            .placement
+            .vm_ids()
+            .map(|vm| (vm, initial.host_of(vm)))
+            .collect();
+        for m in &report.plan.moves {
+            assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
+            loc.insert(m.vm, m.to);
+        }
+        for vm in c.placement.vm_ids() {
+            assert_eq!(loc[&vm], c.placement.host_of(vm));
+        }
+        assert_capacity_ok(&c);
+    }
+
+    #[test]
+    fn fabric_with_all_shims_crashed_is_a_noop() {
+        let mut c = cluster(29);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.05, 0);
+        let vals = alert_values(&c);
+        let before = c.utilization_stddev();
+        let crashed: Vec<RackId> = {
+            let mut r: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
+            r.sort_unstable();
+            r.dedup();
+            r
+        };
+        let cfg = FabricConfig {
+            crashed: crashed.clone(),
+            ..FabricConfig::default()
+        };
+        let report = fabric_round(&mut c, &metric, &alerts, &vals, &cfg);
+        assert_eq!(report.shims, 0);
+        assert_eq!(report.crashed_shims, crashed.len());
         assert!(report.plan.moves.is_empty());
         assert_eq!(c.utilization_stddev(), before);
     }

@@ -64,7 +64,9 @@ pub fn drain_rack(
                 .map(RackId::from_index)
                 .filter(|&r| r != rack)
                 .collect();
-            p.absorb(vmmigration_scoped(ctx, &leftover, &others, max_rounds, false));
+            p.absorb(vmmigration_scoped(
+                ctx, &leftover, &others, max_rounds, false,
+            ));
         }
         plan.absorb(p);
     }

@@ -26,7 +26,10 @@ impl KMedianInstance {
     pub fn new(cost: Vec<Vec<f64>>, k: usize) -> Self {
         assert!(!cost.is_empty(), "need at least one client");
         let m = cost[0].len();
-        assert!(cost.iter().all(|r| r.len() == m), "matrix must be rectangular");
+        assert!(
+            cost.iter().all(|r| r.len() == m),
+            "matrix must be rectangular"
+        );
         assert!(k >= 1 && k <= m, "k must be in 1..=facilities");
         Self { cost, k }
     }
@@ -46,11 +49,7 @@ impl KMedianInstance {
         debug_assert!(!open.is_empty());
         self.cost
             .iter()
-            .map(|row| {
-                open.iter()
-                    .map(|&f| row[f])
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|row| open.iter().map(|&f| row[f]).fold(f64::INFINITY, f64::min))
             .sum()
     }
 }
@@ -121,7 +120,11 @@ pub fn local_search_from(
     max_iterations: usize,
 ) -> KMedianSolution {
     assert!(p >= 1, "swap size must be at least 1");
-    assert_eq!(initial.len(), inst.k, "initial solution must open k facilities");
+    assert_eq!(
+        initial.len(),
+        inst.k,
+        "initial solution must open k facilities"
+    );
     let mut open = initial;
     let mut cost = inst.solution_cost(&open);
     let mut iterations = 0;
@@ -272,7 +275,12 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Metric instance from random points on a line (|x_c − x_f|).
-    fn line_instance(rng: &mut StdRng, clients: usize, facilities: usize, k: usize) -> KMedianInstance {
+    fn line_instance(
+        rng: &mut StdRng,
+        clients: usize,
+        facilities: usize,
+        k: usize,
+    ) -> KMedianInstance {
         let cx: Vec<f64> = (0..clients).map(|_| rng.gen_range(0.0..100.0)).collect();
         let fx: Vec<f64> = (0..facilities).map(|_| rng.gen_range(0.0..100.0)).collect();
         let cost = cx
@@ -284,10 +292,7 @@ mod tests {
 
     #[test]
     fn solution_cost_uses_cheapest_open_facility() {
-        let inst = KMedianInstance::new(
-            vec![vec![1.0, 5.0, 9.0], vec![7.0, 2.0, 9.0]],
-            2,
-        );
+        let inst = KMedianInstance::new(vec![vec![1.0, 5.0, 9.0], vec![7.0, 2.0, 9.0]], 2);
         assert_eq!(inst.solution_cost(&[0, 1]), 3.0);
         assert_eq!(inst.solution_cost(&[2, 1]), 7.0);
     }
@@ -362,10 +367,7 @@ mod tests {
     #[test]
     fn exact_enumerates_combinations_correctly() {
         // trivial instance where facility 2 is free for everyone
-        let inst = KMedianInstance::new(
-            vec![vec![5.0, 5.0, 0.0], vec![5.0, 5.0, 0.0]],
-            1,
-        );
+        let inst = KMedianInstance::new(vec![vec![5.0, 5.0, 0.0], vec![5.0, 5.0, 0.0]], 1);
         let opt = exact_optimal(&inst);
         assert_eq!(opt.open, vec![2]);
         assert_eq!(opt.cost, 0.0);

@@ -21,12 +21,14 @@
 
 pub mod alert_mgmt;
 pub mod centralized;
+pub mod channel;
 pub mod distributed;
 pub mod evacuation;
 pub mod kmedian;
 pub mod matching;
 pub mod metrics;
 pub mod priority;
+pub mod protocol;
 pub mod request;
 pub mod reroute;
 pub mod sharded;
@@ -36,13 +38,19 @@ pub mod system;
 pub mod vmmigration;
 
 pub use alert_mgmt::{pre_alert_management, ShimOutcome};
-pub use centralized::{centralized_migration, centralized_migration_chunked, destination_tors, kmedian_migration};
-pub use distributed::{distributed_round, DistributedReport};
+pub use centralized::{
+    centralized_migration, centralized_migration_chunked, destination_tors, kmedian_migration,
+};
+pub use channel::{NetStats, SimNet};
+pub use distributed::{distributed_round, fabric_round, DistributedReport, FabricConfig};
 pub use evacuation::{drain_rack, evacuate_host};
 pub use kmedian::{exact_optimal, local_search, KMedianInstance, KMedianSolution};
 pub use matching::{min_cost_assignment, min_cost_assignment_padded};
 pub use metrics::{RatioPoint, Series, Totals};
 pub use priority::{priority, Budget};
+pub use protocol::{
+    BackoffPolicy, DedupLog, Liveness, RejectReason, ReqId, ShimEndpoint, ShimMsg, Verdict,
+};
 pub use request::{request_migration, RequestOutcome};
 pub use reroute::{flow_reroute, flow_reroute_balanced, RerouteReport};
 pub use sharded::{sharded_round, ShardedReport};

@@ -25,7 +25,10 @@ pub fn min_cost_assignment(cost: &[Vec<f64>]) -> (Vec<Option<usize>>, f64) {
         cost.iter().all(|r| r.len() == m),
         "cost matrix must be rectangular"
     );
-    assert!(n <= m, "need at least as many columns as rows (pad if necessary)");
+    assert!(
+        n <= m,
+        "need at least as many columns as rows (pad if necessary)"
+    );
 
     const INF: f64 = f64::INFINITY;
     // 1-indexed potentials; p[j] = row assigned to column j (0 = none)
@@ -226,10 +229,7 @@ mod tests {
 
     #[test]
     fn forbidden_pairs_yield_none() {
-        let cost = vec![
-            vec![FORBIDDEN, FORBIDDEN],
-            vec![1.0, FORBIDDEN],
-        ];
+        let cost = vec![vec![FORBIDDEN, FORBIDDEN], vec![1.0, FORBIDDEN]];
         let (assign, total) = min_cost_assignment(&cost);
         assert_eq!(assign[0], None);
         assert_eq!(assign[1], Some(0));

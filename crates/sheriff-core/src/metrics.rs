@@ -81,7 +81,11 @@ impl RatioPoint {
     pub fn new(p: usize, ls_cost: f64, opt_cost: f64) -> Self {
         Self {
             p,
-            ratio: if opt_cost > 0.0 { ls_cost / opt_cost } else { 1.0 },
+            ratio: if opt_cost > 0.0 {
+                ls_cost / opt_cost
+            } else {
+                1.0
+            },
             bound: 3.0 + 2.0 / p as f64,
         }
     }

@@ -1,0 +1,391 @@
+//! Typed shim-to-shim messages and the endpoint logic that keeps Alg. 4
+//! correct over an unreliable channel.
+//!
+//! The paper's negotiation (Sec. II-B/V-B) assumes REQUEST/ACK/REJECT
+//! exchanges always arrive; Sec. III-A waves crashes off to a "backup
+//! system". This module supplies the missing machinery: request ids and a
+//! dedup log make the destination commit idempotent (a retransmitted or
+//! duplicated REQUEST can never double-book Eqn. 8 capacity), exponential
+//! backoff with deterministic jitter paces retransmissions, and a
+//! heartbeat ledger lets a source shim exclude dead neighbours from its
+//! matching instead of waiting on them forever.
+
+use crate::request::{request_migration, RequestOutcome};
+use dcn_topology::{DependencyGraph, HostId, Placement, RackId, VmId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Globally unique id of one migration REQUEST. Encodes the source shim's
+/// rack in the high half and a per-shim sequence number in the low half,
+/// so concurrent shims can mint ids without coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+impl ReqId {
+    /// Mint the `seq`-th request id of `source`'s shim.
+    pub fn new(source: RackId, seq: u32) -> Self {
+        Self(((source.index() as u64) << 32) | seq as u64)
+    }
+
+    /// The rack whose shim issued this request.
+    pub fn source(self) -> RackId {
+        RackId::from_index((self.0 >> 32) as usize)
+    }
+}
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req:{}#{}", self.source(), self.0 as u32)
+    }
+}
+
+/// Why a destination refused a REQUEST (the REJECT payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The host no longer has Eqn. 8 capacity for the VM.
+    Capacity,
+    /// A dependent VM occupies the host (χ constraint, Eqn. 7).
+    Conflict,
+    /// The VM is already on that host — a duplicate of an applied move or
+    /// a stale plan.
+    Noop,
+}
+
+/// A destination's verdict on one REQUEST — what the dedup log replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Migration committed.
+    Ack,
+    /// Migration refused.
+    Reject(RejectReason),
+}
+
+impl Verdict {
+    /// Whether the request was accepted.
+    pub fn is_ack(self) -> bool {
+        matches!(self, Verdict::Ack)
+    }
+}
+
+impl From<RequestOutcome> for Verdict {
+    fn from(o: RequestOutcome) -> Self {
+        match o {
+            RequestOutcome::Ack => Verdict::Ack,
+            RequestOutcome::RejectCapacity => Verdict::Reject(RejectReason::Capacity),
+            RequestOutcome::RejectConflict => Verdict::Reject(RejectReason::Conflict),
+            RequestOutcome::RejectNoop => Verdict::Reject(RejectReason::Noop),
+        }
+    }
+}
+
+/// One message on the shim control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShimMsg {
+    /// A shim announcing itself when a round starts.
+    Hello {
+        /// The announcing shim's rack.
+        rack: RackId,
+    },
+    /// Periodic liveness beacon.
+    Heartbeat {
+        /// The beating shim's rack.
+        rack: RackId,
+        /// Virtual time at which it was sent.
+        tick: u64,
+    },
+    /// Ask the destination's delegation node to accept a migration
+    /// (Alg. 4). Retransmissions reuse the same `req_id`.
+    Request {
+        /// Request id (stable across retransmissions).
+        req_id: ReqId,
+        /// The VM to migrate.
+        vm: VmId,
+        /// The host it should land on.
+        dest: HostId,
+    },
+    /// The destination committed the migration.
+    Ack {
+        /// Id of the accepted request.
+        req_id: ReqId,
+    },
+    /// The destination refused the migration; the source must replan.
+    Reject {
+        /// Id of the refused request.
+        req_id: ReqId,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+}
+
+/// Retransmission policy: exponential backoff with deterministic jitter.
+///
+/// Attempt `n` waits `base · 2ⁿ` ticks (capped at `cap`) plus a jitter in
+/// `[0, base)` hashed from `(req_id, attempt)` — deterministic for
+/// reproducibility, yet decorrelated across requests so synchronized
+/// timeouts don't retransmit in lockstep.
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    /// First-attempt deadline in ticks; must exceed one round trip.
+    pub base: u64,
+    /// Upper bound on the backoff term.
+    pub cap: u64,
+    /// Total send attempts before the source gives up on the request.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base: 8,
+            cap: 64,
+            max_attempts: 4,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Ticks to wait for a reply to attempt `attempt` (0-based).
+    pub fn delay(&self, attempt: u32, req_id: ReqId) -> u64 {
+        let exp = self
+            .base
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cap.max(self.base));
+        let jitter = if self.base > 1 {
+            // SplitMix64 over (req_id, attempt): stable, but different
+            // requests back off on different schedules
+            let mut z = req_id.0 ^ ((attempt as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) % self.base
+        } else {
+            0
+        };
+        exp + jitter
+    }
+}
+
+/// Replay log making the destination commit idempotent: the first
+/// decision for a `req_id` is recorded and every later copy of that
+/// request — retransmission or channel duplicate — gets the recorded
+/// verdict back without touching the placement again.
+#[derive(Debug, Clone, Default)]
+pub struct DedupLog {
+    seen: HashMap<ReqId, Verdict>,
+    hits: usize,
+}
+
+impl DedupLog {
+    /// Look up a previously decided request, counting a hit if found.
+    pub fn replay(&mut self, id: ReqId) -> Option<Verdict> {
+        let v = self.seen.get(&id).copied();
+        if v.is_some() {
+            self.hits += 1;
+        }
+        v
+    }
+
+    /// Record the verdict for a fresh request.
+    pub fn record(&mut self, id: ReqId, verdict: Verdict) {
+        self.seen.insert(id, verdict);
+    }
+
+    /// How many duplicate requests were absorbed.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of distinct requests decided.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no request has been decided yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// A rack's delegation node: the destination side of Alg. 4, hardened
+/// with the dedup log so it is safe to call once per *delivered copy* of
+/// a REQUEST rather than once per request.
+#[derive(Debug, Clone)]
+pub struct ShimEndpoint {
+    /// The rack this endpoint speaks for.
+    pub rack: RackId,
+    dedup: DedupLog,
+}
+
+impl ShimEndpoint {
+    /// Endpoint for one rack.
+    pub fn new(rack: RackId) -> Self {
+        Self {
+            rack,
+            dedup: DedupLog::default(),
+        }
+    }
+
+    /// Decide one delivered REQUEST copy against the authoritative
+    /// placement. First delivery runs Alg. 4 and commits on ACK; every
+    /// later delivery of the same `req_id` replays the recorded verdict.
+    pub fn handle_request(
+        &mut self,
+        placement: &mut Placement,
+        deps: &DependencyGraph,
+        req_id: ReqId,
+        vm: VmId,
+        dest: HostId,
+    ) -> Verdict {
+        if let Some(v) = self.dedup.replay(req_id) {
+            return v;
+        }
+        let verdict = Verdict::from(request_migration(placement, deps, vm, dest));
+        self.dedup.record(req_id, verdict);
+        verdict
+    }
+
+    /// Build the reply message for a verdict.
+    pub fn reply_msg(req_id: ReqId, verdict: Verdict) -> ShimMsg {
+        match verdict {
+            Verdict::Ack => ShimMsg::Ack { req_id },
+            Verdict::Reject(reason) => ShimMsg::Reject { req_id, reason },
+        }
+    }
+
+    /// Duplicate requests absorbed by this endpoint.
+    pub fn dedup_hits(&self) -> usize {
+        self.dedup.hits()
+    }
+}
+
+/// A source shim's view of which neighbour shims are alive, fed by
+/// `Hello`/`Heartbeat` messages. A rack is alive iff it has been heard
+/// from within `deadline` ticks; crashed shims simply fall silent and age
+/// out, after which the matching excludes their hosts.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    last_seen: HashMap<RackId, u64>,
+    /// Maximum silence before a rack is presumed dead.
+    pub deadline: u64,
+}
+
+impl Liveness {
+    /// Fresh ledger with the given silence deadline.
+    pub fn new(deadline: u64) -> Self {
+        Self {
+            last_seen: HashMap::new(),
+            deadline,
+        }
+    }
+
+    /// Record a beacon from `rack` at `tick`.
+    pub fn observe(&mut self, rack: RackId, tick: u64) {
+        let e = self.last_seen.entry(rack).or_insert(tick);
+        if *e < tick {
+            *e = tick;
+        }
+    }
+
+    /// Forget a rack, e.g. after its requests time out repeatedly — the
+    /// degradation ladder's "presume dead" step.
+    pub fn presume_dead(&mut self, rack: RackId) {
+        self.last_seen.remove(&rack);
+    }
+
+    /// Whether `rack` has been heard from within the deadline.
+    pub fn alive(&self, rack: RackId, now: u64) -> bool {
+        self.last_seen
+            .get(&rack)
+            .is_some_and(|&seen| now.saturating_sub(seen) <= self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::{Inventory, VmSpec};
+
+    fn small() -> (Placement, DependencyGraph) {
+        let mut inv = Inventory::new();
+        inv.add_rack(2, 10.0, 100.0);
+        let mut p = Placement::new(&inv);
+        let s = VmSpec {
+            id: p.next_vm_id(),
+            capacity: 6.0,
+            value: 1.0,
+            delay_sensitive: false,
+        };
+        p.add_vm(s, HostId(0)).unwrap();
+        (p, DependencyGraph::new(1))
+    }
+
+    #[test]
+    fn req_id_roundtrips_source() {
+        let id = ReqId::new(RackId(7), 42);
+        assert_eq!(id.source(), RackId(7));
+        assert_ne!(ReqId::new(RackId(7), 43), id);
+        assert_ne!(ReqId::new(RackId(8), 42), id);
+    }
+
+    #[test]
+    fn duplicate_request_replays_without_double_commit() {
+        let (mut p, deps) = small();
+        let mut ep = ShimEndpoint::new(RackId(0));
+        let id = ReqId::new(RackId(0), 0);
+        let v1 = ep.handle_request(&mut p, &deps, id, VmId(0), HostId(1));
+        assert_eq!(v1, Verdict::Ack);
+        assert_eq!(p.host_of(VmId(0)), HostId(1));
+        // a second copy of the same request must not re-run Alg. 4 (which
+        // would now see a no-op and REJECT, confusing the source)
+        let v2 = ep.handle_request(&mut p, &deps, id, VmId(0), HostId(1));
+        assert_eq!(v2, Verdict::Ack);
+        assert_eq!(ep.dedup_hits(), 1);
+        assert_eq!(p.host_of(VmId(0)), HostId(1));
+    }
+
+    #[test]
+    fn fresh_request_after_commit_gets_noop_reject() {
+        let (mut p, deps) = small();
+        let mut ep = ShimEndpoint::new(RackId(0));
+        assert!(ep
+            .handle_request(&mut p, &deps, ReqId::new(RackId(0), 0), VmId(0), HostId(1))
+            .is_ack());
+        // a *different* request id for the same move is a new decision
+        let v = ep.handle_request(&mut p, &deps, ReqId::new(RackId(0), 1), VmId(0), HostId(1));
+        assert_eq!(v, Verdict::Reject(RejectReason::Noop));
+        assert_eq!(ep.dedup_hits(), 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = BackoffPolicy {
+            base: 8,
+            cap: 64,
+            max_attempts: 5,
+        };
+        let id = ReqId::new(RackId(1), 1);
+        let d0 = b.delay(0, id);
+        let d1 = b.delay(1, id);
+        let d3 = b.delay(3, id);
+        assert!((8..16).contains(&d0), "{d0}");
+        assert!((16..24).contains(&d1), "{d1}");
+        assert!((64..72).contains(&d3), "capped: {d3}");
+        // deterministic
+        assert_eq!(d1, b.delay(1, id));
+        // jitter decorrelates requests
+        let other = ReqId::new(RackId(2), 9);
+        assert!((8..16).contains(&b.delay(0, other)));
+    }
+
+    #[test]
+    fn liveness_ages_out_and_recovers() {
+        let mut l = Liveness::new(5);
+        l.observe(RackId(0), 10);
+        assert!(l.alive(RackId(0), 15));
+        assert!(!l.alive(RackId(0), 16));
+        assert!(!l.alive(RackId(1), 0), "never heard from");
+        l.observe(RackId(0), 20);
+        assert!(l.alive(RackId(0), 22));
+        l.presume_dead(RackId(0));
+        assert!(!l.alive(RackId(0), 22));
+    }
+}

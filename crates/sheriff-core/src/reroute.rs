@@ -210,11 +210,8 @@ mod tests {
             rate: 0.45,
             delay_sensitive: false,
         };
-        let mut flows = FlowNetwork::route(
-            &dcn,
-            &p,
-            vec![mk(VmId(0), VmId(2)), mk(VmId(1), VmId(3))],
-        );
+        let mut flows =
+            FlowNetwork::route(&dcn, &p, vec![mk(VmId(0), VmId(2)), mk(VmId(1), VmId(3))]);
         // both flows share the single distance-shortest route initially
         assert_eq!(flows.route_of(0), flows.route_of(1));
         let hot_sw = {

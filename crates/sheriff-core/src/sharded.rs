@@ -51,7 +51,10 @@ impl Shard {
     fn from_placement(inventory: &Inventory, placement: &Placement, rack: RackId) -> Self {
         let hosts = inventory.hosts_in(rack).to_vec();
         let free = hosts.iter().map(|&h| placement.free_capacity(h)).collect();
-        let vms = hosts.iter().map(|&h| placement.vms_on(h).to_vec()).collect();
+        let vms = hosts
+            .iter()
+            .map(|&h| placement.vms_on(h).to_vec())
+            .collect();
         Self { hosts, free, vms }
     }
 
@@ -67,14 +70,16 @@ impl Shard {
         if self.free[i] < req.capacity {
             return Reply::RejectCapacity;
         }
-        if self.vms[i].iter().any(|&other| deps.dependent(req.vm, other)) {
+        if self.vms[i]
+            .iter()
+            .any(|&other| deps.dependent(req.vm, other))
+        {
             return Reply::RejectConflict;
         }
         self.free[i] -= req.capacity;
         self.vms[i].push(req.vm);
         Reply::Ack
     }
-
 }
 
 /// Result of one sharded round.
@@ -156,8 +161,16 @@ pub fn sharded_round(
                 let region = regions[i].clone();
                 scope.spawn(move |_| {
                     plan_and_negotiate(
-                        placement, inventory, deps, metric, sim, rack, &region, alerts,
-                        alert_values, &inboxes,
+                        placement,
+                        inventory,
+                        deps,
+                        metric,
+                        sim,
+                        rack,
+                        &region,
+                        alerts,
+                        alert_values,
+                        &inboxes,
                     )
                 })
             })
@@ -270,8 +283,8 @@ fn plan_and_negotiate(
             }
             let chi = deps.chi(vm, to_rack, placement);
             let c = metric.migration_cost(sim, spec.capacity, from_rack, to_rack, chi);
-            let post = (placement.used_capacity(host) + spec.capacity)
-                / placement.host_capacity(host);
+            let post =
+                (placement.used_capacity(host) + spec.capacity) / placement.host_capacity(host);
             cost[i][j] = c;
             adjusted[i][j] = c + sim.load_balance_weight * post;
         }

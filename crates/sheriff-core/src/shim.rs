@@ -40,7 +40,11 @@ impl Sheriff {
     /// the racks within `sim.region_hops` of it.
     pub fn new(cluster: &Cluster) -> Self {
         let regions = (0..cluster.dcn.rack_count())
-            .map(|r| cluster.dcn.neighbor_racks(RackId::from_index(r), cluster.sim.region_hops))
+            .map(|r| {
+                cluster
+                    .dcn
+                    .neighbor_racks(RackId::from_index(r), cluster.sim.region_hops)
+            })
             .collect();
         Self {
             regions,

@@ -177,9 +177,7 @@ pub fn run_policy<P: ProfilePredictor>(
                 let w = &cluster.workloads[vm.index()];
                 match policy {
                     AlertPolicy::Reactive => w.at(t).cpu,
-                    AlertPolicy::PreAlert => {
-                        predictor.predict_ahead(w, t, 1 + migration_delay).cpu
-                    }
+                    AlertPolicy::PreAlert => predictor.predict_ahead(w, t, 1 + migration_delay).cpu,
                     AlertPolicy::Oracle => w.at(t + 1 + migration_delay).cpu,
                 }
             };
@@ -271,7 +269,15 @@ mod tests {
             let mut oracle = cluster(seed);
             let metric = RackMetric::build(&reactive.dcn, &reactive.sim);
             let p = HoltPredictor::default();
-            let r = run_policy(&mut reactive, &metric, &p, AlertPolicy::Reactive, 50, 250, 3);
+            let r = run_policy(
+                &mut reactive,
+                &metric,
+                &p,
+                AlertPolicy::Reactive,
+                50,
+                250,
+                3,
+            );
             let o = run_policy(&mut oracle, &metric, &p, AlertPolicy::Oracle, 50, 250, 3);
             reactive_total += r.overload_integral;
             oracle_total += o.overload_integral;

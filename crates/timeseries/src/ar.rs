@@ -117,7 +117,11 @@ mod tests {
         // uniform(-0.5, 0.5) has variance 1/12
         let y = ar_series(&[0.6], 40_000, 5);
         let fit = fit_ar(&y, 1).unwrap();
-        assert!((fit.sigma2 - 1.0 / 12.0).abs() < 0.01, "sigma2 = {}", fit.sigma2);
+        assert!(
+            (fit.sigma2 - 1.0 / 12.0).abs() < 0.01,
+            "sigma2 = {}",
+            fit.sigma2
+        );
     }
 
     #[test]

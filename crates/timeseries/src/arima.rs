@@ -301,7 +301,11 @@ mod tests {
         let m = ArimaModel::fit(&y, ArimaSpec::new(1, 0, 1)).unwrap();
         assert!((m.phi[0] - 0.6).abs() < 0.08, "phi = {:?}", m.phi);
         assert!((m.theta[0] - 0.4).abs() < 0.08, "theta = {:?}", m.theta);
-        assert!((m.sigma2 - 1.0 / 12.0).abs() < 0.01, "sigma2 = {}", m.sigma2);
+        assert!(
+            (m.sigma2 - 1.0 / 12.0).abs() < 0.01,
+            "sigma2 = {}",
+            m.sigma2
+        );
     }
 
     #[test]
@@ -360,7 +364,11 @@ mod tests {
         let fc = m.forecast(&y, 200);
         // AR(1) k-step forecast decays geometrically toward the mean
         let far = fc[199];
-        assert!((far - m.mean).abs() < 0.05, "far forecast {far} mean {}", m.mean);
+        assert!(
+            (far - m.mean).abs() < 0.05,
+            "far forecast {far} mean {}",
+            m.mean
+        );
     }
 
     #[test]

@@ -197,7 +197,10 @@ mod tests {
         });
         let (spec, model) = select_seasonal(&y, s, &SelectionConfig::default()).unwrap();
         assert_eq!(spec.s, s);
-        assert_eq!(spec.sd, 1, "strong daily ACF should trigger seasonal differencing");
+        assert_eq!(
+            spec.sd, 1,
+            "strong daily ACF should trigger seasonal differencing"
+        );
         assert!(model.sigma2.is_finite());
     }
 

@@ -198,11 +198,7 @@ mod tests {
         };
         let y = weekly_traffic_trace(&cfg);
         let r = acf(&y, 24);
-        assert!(
-            r[24] > 0.3,
-            "daily-lag autocorrelation too weak: {}",
-            r[24]
-        );
+        assert!(r[24] > 0.3, "daily-lag autocorrelation too weak: {}", r[24]);
     }
 
     #[test]
@@ -215,7 +211,10 @@ mod tests {
         let y = weekly_traffic_trace(&cfg);
         let weekday_peak: f64 = y[..5 * 48].iter().cloned().fold(0.0, f64::max);
         let weekend_peak: f64 = y[5 * 48..].iter().cloned().fold(0.0, f64::max);
-        assert!(weekend_peak < weekday_peak, "{weekend_peak} !< {weekday_peak}");
+        assert!(
+            weekend_peak < weekday_peak,
+            "{weekend_peak} !< {weekday_peak}"
+        );
     }
 
     #[test]

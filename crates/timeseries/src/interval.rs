@@ -64,12 +64,7 @@ impl ArimaModel {
     /// Combines [`ArimaModel::forecast`] with the ψ-weight variance
     /// `Var[e_{t+h}] = σ̂² Σ_{j<h} ψ̃_j²` where ψ̃ are the `d`-integrated
     /// weights.
-    pub fn forecast_with_interval(
-        &self,
-        history: &[f64],
-        horizon: usize,
-        z: f64,
-    ) -> Vec<Forecast> {
+    pub fn forecast_with_interval(&self, history: &[f64], horizon: usize, z: f64) -> Vec<Forecast> {
         assert!(z >= 0.0, "band width must be non-negative");
         let means = self.forecast(history, horizon);
         let psi = integrate(&psi_weights(&self.phi, &self.theta, horizon), self.spec.d);
@@ -196,9 +191,24 @@ mod tests {
     #[test]
     fn first_alert_step_finds_upper_crossing() {
         let fcs = vec![
-            Forecast { mean: 0.5, lower: 0.4, upper: 0.6, std_error: 0.05 },
-            Forecast { mean: 0.7, lower: 0.5, upper: 0.93, std_error: 0.1 },
-            Forecast { mean: 0.8, lower: 0.6, upper: 1.0, std_error: 0.1 },
+            Forecast {
+                mean: 0.5,
+                lower: 0.4,
+                upper: 0.6,
+                std_error: 0.05,
+            },
+            Forecast {
+                mean: 0.7,
+                lower: 0.5,
+                upper: 0.93,
+                std_error: 0.1,
+            },
+            Forecast {
+                mean: 0.8,
+                lower: 0.6,
+                upper: 1.0,
+                std_error: 0.1,
+            },
         ];
         assert_eq!(first_alert_step(&fcs, 0.9), Some(2));
         assert_eq!(first_alert_step(&fcs, 1.5), None);

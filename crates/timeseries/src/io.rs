@@ -77,8 +77,7 @@ pub fn read_csv(path: &Path) -> Result<Vec<(String, Vec<f64>)>, TraceIoError> {
         return Ok(Vec::new());
     };
     let names: Vec<String> = header?.split(',').map(|s| s.trim().to_string()).collect();
-    let mut columns: Vec<(String, Vec<f64>)> =
-        names.into_iter().map(|n| (n, Vec::new())).collect();
+    let mut columns: Vec<(String, Vec<f64>)> = names.into_iter().map(|n| (n, Vec::new())).collect();
     for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {

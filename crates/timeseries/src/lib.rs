@@ -42,6 +42,6 @@ pub use diagnostics::{diagnose_arima, diagnose_sarima, FitReport};
 pub use holtwinters::{HoltWinters, HwConfig};
 pub use interval::{first_alert_step, Forecast};
 pub use narnet::{Narnet, NarnetConfig};
-pub use sarima::{SarimaModel, SarimaSpec};
 pub use normalize::MinMaxScaler;
+pub use sarima::{SarimaModel, SarimaSpec};
 pub use selector::{DynamicSelector, Predictor};

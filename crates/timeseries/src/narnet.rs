@@ -326,7 +326,11 @@ mod tests {
         let mut y = vec![0.5f64, -0.3];
         for t in 2..1_200 {
             let prev: f64 = y[t - 1];
-            let v = if prev > 0.0 { 0.9 * prev - 0.4 } else { -0.7 * prev + 0.3 };
+            let v = if prev > 0.0 {
+                0.9 * prev - 0.4
+            } else {
+                -0.7 * prev + 0.3
+            };
             y.push(v + 0.05 * ((t as f64) * 1.7).sin());
         }
         let split = 900;

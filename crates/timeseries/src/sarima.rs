@@ -312,9 +312,7 @@ mod tests {
     fn seasonal_difference_removes_period() {
         // pure periodic signal: seasonal difference is exactly zero
         let s = 12;
-        let y: Vec<f64> = (0..120)
-            .map(|t| ((t % s) as f64) * 2.0 + 5.0)
-            .collect();
+        let y: Vec<f64> = (0..120).map(|t| ((t % s) as f64) * 2.0 + 5.0).collect();
         let (w, seeds) = seasonal_difference(&y, s, 1);
         assert!(w.iter().all(|v| v.abs() < 1e-12));
         assert_eq!(seeds[0].len(), s);
@@ -323,10 +321,14 @@ mod tests {
     #[test]
     fn seasonal_undifference_inverts() {
         let s = 4;
-        let y: Vec<f64> = (0..32).map(|t| (t as f64 * 0.7).sin() * 3.0 + t as f64 * 0.1).collect();
+        let y: Vec<f64> = (0..32)
+            .map(|t| (t as f64 * 0.7).sin() * 3.0 + t as f64 * 0.1)
+            .collect();
         // difference the full series, then "forecast" the true future
         // values' differences and invert: must reproduce them
-        let future: Vec<f64> = (32..40).map(|t| (t as f64 * 0.7).sin() * 3.0 + t as f64 * 0.1).collect();
+        let future: Vec<f64> = (32..40)
+            .map(|t| (t as f64 * 0.7).sin() * 3.0 + t as f64 * 0.1)
+            .collect();
         let mut extended = y.clone();
         extended.extend_from_slice(&future);
         let (wext, _) = seasonal_difference(&extended, s, 1);
@@ -341,8 +343,12 @@ mod tests {
     #[test]
     fn two_level_seasonal_roundtrip() {
         let s = 3;
-        let y: Vec<f64> = (0..60).map(|t| (t * t) as f64 * 0.01 + (t % 3) as f64).collect();
-        let future: Vec<f64> = (60..66).map(|t| (t * t) as f64 * 0.01 + (t % 3) as f64).collect();
+        let y: Vec<f64> = (0..60)
+            .map(|t| (t * t) as f64 * 0.01 + (t % 3) as f64)
+            .collect();
+        let future: Vec<f64> = (60..66)
+            .map(|t| (t * t) as f64 * 0.01 + (t % 3) as f64)
+            .collect();
         let mut ext = y.clone();
         ext.extend_from_slice(&future);
         let (wext, _) = seasonal_difference(&ext, s, 2);

@@ -257,7 +257,9 @@ mod tests {
             seed: 9,
         });
         let split = 5 * s;
-        let mut models = vec![Predictor::HoltWinters(crate::holtwinters::HwConfig::with_season(s))];
+        let mut models = vec![Predictor::HoltWinters(
+            crate::holtwinters::HwConfig::with_season(s),
+        )];
         if let Ok(m) = crate::sarima::SarimaModel::fit(
             &y[..split],
             crate::sarima::SarimaSpec::new(1, 0, 0, 1, 1, 0, s),

@@ -28,12 +28,7 @@ pub fn autocovariance(y: &[f64], max_lag: usize) -> Vec<f64> {
     assert!(max_lag < n, "max_lag must be < series length");
     let m = mean(y);
     (0..=max_lag)
-        .map(|k| {
-            (0..n - k)
-                .map(|t| (y[t] - m) * (y[t + k] - m))
-                .sum::<f64>()
-                / n as f64
-        })
+        .map(|k| (0..n - k).map(|t| (y[t] - m) * (y[t + k] - m)).sum::<f64>() / n as f64)
         .collect()
 }
 

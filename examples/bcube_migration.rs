@@ -40,7 +40,10 @@ fn main() {
     println!("\nworkload std-dev per round:");
     for (round, v) in trajectory.iter().enumerate() {
         if round % 4 == 0 || round == trajectory.len() - 1 {
-            println!("  round {round:>2}: {v:5.1}%  {}", "#".repeat((*v) as usize));
+            println!(
+                "  round {round:>2}: {v:5.1}%  {}",
+                "#".repeat((*v) as usize)
+            );
         }
     }
     println!(

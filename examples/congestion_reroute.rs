@@ -40,8 +40,18 @@ fn main() {
         &cluster.dcn,
         &cluster.placement,
         vec![
-            Flow { src, dst, rate: 0.95, delay_sensitive: false },
-            Flow { src: dst, dst: src, rate: 0.30, delay_sensitive: true },
+            Flow {
+                src,
+                dst,
+                rate: 0.95,
+                delay_sensitive: false,
+            },
+            Flow {
+                src: dst,
+                dst: src,
+                rate: 0.30,
+                delay_sensitive: true,
+            },
         ],
     );
     println!("flow {src}->{dst} at 0.95 over edge links of capacity 1.0");

@@ -69,7 +69,11 @@ fn main() {
             _ => None,
         })
         .collect();
-    println!("{} alerting hosts, {} candidate VMs\n", alerts.len(), candidates.len());
+    println!(
+        "{} alerting hosts, {} candidate VMs\n",
+        alerts.len(),
+        candidates.len()
+    );
 
     // --- regional Sheriff -------------------------------------------------
     let sheriff = Sheriff::new(&regional);

@@ -26,15 +26,17 @@ fn main() {
     let (spec, model) = select(train, &cfg).expect("non-seasonal selection");
     println!("Box–Jenkins selected {spec} (AIC {:.1})", model.aic());
 
-    let (sspec, smodel) =
-        select_seasonal(train, season, &cfg).expect("seasonal selection");
+    let (sspec, smodel) = select_seasonal(train, season, &cfg).expect("seasonal selection");
     println!("seasonal grid selected {sspec} (AIC {:.1})", smodel.aic());
 
     // --- 2. residual diagnostics -------------------------------------------
     let report = diagnose_arima(&model, train, 12);
     println!(
         "\n{} diagnostics: residual mean {:+.3}, variance {:.3}, Ljung–Box Q {:.1}, white: {}",
-        report.model, report.residual_mean, report.residual_variance, report.ljung_box_q,
+        report.model,
+        report.residual_mean,
+        report.residual_variance,
+        report.ljung_box_q,
         report.residuals_white
     );
     let sreport = diagnose_sarima(&smodel, train, 12);
@@ -67,8 +69,8 @@ fn main() {
         Some(h) => println!(
             "\nupper-band crosses {threshold:.1} at t+{h}: raise the pre-alert {h} steps early"
         ),
-        None => println!(
-            "\nupper band stays below {threshold:.1} across the horizon: no alert needed"
-        ),
+        None => {
+            println!("\nupper band stays below {threshold:.1} across the horizon: no alert needed")
+        }
     }
 }

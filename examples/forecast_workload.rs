@@ -89,7 +89,10 @@ fn main() {
         actual.max()
     );
     if predicted.exceeds(0.9) {
-        println!("  -> shim would raise a pre-alert (severity {:.2})", predicted.max());
+        println!(
+            "  -> shim would raise a pre-alert (severity {:.2})",
+            predicted.max()
+        );
     } else {
         println!("  -> no alert: predicted profile under the 0.9 threshold");
     }

@@ -61,7 +61,10 @@ fn main() {
             });
         }
     }
-    println!("{} flows between dependent VMs + 2 elephants", flows_list.len());
+    println!(
+        "{} flows between dependent VMs + 2 elephants",
+        flows_list.len()
+    );
 
     let flows = FlowNetwork::route(&cluster.dcn, &cluster.placement, flows_list);
     let mut system = System::new(cluster, flows);

@@ -38,13 +38,15 @@ pub mod prelude {
         Alert, AlertSource, ArimaProfilePredictor, CongestionSim, Profile, RackMetric, SimConfig,
         TorMonitor, VmWorkload,
     };
+    pub use dcn_sim::{ChannelFaults, FaultInjector};
     pub use dcn_topology::bcube::{self, BCubeConfig};
     pub use dcn_topology::dcell::{self, DCellConfig};
     pub use dcn_topology::fattree::{self, FatTreeConfig};
     pub use dcn_topology::{Dcn, DependencyGraph, HostId, Placement, RackId, VmId, VmSpec};
     pub use sheriff_core::{
-        distributed_round, drain_rack, evacuate_host, priority, sharded_round, vmmigration,
-        Budget, MigrationContext, MigrationPlan, RoundReport, Sheriff, System,
+        distributed_round, drain_rack, evacuate_host, fabric_round, priority, sharded_round,
+        vmmigration, Budget, DistributedReport, FabricConfig, MigrationContext, MigrationPlan,
+        RoundReport, Sheriff, System,
     };
     pub use timeseries::{
         ArimaModel, ArimaSpec, DynamicSelector, HoltWinters, HwConfig, Narnet, NarnetConfig,

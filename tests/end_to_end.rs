@@ -23,7 +23,7 @@ fn cluster_on(dcn: Dcn, seed: u64, workload_len: usize) -> Cluster {
 fn full_pipeline_prediction_to_migration() {
     // 1. build a populated Fat-Tree with real per-VM workload traces
     let dcn = fattree::build(&FatTreeConfig::paper(4));
-    let mut cluster = cluster_on(dcn, 7, 200);
+    let mut cluster = cluster_on(dcn, 8, 200);
     let metric = RackMetric::build(&cluster.dcn, &cluster.sim);
     let sheriff = Sheriff::new(&cluster);
 
@@ -42,7 +42,9 @@ fn full_pipeline_prediction_to_migration() {
         .vm_ids()
         .map(|vm| cluster.placement.utilization(cluster.placement.host_of(vm)))
         .collect();
-    let report = sheriff.round(&mut cluster, &metric, None, &alerts, &|vm| utils[vm.index()]);
+    let report = sheriff.round(&mut cluster, &metric, None, &alerts, &|vm| {
+        utils[vm.index()]
+    });
     assert!(report.shims_active > 0);
 
     // 4. invariants hold afterwards
@@ -62,11 +64,7 @@ fn balance_improves_on_both_topologies() {
         let metric = RackMetric::build(&cluster.dcn, &cluster.sim);
         let sheriff = Sheriff::new(&cluster);
         let (traj, plan) = sheriff.balance_trajectory(&mut cluster, &metric, 0.05, 24);
-        assert!(
-            *traj.last().unwrap() < traj[0] * 0.7,
-            "{name}: {:?}",
-            traj
-        );
+        assert!(*traj.last().unwrap() < traj[0] * 0.7, "{name}: {:?}", traj);
         assert!(!plan.moves.is_empty(), "{name}: no moves");
         // no dependency conflicts were created
         for vm in cluster.placement.vm_ids() {
@@ -109,8 +107,14 @@ fn sequential_and_distributed_runtimes_both_balance() {
             .collect();
         sheriff_dcn::sheriff::distributed_round(&mut dist, &metric, &alerts, &vals, 3);
     }
-    assert!(seq.utilization_stddev() < initial * 0.75, "sequential runtime stalled");
-    assert!(dist.utilization_stddev() < initial * 0.75, "distributed runtime stalled");
+    assert!(
+        seq.utilization_stddev() < initial * 0.75,
+        "sequential runtime stalled"
+    );
+    assert!(
+        dist.utilization_stddev() < initial * 0.75,
+        "distributed runtime stalled"
+    );
 }
 
 #[test]
@@ -192,7 +196,10 @@ fn forecasting_feeds_alert_rule_end_to_end() {
     let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     for f in fc {
-        assert!(f > lo - (hi - lo) && f < hi + (hi - lo), "runaway forecast {f}");
+        assert!(
+            f > lo - (hi - lo) && f < hi + (hi - lo),
+            "runaway forecast {f}"
+        );
     }
 }
 

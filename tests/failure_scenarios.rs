@@ -50,7 +50,13 @@ fn migrations_avoid_dead_links() {
     // cut every uplink of rack 0 except one: migrations out of rack 0
     // must still succeed through the survivor
     let node = c.dcn.rack_node(RackId(0));
-    let edges: Vec<_> = c.dcn.graph.neighbors(node).iter().map(|&(_, e)| e).collect();
+    let edges: Vec<_> = c
+        .dcn
+        .graph
+        .neighbors(node)
+        .iter()
+        .map(|&(_, e)| e)
+        .collect();
     for &e in &edges[1..] {
         fail_link(&mut c.dcn, e);
     }
@@ -141,7 +147,13 @@ fn partitioned_rack_reports_unplaced_instead_of_panicking() {
     let mut c = cluster(55);
     // isolate rack 0 completely
     let node = c.dcn.rack_node(RackId(0));
-    let edges: Vec<_> = c.dcn.graph.neighbors(node).iter().map(|&(_, e)| e).collect();
+    let edges: Vec<_> = c
+        .dcn
+        .graph
+        .neighbors(node)
+        .iter()
+        .map(|&(_, e)| e)
+        .collect();
     for e in edges {
         fail_link(&mut c.dcn, e);
     }

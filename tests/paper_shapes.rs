@@ -51,7 +51,10 @@ fn fig8_combined_model_is_competitive() {
         .expect("combined note present");
     let combined: f64 = extract(note, "test MSE = ");
     let best: f64 = extract(note, "best single = ");
-    assert!(combined <= best * 1.25, "combined {combined} vs best {best}");
+    assert!(
+        combined <= best * 1.25,
+        "combined {combined} vs best {best}"
+    );
 }
 
 #[test]
@@ -59,11 +62,7 @@ fn fig9_fig10_balance_curves_decline() {
     for t in [balance::fig9(1), balance::fig10(1)] {
         let first = t.rows.first().unwrap()[1];
         let last = t.rows.last().unwrap()[1];
-        assert!(
-            last < first * 0.65,
-            "{}: {first:.1} -> {last:.1}",
-            t.id
-        );
+        assert!(last < first * 0.65, "{}: {first:.1} -> {last:.1}", t.id);
         // near-monotone decline, as in the paper's curves
         let ups = t
             .rows
@@ -79,8 +78,14 @@ fn fig11_to_14_shapes_hold_at_reduced_scale() {
     for topo in [Topo::FatTree, Topo::BCube] {
         let (cost, space) = sweep(topo, &[4, 8, 12], 1);
         // cost grows with scale for both managers
-        assert!(cost.rows[2][2] > cost.rows[0][2], "{topo:?} sheriff cost flat");
-        assert!(cost.rows[2][3] > cost.rows[0][3], "{topo:?} central cost flat");
+        assert!(
+            cost.rows[2][2] > cost.rows[0][2],
+            "{topo:?} sheriff cost flat"
+        );
+        assert!(
+            cost.rows[2][3] > cost.rows[0][3],
+            "{topo:?} central cost flat"
+        );
         // Sheriff stays close to the centralized optimal
         for row in &cost.rows {
             if row[3] > 0.0 {

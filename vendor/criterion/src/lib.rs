@@ -1,0 +1,139 @@
+//! Offline stand-in for `criterion`: each benchmark runs its closure once
+//! (a smoke test) instead of measuring.
+
+use std::fmt;
+use std::time::Instant;
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let _ = f();
+        let _ = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let _ = routine(input);
+    }
+}
+
+/// Batch sizing hint; irrelevant to the run-once stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function: S, parameter: P) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        eprintln!("bench(stub): {id}");
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench(stub): {}", id.0);
+        f(&mut Bencher { _private: () }, input);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// Run-once group: same surface as criterion's, no measurement.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        eprintln!("bench(stub): {}/{id}", self.name);
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        eprintln!("bench(stub): {}/{}", self.name, id.0);
+        f(&mut Bencher { _private: () }, input);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

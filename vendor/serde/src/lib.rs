@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`: blanket-implemented marker traits plus
+//! no-op derives. Serialization itself is not supported (serde_json stub
+//! emits placeholders).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}
