@@ -2,11 +2,12 @@
 //! evaluation (Sec. VI).
 //!
 //! ```text
-//! experiments <id|all> [--seed N] [--out DIR] [--quick]
+//! experiments <id|all> [--seed N] [--out DIR] [--quick] [--trace]
 //!   ids: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 ratio
 //!   --seed N   RNG seed (default 42)
 //!   --out DIR  also write each table as JSON (default: results/)
 //!   --quick    smaller sweeps for fast smoke runs
+//!   --trace    also stream a full-system event trace to DIR/trace.jsonl
 //! ```
 //!
 //! `fig11`/`fig12` share one Fat-Tree sweep and `fig13`/`fig14` one BCube
@@ -22,6 +23,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     quick: bool,
+    trace: bool,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +31,7 @@ fn parse_args() -> Args {
     let mut seed = 42u64;
     let mut out = PathBuf::from("results");
     let mut quick = false;
+    let mut trace = false;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -42,6 +45,7 @@ fn parse_args() -> Args {
                 out = PathBuf::from(argv.next().unwrap_or_else(|| die("--out needs a path")));
             }
             "--quick" => quick = true,
+            "--trace" => trace = true,
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -58,6 +62,7 @@ fn parse_args() -> Args {
         seed,
         out,
         quick,
+        trace,
     }
 }
 
@@ -69,7 +74,7 @@ fn die(msg: &str) -> ! {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <id|all>... [--seed N] [--out DIR] [--quick]\n       ids: fig3..fig14, ratio, prealert, dcell, vl2, qcn"
+        "usage: experiments <id|all>... [--seed N] [--out DIR] [--quick] [--trace]\n       ids: fig3..fig14, ratio, prealert, dcell, vl2, qcn"
     );
 }
 
@@ -175,4 +180,15 @@ fn main() {
         args.out.display(),
         emitted.join(", ")
     );
+
+    if args.trace {
+        let steps = if args.quick { 20 } else { 60 };
+        match sheriff_bench::obs_trace::trace_run(&args.out, args.seed, steps) {
+            Ok(events) => println!(
+                "streamed {events} events over {steps} rounds to {}/trace.jsonl",
+                args.out.display()
+            ),
+            Err(e) => eprintln!("warning: trace run failed: {e}"),
+        }
+    }
 }

@@ -12,6 +12,7 @@ pub mod ablation;
 pub mod balance;
 pub mod congestion_exp;
 pub mod forecast;
+pub mod obs_trace;
 pub mod prealert;
 pub mod ratio;
 pub mod report;

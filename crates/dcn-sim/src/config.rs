@@ -1,5 +1,6 @@
 //! Simulation parameters, defaulting to the paper's settings (Sec. VI-B).
 
+use crate::error::{check_probability, SheriffError};
 use serde::{Deserialize, Serialize};
 
 /// Global simulation configuration.
@@ -109,6 +110,21 @@ impl ChannelFaults {
             && self.reorder == 0.0
             && self.delay_min == self.delay_max
     }
+
+    /// Check every probability is in `[0, 1]` and the delay window is
+    /// non-empty — the invariants `SimNet` construction relies on.
+    pub fn validate(&self) -> Result<(), SheriffError> {
+        check_probability("channel.drop", self.drop)?;
+        check_probability("channel.duplicate", self.duplicate)?;
+        check_probability("channel.reorder", self.reorder)?;
+        if self.delay_max < self.delay_min {
+            return Err(SheriffError::InvalidDelayWindow {
+                min: self.delay_min,
+                max: self.delay_max,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimConfig {
@@ -136,6 +152,50 @@ impl SimConfig {
     /// The exact settings of the paper's Sec. VI-B simulation.
     pub fn paper() -> Self {
         Self::default()
+    }
+
+    /// Check the configuration is internally consistent: cost weights
+    /// finite and non-negative, thresholds and release fractions within
+    /// `[0, 1]`, a positive round period, and a valid channel model.
+    pub fn validate(&self) -> Result<(), SheriffError> {
+        let nonneg: [(&'static str, f64); 6] = [
+            ("c_r", self.c_r),
+            ("delta", self.delta),
+            ("eta", self.eta),
+            ("c_d", self.c_d),
+            ("bandwidth_threshold", self.bandwidth_threshold),
+            ("load_balance_weight", self.load_balance_weight),
+        ];
+        for (field, v) in nonneg {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SheriffError::InvalidSimConfig {
+                    field,
+                    reason: format!("must be finite and >= 0, got {v}"),
+                });
+            }
+        }
+        if !self.vm_capacity_max.is_finite() || self.vm_capacity_max <= 0.0 {
+            return Err(SheriffError::InvalidSimConfig {
+                field: "vm_capacity_max",
+                reason: format!("must be finite and > 0, got {}", self.vm_capacity_max),
+            });
+        }
+        check_probability("alert_threshold", self.alert_threshold)?;
+        check_probability("alpha", self.alpha)?;
+        check_probability("beta", self.beta)?;
+        if !self.period_secs.is_finite() || self.period_secs <= 0.0 {
+            return Err(SheriffError::InvalidSimConfig {
+                field: "period_secs",
+                reason: format!("must be finite and > 0, got {}", self.period_secs),
+            });
+        }
+        if self.reroute_paths == 0 {
+            return Err(SheriffError::InvalidSimConfig {
+                field: "reroute_paths",
+                reason: "at least one candidate path is required".into(),
+            });
+        }
+        self.channel.validate()
     }
 }
 
@@ -167,6 +227,33 @@ mod tests {
             .is_reliable(),
             "random delay can reorder across senders"
         );
+    }
+
+    #[test]
+    fn validate_accepts_paper_and_rejects_bad_fields() {
+        assert!(SimConfig::paper().validate().is_ok());
+        assert!(ChannelFaults::lossy(0.3).validate().is_ok());
+        let bad = SimConfig {
+            alert_threshold: 1.5,
+            ..SimConfig::paper()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimConfig {
+            period_secs: 0.0,
+            ..SimConfig::paper()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ChannelFaults {
+            drop: -0.1,
+            ..ChannelFaults::reliable()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ChannelFaults {
+            delay_min: 5,
+            delay_max: 2,
+            ..ChannelFaults::reliable()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

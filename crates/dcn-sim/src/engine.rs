@@ -5,6 +5,7 @@
 
 use crate::alert::{Alert, AlertSource};
 use crate::config::SimConfig;
+use crate::error::SheriffError;
 use crate::workload::{Feature, Profile, VmWorkload};
 use dcn_topology::dependency::DependencyGraph;
 use dcn_topology::{Dcn, HostId, Placement, RackId, VmId, VmSpec};
@@ -51,6 +52,59 @@ impl Default for ClusterConfig {
     }
 }
 
+impl ClusterConfig {
+    /// Check every field is in the range the population loop relies on
+    /// (ranges ordered, probabilities in `[0, 1]`, rates finite and
+    /// non-negative) — the invariants that otherwise surface as panics
+    /// deep inside `rand`.
+    pub fn validate(&self) -> Result<(), SheriffError> {
+        let bad = |field: &'static str, reason: String| {
+            Err(SheriffError::InvalidClusterConfig { field, reason })
+        };
+        if !self.vms_per_host.is_finite() || self.vms_per_host < 0.0 {
+            return bad(
+                "vms_per_host",
+                format!("must be finite and >= 0, got {}", self.vms_per_host),
+            );
+        }
+        let (lo, hi) = self.vm_capacity_range;
+        if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi < lo {
+            return bad(
+                "vm_capacity_range",
+                format!("needs 0 < lo <= hi, got ({lo}, {hi})"),
+            );
+        }
+        let (vlo, vhi) = self.vm_value_range;
+        if !(vlo.is_finite() && vhi.is_finite()) || vlo < 0.0 || vhi < vlo {
+            return bad(
+                "vm_value_range",
+                format!("needs 0 <= lo <= hi, got ({vlo}, {vhi})"),
+            );
+        }
+        if !self.delay_sensitive_fraction.is_finite()
+            || !(0.0..=1.0).contains(&self.delay_sensitive_fraction)
+        {
+            return bad(
+                "delay_sensitive_fraction",
+                format!("must be in [0, 1], got {}", self.delay_sensitive_fraction),
+            );
+        }
+        if !self.dependency_degree.is_finite() || self.dependency_degree < 0.0 {
+            return bad(
+                "dependency_degree",
+                format!("must be finite and >= 0, got {}", self.dependency_degree),
+            );
+        }
+        if !self.skew.is_finite() || self.skew < 0.0 {
+            return bad(
+                "skew",
+                format!("must be finite and >= 0, got {}", self.skew),
+            );
+        }
+        Ok(())
+    }
+}
+
 /// A fully-populated simulated data center.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -68,7 +122,23 @@ pub struct Cluster {
 
 impl Cluster {
     /// Populate a topology with VMs according to `ccfg`.
+    ///
+    /// Panics on invalid configuration; use [`Cluster::try_build`] (or
+    /// the `SystemBuilder` in `sheriff-core`) to get a typed error
+    /// instead.
     pub fn build(dcn: Dcn, ccfg: &ClusterConfig, sim: SimConfig) -> Self {
+        Self::try_build(dcn, ccfg, sim).expect("invalid cluster configuration")
+    }
+
+    /// Fallible [`Cluster::build`]: validates the topology and both
+    /// configs before populating, returning a [`SheriffError`] on any
+    /// out-of-range field instead of panicking mid-population.
+    pub fn try_build(dcn: Dcn, ccfg: &ClusterConfig, sim: SimConfig) -> Result<Self, SheriffError> {
+        if dcn.inventory.host_count() == 0 {
+            return Err(SheriffError::EmptyTopology);
+        }
+        ccfg.validate()?;
+        sim.validate()?;
         let mut rng = StdRng::seed_from_u64(ccfg.seed);
         let mut placement = Placement::new(&dcn.inventory);
         let host_count = dcn.inventory.host_count();
@@ -128,13 +198,13 @@ impl Cluster {
                 }
             }
         }
-        Self {
+        Ok(Self {
             dcn,
             placement,
             deps,
             workloads,
             sim,
-        }
+        })
     }
 
     /// Observed profile of a VM at step `t` (requires workloads).
@@ -353,6 +423,30 @@ mod tests {
         for vm in a.placement.vm_ids() {
             assert_eq!(a.placement.host_of(vm), b.placement.host_of(vm));
         }
+    }
+
+    #[test]
+    fn try_build_rejects_bad_configs() {
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let bad = ClusterConfig {
+            vm_capacity_range: (10.0, 5.0),
+            ..ClusterConfig::default()
+        };
+        let err = Cluster::try_build(dcn.clone(), &bad, SimConfig::paper()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SheriffError::InvalidClusterConfig {
+                field: "vm_capacity_range",
+                ..
+            }
+        ));
+        let bad = ClusterConfig {
+            delay_sensitive_fraction: 2.0,
+            ..ClusterConfig::default()
+        };
+        assert!(Cluster::try_build(dcn.clone(), &bad, SimConfig::paper()).is_err());
+        let ok = Cluster::try_build(dcn, &ClusterConfig::default(), SimConfig::paper());
+        assert!(ok.is_ok());
     }
 
     #[test]

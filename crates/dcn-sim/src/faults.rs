@@ -8,6 +8,7 @@ use dcn_topology::graph::EdgeIdx;
 use dcn_topology::placement::Placement;
 use dcn_topology::{Dcn, HostId, RackId, VmId};
 use rand::Rng;
+use sheriff_obs::{emit, Event, EventSink, FaultKind};
 use std::collections::{BTreeSet, HashMap};
 
 /// Kill one link: its available bandwidth drops to zero, putting it
@@ -173,6 +174,99 @@ impl FaultInjector {
     pub fn crashed_shims(&self) -> impl Iterator<Item = RackId> + '_ {
         self.down_shims.iter().copied()
     }
+
+    /// Borrow the injector together with an [`EventSink`]: every fault
+    /// applied through the returned handle also emits a
+    /// [`Event::FaultInjected`], so
+    /// failure scenarios show up in the same trace as the control loop
+    /// reacting to them.
+    pub fn observed<'a, S: EventSink + ?Sized>(
+        &'a mut self,
+        sink: &'a mut S,
+    ) -> ObservedFaults<'a, S> {
+        ObservedFaults {
+            injector: self,
+            sink,
+        }
+    }
+}
+
+/// A [`FaultInjector`] paired with an [`EventSink`]; see
+/// [`FaultInjector::observed`]. Only state-changing operations emit an
+/// event (a double-fail no-op stays silent).
+pub struct ObservedFaults<'a, S: EventSink + ?Sized> {
+    injector: &'a mut FaultInjector,
+    sink: &'a mut S,
+}
+
+impl<S: EventSink + ?Sized> ObservedFaults<'_, S> {
+    /// [`FaultInjector::fail_link`], emitting `FaultInjected(LinkDown)`.
+    pub fn fail_link(&mut self, dcn: &mut Dcn, e: EdgeIdx) {
+        if !self.injector.link_down(e) {
+            self.injector.fail_link(dcn, e);
+            emit(self.sink, || Event::FaultInjected {
+                kind: FaultKind::LinkDown,
+                id: e as u64,
+            });
+        }
+    }
+
+    /// [`FaultInjector::restore_link`], emitting `FaultInjected(LinkUp)`.
+    pub fn restore_link(&mut self, dcn: &mut Dcn, e: EdgeIdx) {
+        if self.injector.link_down(e) {
+            self.injector.restore_link(dcn, e);
+            emit(self.sink, || Event::FaultInjected {
+                kind: FaultKind::LinkUp,
+                id: e as u64,
+            });
+        }
+    }
+
+    /// [`FaultInjector::fail_host`], emitting `FaultInjected(HostDown)`.
+    pub fn fail_host(&mut self, placement: &mut Placement, host: HostId) -> Vec<VmId> {
+        if self.injector.host_down(host) {
+            return Vec::new();
+        }
+        let stranded = self.injector.fail_host(placement, host);
+        emit(self.sink, || Event::FaultInjected {
+            kind: FaultKind::HostDown,
+            id: host.index() as u64,
+        });
+        stranded
+    }
+
+    /// [`FaultInjector::restore_host`], emitting `FaultInjected(HostUp)`.
+    pub fn restore_host(&mut self, placement: &mut Placement, host: HostId) {
+        if self.injector.host_down(host) {
+            self.injector.restore_host(placement, host);
+            emit(self.sink, || Event::FaultInjected {
+                kind: FaultKind::HostUp,
+                id: host.index() as u64,
+            });
+        }
+    }
+
+    /// [`FaultInjector::crash_shim`], emitting `FaultInjected(ShimDown)`.
+    pub fn crash_shim(&mut self, rack: RackId) {
+        if !self.injector.shim_down(rack) {
+            self.injector.crash_shim(rack);
+            emit(self.sink, || Event::FaultInjected {
+                kind: FaultKind::ShimDown,
+                id: rack.index() as u64,
+            });
+        }
+    }
+
+    /// [`FaultInjector::recover_shim`], emitting `FaultInjected(ShimUp)`.
+    pub fn recover_shim(&mut self, rack: RackId) {
+        if self.injector.shim_down(rack) {
+            self.injector.recover_shim(rack);
+            emit(self.sink, || Event::FaultInjected {
+                kind: FaultKind::ShimUp,
+                id: rack.index() as u64,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +401,38 @@ mod tests {
         inj.restore_host(&mut cluster.placement, host);
         assert!(!inj.host_down(host));
         assert!(cluster.placement.is_host_online(host));
+    }
+
+    #[test]
+    fn observed_injector_emits_fault_events() {
+        use sheriff_obs::RingRecorder;
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        let mut inj = FaultInjector::new();
+        let mut rec = RingRecorder::new(16);
+        let mut obs = inj.observed(&mut rec);
+        obs.fail_link(&mut dcn, 2);
+        obs.fail_link(&mut dcn, 2); // no-op: no second event
+        obs.crash_shim(RackId(1));
+        obs.restore_link(&mut dcn, 2);
+        assert_eq!(
+            rec.to_vec(),
+            vec![
+                Event::FaultInjected {
+                    kind: FaultKind::LinkDown,
+                    id: 2
+                },
+                Event::FaultInjected {
+                    kind: FaultKind::ShimDown,
+                    id: 1
+                },
+                Event::FaultInjected {
+                    kind: FaultKind::LinkUp,
+                    id: 2
+                },
+            ]
+        );
+        assert!(inj.shim_down(RackId(1)));
+        assert!(!inj.link_down(2));
     }
 
     #[test]

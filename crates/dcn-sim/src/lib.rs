@@ -23,6 +23,7 @@ pub mod alert;
 pub mod config;
 pub mod congestion;
 pub mod engine;
+pub mod error;
 pub mod faults;
 pub mod flows;
 pub mod forecaster;
@@ -35,7 +36,8 @@ pub use alert::{Alert, AlertSource, VmAlert};
 pub use config::{ChannelFaults, SimConfig};
 pub use congestion::{CongestionConfig, CongestionSim};
 pub use engine::{Cluster, ClusterConfig, HoltPredictor, LastValue, ProfilePredictor};
-pub use faults::FaultInjector;
+pub use error::SheriffError;
+pub use faults::{FaultInjector, ObservedFaults};
 pub use flows::{Flow, FlowNetwork};
 pub use forecaster::ArimaProfilePredictor;
 pub use migration::{precopy_timeline, MigrationTimeline, RackMetric};

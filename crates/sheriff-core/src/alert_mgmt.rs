@@ -10,10 +10,11 @@
 
 use crate::priority::{priority, Budget};
 use crate::reroute::{flow_reroute, flow_reroute_balanced, RerouteReport};
-use crate::vmmigration::{vmmigration, MigrationContext, MigrationPlan};
+use crate::vmmigration::{vmmigration_scoped_obs, MigrationContext, MigrationPlan};
 use dcn_sim::flows::FlowNetwork;
 use dcn_sim::{Alert, AlertSource};
 use dcn_topology::{Dcn, NodeId, RackId, VmId};
+use sheriff_obs::{emit, Event, EventSink, NullSink};
 
 /// Everything one shim did in one management round.
 #[derive(Debug, Clone, Default)]
@@ -39,14 +40,43 @@ pub struct ShimOutcome {
 pub fn pre_alert_management(
     ctx: &mut MigrationContext<'_>,
     dcn: &Dcn,
-    mut flows: Option<&mut FlowNetwork>,
+    flows: Option<&mut FlowNetwork>,
     rack: RackId,
     region: &[RackId],
     alerts: &[Alert],
     alert_of: &dyn Fn(VmId) -> f64,
     max_rounds: usize,
 ) -> ShimOutcome {
+    pre_alert_management_obs(
+        ctx,
+        dcn,
+        flows,
+        rack,
+        region,
+        alerts,
+        alert_of,
+        max_rounds,
+        &mut NullSink,
+    )
+}
+
+/// [`pre_alert_management`] with instrumentation: PRIORITY selections
+/// (`victims_selected`), reroute outcomes (`flows_rerouted`) and the
+/// whole VMMIGRATION negotiation are emitted to `sink`.
+#[allow(clippy::too_many_arguments)] // Alg. 1 signature + sink
+pub fn pre_alert_management_obs<S: EventSink + ?Sized>(
+    ctx: &mut MigrationContext<'_>,
+    dcn: &Dcn,
+    mut flows: Option<&mut FlowNetwork>,
+    rack: RackId,
+    region: &[RackId],
+    alerts: &[Alert],
+    alert_of: &dyn Fn(VmId) -> f64,
+    max_rounds: usize,
+    sink: &mut S,
+) -> ShimOutcome {
     let mut outcome = ShimOutcome::default();
+    let mut candidate_pool = 0usize;
     let mut migration_set: Vec<VmId> = Vec::new();
     let mut tor_alert = false;
 
@@ -129,6 +159,12 @@ pub fn pre_alert_management(
                 } else {
                     flow_reroute(dcn, ctx.placement, flow_net, sw, &chosen_flow_ids)
                 };
+                emit(sink, || Event::FlowsRerouted {
+                    rack: rack.index() as u64,
+                    rerouted: r.rerouted as u64,
+                    stuck: r.stuck as u64,
+                });
+                sink.counter("reroutes.flows", r.rerouted as u64);
                 outcome.reroutes.rerouted += r.rerouted;
                 outcome.reroutes.stuck += r.stuck;
                 outcome.reroutes.skipped_delay_sensitive += r.skipped_delay_sensitive;
@@ -138,6 +174,7 @@ pub fn pre_alert_management(
             }
             AlertSource::Host(h) => {
                 let f: Vec<VmId> = ctx.placement.vms_on(h).to_vec();
+                candidate_pool += f.len();
                 migration_set.extend(priority(
                     &f,
                     ctx.placement,
@@ -156,6 +193,7 @@ pub fn pre_alert_management(
             f.extend_from_slice(ctx.placement.vms_on(host));
         }
         let tor_capacity = ctx.inventory.rack(rack).tor_capacity;
+        candidate_pool += f.len();
         migration_set.extend(priority(
             &f,
             ctx.placement,
@@ -168,7 +206,12 @@ pub fn pre_alert_management(
     migration_set.dedup();
     outcome.migration_candidates = migration_set.len();
     if !migration_set.is_empty() {
-        outcome.plan = vmmigration(ctx, &migration_set, region, max_rounds);
+        emit(sink, || Event::VictimsSelected {
+            rack: rack.index() as u64,
+            candidates: candidate_pool as u64,
+            selected: migration_set.len() as u64,
+        });
+        outcome.plan = vmmigration_scoped_obs(ctx, &migration_set, region, max_rounds, true, sink);
     }
     outcome
 }

@@ -11,21 +11,37 @@
 //! ToRs for the alerting source ToRs by local search (Alg. 5) over the
 //! collapsed metric `Cost(v_i, v_p)`.
 
-use crate::kmedian::{local_search, KMedianInstance, KMedianSolution};
-use crate::vmmigration::{vmmigration, MigrationContext, MigrationPlan};
+use crate::kmedian::{greedy_init, local_search_from_obs, KMedianInstance, KMedianSolution};
+use crate::vmmigration::{vmmigration_scoped_obs, MigrationContext, MigrationPlan};
 use dcn_topology::{RackId, VmId};
+use sheriff_obs::{EventSink, NullSink};
 
 /// Run the centralized manager over all alerting candidates: one global
 /// VMMIGRATION whose target region is the entire rack set.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `CentralizedRuntime` via the `Runtime` trait, or `centralized_migration_obs`"
+)]
 pub fn centralized_migration(
     ctx: &mut MigrationContext<'_>,
     candidates: &[VmId],
     max_rounds: usize,
 ) -> MigrationPlan {
+    centralized_migration_obs(ctx, candidates, max_rounds, &mut NullSink)
+}
+
+/// [`centralized_migration`] with an [`EventSink`] observing every
+/// REQUEST/verdict and the final plan summary.
+pub fn centralized_migration_obs<S: EventSink + ?Sized>(
+    ctx: &mut MigrationContext<'_>,
+    candidates: &[VmId],
+    max_rounds: usize,
+    sink: &mut S,
+) -> MigrationPlan {
     let all_racks: Vec<RackId> = (0..ctx.inventory.rack_count())
         .map(RackId::from_index)
         .collect();
-    vmmigration(ctx, candidates, &all_racks, max_rounds)
+    vmmigration_scoped_obs(ctx, candidates, &all_racks, max_rounds, true, sink)
 }
 
 /// Like [`centralized_migration`] but processes candidates in chunks of
@@ -41,10 +57,22 @@ pub fn centralized_migration_chunked(
     chunk: usize,
     max_rounds: usize,
 ) -> MigrationPlan {
+    centralized_migration_chunked_obs(ctx, candidates, chunk, max_rounds, &mut NullSink)
+}
+
+/// [`centralized_migration_chunked`] with an [`EventSink`]: each chunk
+/// contributes its own `plan_computed` summary.
+pub fn centralized_migration_chunked_obs<S: EventSink + ?Sized>(
+    ctx: &mut MigrationContext<'_>,
+    candidates: &[VmId],
+    chunk: usize,
+    max_rounds: usize,
+    sink: &mut S,
+) -> MigrationPlan {
     assert!(chunk >= 1, "chunk must be positive");
     let mut plan = MigrationPlan::default();
     for part in candidates.chunks(chunk) {
-        plan.absorb(centralized_migration(ctx, part, max_rounds));
+        plan.absorb(centralized_migration_obs(ctx, part, max_rounds, sink));
     }
     plan
 }
@@ -61,13 +89,25 @@ pub fn destination_tors(
     k: usize,
     p: usize,
 ) -> KMedianSolution {
+    destination_tors_obs(rack_cost, sources, k, p, &mut NullSink)
+}
+
+/// [`destination_tors`] with an [`EventSink`] observing the Alg. 5
+/// descent: each accepted swap emits a `swap_accepted` event.
+pub fn destination_tors_obs<S: EventSink + ?Sized>(
+    rack_cost: &[Vec<f64>],
+    sources: &[RackId],
+    k: usize,
+    p: usize,
+    sink: &mut S,
+) -> KMedianSolution {
     assert!(!sources.is_empty(), "need at least one alerting rack");
     let cost: Vec<Vec<f64>> = sources
         .iter()
         .map(|s| rack_cost[s.index()].clone())
         .collect();
     let inst = KMedianInstance::new(cost, k);
-    local_search(&inst, p, 10_000)
+    local_search_from_obs(&inst, greedy_init(&inst), p, 10_000, sink)
 }
 
 /// The full Sec. V-A pipeline: collapse rack-to-rack costs (done once in
@@ -82,6 +122,19 @@ pub fn kmedian_migration(
     k: usize,
     p: usize,
     max_rounds: usize,
+) -> (MigrationPlan, KMedianSolution) {
+    kmedian_migration_obs(ctx, candidates, k, p, max_rounds, &mut NullSink)
+}
+
+/// [`kmedian_migration`] with an [`EventSink`] observing both stages: the
+/// Alg. 5 swap descent and the scoped VMMIGRATION's request traffic.
+pub fn kmedian_migration_obs<S: EventSink + ?Sized>(
+    ctx: &mut MigrationContext<'_>,
+    candidates: &[VmId],
+    k: usize,
+    p: usize,
+    max_rounds: usize,
+    sink: &mut S,
 ) -> (MigrationPlan, KMedianSolution) {
     assert!(!candidates.is_empty(), "need candidates");
     let n = ctx.inventory.rack_count();
@@ -112,19 +165,21 @@ pub fn kmedian_migration(
         })
         .collect();
 
-    let solution = destination_tors(&rack_cost, &sources, k, p);
+    let solution = destination_tors_obs(&rack_cost, &sources, k, p, sink);
     let dest_racks: Vec<RackId> = solution
         .open
         .iter()
         .map(|&f| RackId::from_index(f))
         .collect();
-    let plan =
-        crate::vmmigration::vmmigration_scoped(ctx, candidates, &dest_racks, max_rounds, false);
+    let plan = vmmigration_scoped_obs(ctx, candidates, &dest_racks, max_rounds, false, sink);
     (plan, solution)
 }
 
 #[cfg(test)]
 mod tests {
+    // the deprecated wrapper is exactly what these tests pin down
+    #![allow(deprecated)]
+
     use super::*;
     use dcn_sim::engine::{Cluster, ClusterConfig};
     use dcn_sim::{RackMetric, SimConfig};

@@ -10,7 +10,7 @@
 //! runtime exactly.
 
 use crate::protocol::ShimMsg;
-use dcn_sim::ChannelFaults;
+use dcn_sim::{ChannelFaults, SheriffError};
 use dcn_topology::RackId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,31 +76,26 @@ pub struct SimNet {
 
 impl SimNet {
     /// New channel with the given fault model and RNG seed.
+    ///
+    /// Panics on an invalid fault model; use [`SimNet::try_new`] for a
+    /// typed error instead.
     pub fn new(faults: ChannelFaults, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&faults.drop),
-            "drop probability in [0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&faults.duplicate),
-            "duplicate probability in [0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&faults.reorder),
-            "reorder probability in [0, 1]"
-        );
-        assert!(
-            faults.delay_min <= faults.delay_max,
-            "delay_min <= delay_max"
-        );
-        Self {
+        Self::try_new(faults, seed).expect("invalid channel fault model")
+    }
+
+    /// Fallible [`SimNet::new`]: validates the fault model
+    /// (probabilities in `[0, 1]`, delay window ordered) and returns a
+    /// [`SheriffError`] on violation.
+    pub fn try_new(faults: ChannelFaults, seed: u64) -> Result<Self, SheriffError> {
+        faults.validate()?;
+        Ok(Self {
             faults,
             rng: StdRng::seed_from_u64(seed),
             queue: BinaryHeap::new(),
             seq: 0,
             down: BTreeSet::new(),
             stats: NetStats::default(),
-        }
+        })
     }
 
     /// Crash an endpoint: messages to or from it vanish silently.
@@ -325,6 +320,22 @@ mod tests {
         net.set_down(RackId(1));
         assert!(net.poll(2).is_empty());
         assert_eq!(net.stats.blackholed, 1);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_fault_models() {
+        let bad = ChannelFaults {
+            drop: 1.5,
+            ..ChannelFaults::reliable()
+        };
+        assert!(SimNet::try_new(bad, 1).is_err());
+        let bad = ChannelFaults {
+            delay_min: 4,
+            delay_max: 2,
+            ..ChannelFaults::reliable()
+        };
+        assert!(SimNet::try_new(bad, 1).is_err());
+        assert!(SimNet::try_new(ChannelFaults::lossy(0.2), 1).is_ok());
     }
 
     #[test]

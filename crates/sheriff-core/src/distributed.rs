@@ -25,13 +25,25 @@
 use crate::channel::SimNet;
 use crate::matching::{min_cost_assignment_padded, FORBIDDEN};
 use crate::priority::{priority, Budget};
-use crate::protocol::{BackoffPolicy, Liveness, ReqId, ShimEndpoint, ShimMsg, Verdict};
+use crate::protocol::{
+    BackoffPolicy, Liveness, RejectReason, ReqId, ShimEndpoint, ShimMsg, Verdict,
+};
 use crate::vmmigration::{MigrationPlan, Move};
 use dcn_sim::engine::Cluster;
 use dcn_sim::{Alert, AlertSource, ChannelFaults, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
 use parking_lot::Mutex;
+use sheriff_obs::{emit, Event, EventSink, NullSink, RejectKind};
 use std::collections::HashMap;
+
+/// Map a protocol-level REJECT payload to its observability label.
+fn reject_kind(reason: RejectReason) -> RejectKind {
+    match reason {
+        RejectReason::Capacity => RejectKind::Capacity,
+        RejectReason::Conflict => RejectKind::Conflict,
+        RejectReason::Noop => RejectKind::Noop,
+    }
+}
 
 /// Result of one distributed round (either runtime).
 #[derive(Debug, Clone, Default)]
@@ -67,20 +79,24 @@ struct Proposal {
 }
 
 /// Alg. 1/2: pick migration victims for one rack's alerts on a snapshot.
-fn select_victims(
+/// Returns the selected set plus the size of the candidate pool PRIORITY
+/// examined (for the `victims_selected` observability event).
+pub(crate) fn select_victims(
     snapshot: &Placement,
     inventory: &Inventory,
     sim: &SimConfig,
     rack: RackId,
     alerts: &[Alert],
     alert_values: &[f64],
-) -> Vec<VmId> {
+) -> (Vec<VmId>, usize) {
     let mut set: Vec<VmId> = Vec::new();
+    let mut candidates = 0usize;
     let mut tor_alert = false;
     for alert in alerts.iter().filter(|a| a.rack == rack) {
         match alert.source {
             AlertSource::Host(h) => {
                 let f: Vec<VmId> = snapshot.vms_on(h).to_vec();
+                candidates += f.len();
                 set.extend(priority(
                     &f,
                     snapshot,
@@ -97,6 +113,7 @@ fn select_victims(
         for &host in inventory.hosts_in(rack) {
             f.extend_from_slice(snapshot.vms_on(host));
         }
+        candidates += f.len();
         let budget = sim.beta * inventory.rack(rack).tor_capacity;
         set.extend(priority(
             &f,
@@ -107,7 +124,7 @@ fn select_victims(
     }
     set.sort_unstable();
     set.dedup();
-    set
+    (set, candidates)
 }
 
 /// Destination slots for a shim: every host of the given racks, plus its
@@ -196,12 +213,41 @@ struct ShimState {
 ///
 /// `alert_values[vm]` supplies the ALERT magnitude for PRIORITY's `w = 1`
 /// branch. Mutates `cluster.placement` in place on return.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `DistributedRuntime` via the `Runtime` trait, or `distributed_round_obs`"
+)]
 pub fn distributed_round(
     cluster: &mut Cluster,
     metric: &RackMetric,
     alerts: &[Alert],
     alert_values: &[f64],
     max_retry: usize,
+) -> DistributedReport {
+    distributed_round_obs(
+        cluster,
+        metric,
+        alerts,
+        alert_values,
+        max_retry,
+        &mut NullSink,
+    )
+}
+
+/// [`distributed_round`] with an [`EventSink`] observing the negotiation.
+///
+/// Planning still runs one thread per shim; events are emitted only from
+/// the single-threaded victim-selection and commit phases, in
+/// deterministic rack/request order, so the event stream is reproducible
+/// and the sink needs no synchronization. With [`NullSink`] this compiles
+/// down to exactly [`distributed_round`].
+pub fn distributed_round_obs<S: EventSink + ?Sized>(
+    cluster: &mut Cluster,
+    metric: &RackMetric,
+    alerts: &[Alert],
+    alert_values: &[f64],
+    max_retry: usize,
+    sink: &mut S,
 ) -> DistributedReport {
     let mut racks: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
     racks.sort_unstable();
@@ -224,7 +270,13 @@ pub fn distributed_round(
         racks
             .iter()
             .map(|&rack| {
-                let pending = select_victims(&snapshot, inventory, sim, rack, alerts, alert_values);
+                let (pending, candidates) =
+                    select_victims(&snapshot, inventory, sim, rack, alerts, alert_values);
+                emit(sink, || Event::VictimsSelected {
+                    rack: rack.index() as u64,
+                    candidates: candidates as u64,
+                    selected: pending.len() as u64,
+                });
                 let region = cluster.dcn.neighbor_racks(rack, sim.region_hops);
                 let slots = region_slots(inventory, &region, rack);
                 ShimState {
@@ -280,6 +332,12 @@ pub fn distributed_round(
         for (&i, (props, unassigned, space)) in idxs.iter().zip(proposals) {
             let st = &mut states[i];
             st.plan.search_space += space;
+            emit(sink, || Event::PlanComputed {
+                rack: st.rack.index() as u64,
+                proposals: props.len() as u64,
+                unassigned: unassigned.len() as u64,
+                search_space: space as u64,
+            });
             let mut next_pending = unassigned;
             let mut progressed = false;
             for p in props {
@@ -287,6 +345,12 @@ pub fn distributed_round(
                 let dest_rack = placement.rack_of_host(p.dest);
                 let req_id = ReqId::new(st.rack, st.seq);
                 st.seq += 1;
+                emit(sink, || Event::RequestSent {
+                    req: req_id.0,
+                    vm: p.vm.index() as u64,
+                    dest_host: p.dest.index() as u64,
+                    attempt: 1,
+                });
                 match endpoints[dest_rack.index()].handle_request(
                     &mut placement,
                     deps,
@@ -295,6 +359,17 @@ pub fn distributed_round(
                     p.dest,
                 ) {
                     Verdict::Ack => {
+                        emit(sink, || Event::AckReceived {
+                            req: req_id.0,
+                            vm: p.vm.index() as u64,
+                        });
+                        emit(sink, || Event::MigrationCommitted {
+                            vm: p.vm.index() as u64,
+                            from_host: from.index() as u64,
+                            to_host: p.dest.index() as u64,
+                            cost: p.cost,
+                        });
+                        sink.counter("migrations.committed", 1);
                         st.plan.moves.push(Move {
                             vm: p.vm,
                             from,
@@ -304,7 +379,13 @@ pub fn distributed_round(
                         st.plan.total_cost += p.cost;
                         progressed = true;
                     }
-                    Verdict::Reject(_) => {
+                    Verdict::Reject(reason) => {
+                        emit(sink, || Event::RejectReceived {
+                            req: req_id.0,
+                            vm: p.vm.index() as u64,
+                            reason: reject_kind(reason),
+                        });
+                        sink.counter("migrations.rejected", 1);
                         st.plan.rejected += 1;
                         st.retries += 1;
                         st.excluded.push((p.vm, p.dest));
@@ -432,6 +513,10 @@ struct FabricShim {
 /// Single-threaded and deterministic in virtual time; with
 /// [`ChannelFaults::reliable`] and no crashes it produces the same plan
 /// as [`distributed_round`] with `max_retry = cfg.max_retry`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FabricRuntime` via the `Runtime` trait, or `fabric_round_obs`"
+)]
 pub fn fabric_round(
     cluster: &mut Cluster,
     metric: &RackMetric,
@@ -439,10 +524,32 @@ pub fn fabric_round(
     alert_values: &[f64],
     cfg: &FabricConfig,
 ) -> DistributedReport {
+    fabric_round_obs(cluster, metric, alerts, alert_values, cfg, &mut NullSink)
+}
+
+/// [`fabric_round`] with an [`EventSink`] observing the message exchange:
+/// every REQUEST/ACK/REJECT, timeout, retransmission, absorbed duplicate,
+/// degradation step, and crashed shim becomes a structured event, and the
+/// channel's [`NetStats`](crate::channel::NetStats) land in counters
+/// (`net.sent`, `net.dropped`, ...). The runtime is single-threaded in
+/// virtual time, so the event stream is deterministic for a fixed seed.
+pub fn fabric_round_obs<S: EventSink + ?Sized>(
+    cluster: &mut Cluster,
+    metric: &RackMetric,
+    alerts: &[Alert],
+    alert_values: &[f64],
+    cfg: &FabricConfig,
+    sink: &mut S,
+) -> DistributedReport {
     let mut racks: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
     racks.sort_unstable();
     racks.dedup();
     let crashed_alerted = racks.iter().filter(|r| cfg.crashed.contains(r)).count();
+    for &r in racks.iter().filter(|r| cfg.crashed.contains(r)) {
+        emit(sink, || Event::ShimCrashed {
+            rack: r.index() as u64,
+        });
+    }
     racks.retain(|r| !cfg.crashed.contains(r));
     let mut report = DistributedReport {
         crashed_shims: crashed_alerted,
@@ -468,7 +575,7 @@ pub fn fabric_round(
     let mut shims: Vec<FabricShim> = racks
         .iter()
         .map(|&rack| {
-            let pending = select_victims(
+            let (pending, candidates) = select_victims(
                 &cluster.placement,
                 &cluster.dcn.inventory,
                 &sim,
@@ -476,6 +583,11 @@ pub fn fabric_round(
                 alerts,
                 alert_values,
             );
+            emit(sink, || Event::VictimsSelected {
+                rack: rack.index() as u64,
+                candidates: candidates as u64,
+                selected: pending.len() as u64,
+            });
             let region = cluster.dcn.neighbor_racks(rack, sim.region_hops);
             FabricShim {
                 st: ShimState {
@@ -552,6 +664,7 @@ pub fn fabric_round(
                     }
                 }
                 ShimMsg::Request { req_id, vm, dest } => {
+                    let hits_before = endpoints[to.index()].dedup_hits();
                     let verdict = endpoints[to.index()].handle_request(
                         &mut cluster.placement,
                         &cluster.deps,
@@ -559,6 +672,9 @@ pub fn fabric_round(
                         vm,
                         dest,
                     );
+                    if endpoints[to.index()].dedup_hits() > hits_before {
+                        emit(sink, || Event::DuplicateAbsorbed { req: req_id.0 });
+                    }
                     net.send(t, to, from, ShimEndpoint::reply_msg(req_id, verdict));
                 }
                 ShimMsg::Ack { req_id } => {
@@ -571,6 +687,17 @@ pub fn fabric_round(
                             .remove(&req_id)
                             .or_else(|| shim.zombies.remove(&req_id))
                         {
+                            emit(sink, || Event::AckReceived {
+                                req: req_id.0,
+                                vm: o.vm.index() as u64,
+                            });
+                            emit(sink, || Event::MigrationCommitted {
+                                vm: o.vm.index() as u64,
+                                from_host: o.from.index() as u64,
+                                to_host: o.dest.index() as u64,
+                                cost: o.cost,
+                            });
+                            sink.counter("migrations.committed", 1);
                             shim.st.plan.moves.push(Move {
                                 vm: o.vm,
                                 from: o.from,
@@ -583,10 +710,16 @@ pub fn fabric_round(
                         // duplicate ACK: already resolved, ignore
                     }
                 }
-                ShimMsg::Reject { req_id, .. } => {
+                ShimMsg::Reject { req_id, reason } => {
                     if let Some(&i) = source_index.get(&to) {
                         let shim = &mut shims[i];
                         if let Some(o) = shim.outstanding.remove(&req_id) {
+                            emit(sink, || Event::RejectReceived {
+                                req: req_id.0,
+                                vm: o.vm.index() as u64,
+                                reason: reject_kind(reason),
+                            });
+                            sink.counter("migrations.rejected", 1);
                             shim.st.plan.rejected += 1;
                             shim.st.retries += 1;
                             shim.st.excluded.push((o.vm, o.dest));
@@ -595,6 +728,12 @@ pub fn fabric_round(
                             // late REJECT resolves the zombie: the VM
                             // definitively did not move, so it is safe to
                             // replan it elsewhere
+                            emit(sink, || Event::RejectReceived {
+                                req: req_id.0,
+                                vm: o.vm.index() as u64,
+                                reason: reject_kind(reason),
+                            });
+                            sink.counter("migrations.rejected", 1);
                             shim.st.plan.rejected += 1;
                             shim.st.retries += 1;
                             shim.st.pending.push(o.vm);
@@ -622,6 +761,7 @@ pub fn fabric_round(
                         t,
                         &cfg.backoff,
                         &mut report,
+                        sink,
                     );
                 }
                 continue;
@@ -638,10 +778,20 @@ pub fn fabric_round(
             for req_id in expired {
                 report.timeouts += 1;
                 let o = shim.outstanding.get_mut(&req_id).expect("collected above");
+                emit(sink, || Event::RequestTimeout {
+                    req: req_id.0,
+                    attempt: o.attempt as u64 + 1,
+                });
+                sink.counter("net.timeouts", 1);
                 if o.attempt + 1 < cfg.backoff.max_attempts {
                     o.attempt += 1;
                     o.deadline = t + cfg.backoff.delay(o.attempt, req_id);
                     report.resends += 1;
+                    emit(sink, || Event::RequestResent {
+                        req: req_id.0,
+                        attempt: o.attempt as u64 + 1,
+                    });
+                    sink.counter("net.resends", 1);
                     let (vm, dest) = (o.vm, o.dest);
                     let dest_rack = cluster.placement.rack_of_host(dest);
                     net.send(
@@ -659,6 +809,11 @@ pub fn fabric_round(
                     let mut o = shim.outstanding.remove(&req_id).expect("collected above");
                     let dest_rack = cluster.placement.rack_of_host(o.dest);
                     shim.liveness.presume_dead(dest_rack);
+                    if !shim.degraded {
+                        emit(sink, || Event::ShimDegraded {
+                            rack: shim.st.rack.index() as u64,
+                        });
+                    }
                     shim.degraded = true;
                     shim.st.excluded.push((o.vm, o.dest));
                     o.deadline = t + patience;
@@ -695,6 +850,7 @@ pub fn fabric_round(
                         t,
                         &cfg.backoff,
                         &mut report,
+                        sink,
                     );
                 } else if shim.zombies.is_empty() {
                     shim.done = true;
@@ -721,6 +877,13 @@ pub fn fabric_round(
             .collect();
         for o in leftovers {
             if cluster.placement.host_of(o.vm) == o.dest {
+                emit(sink, || Event::MigrationCommitted {
+                    vm: o.vm.index() as u64,
+                    from_host: o.from.index() as u64,
+                    to_host: o.dest.index() as u64,
+                    cost: o.cost,
+                });
+                sink.counter("migrations.committed", 1);
                 shim.st.plan.moves.push(Move {
                     vm: o.vm,
                     from: o.from,
@@ -737,6 +900,13 @@ pub fn fabric_round(
     report.ticks = t.min(cfg.max_ticks);
     report.drops = net.stats.dropped;
     report.dedup_hits = endpoints.iter().map(|e| e.dedup_hits()).sum();
+    sink.counter("net.sent", net.stats.sent as u64);
+    sink.counter("net.delivered", net.stats.delivered as u64);
+    sink.counter("net.dropped", net.stats.dropped as u64);
+    sink.counter("net.duplicated", net.stats.duplicated as u64);
+    sink.counter("net.reordered", net.stats.reordered as u64);
+    sink.counter("net.blackholed", net.stats.blackholed as u64);
+    sink.counter("net.dedup_hits", report.dedup_hits as u64);
     for shim in shims {
         let mut plan = shim.st.plan;
         let mut pending = shim.st.pending;
@@ -756,7 +926,7 @@ pub fn fabric_round(
 /// (degradation ladder step 1; the own rack is always kept — step 2),
 /// run the matching, and send a REQUEST per assignment.
 #[allow(clippy::too_many_arguments)]
-fn fabric_plan_and_send(
+fn fabric_plan_and_send<S: EventSink + ?Sized>(
     shim: &mut FabricShim,
     cluster: &Cluster,
     metric: &RackMetric,
@@ -765,6 +935,7 @@ fn fabric_plan_and_send(
     now: u64,
     backoff: &BackoffPolicy,
     report: &mut DistributedReport,
+    sink: &mut S,
 ) {
     shim.rounds_left -= 1;
     shim.progressed = false;
@@ -777,6 +948,11 @@ fn fabric_plan_and_send(
         .filter(|&r| shim.liveness.alive(r, now))
         .collect();
     if live_region.len() < shim.region.len() {
+        if !shim.degraded {
+            emit(sink, || Event::ShimDegraded {
+                rack: shim.st.rack.index() as u64,
+            });
+        }
         shim.degraded = true;
     }
     shim.st.slots = region_slots(&cluster.dcn.inventory, &live_region, shim.st.rack);
@@ -793,10 +969,22 @@ fn fabric_plan_and_send(
     );
     shim.st.plan.search_space += space;
     shim.st.pending = unassigned;
+    emit(sink, || Event::PlanComputed {
+        rack: shim.st.rack.index() as u64,
+        proposals: proposals.len() as u64,
+        unassigned: shim.st.pending.len() as u64,
+        search_space: space as u64,
+    });
 
     for p in proposals {
         let req_id = ReqId::new(shim.st.rack, shim.st.seq);
         shim.st.seq += 1;
+        emit(sink, || Event::RequestSent {
+            req: req_id.0,
+            vm: p.vm.index() as u64,
+            dest_host: p.dest.index() as u64,
+            attempt: 1,
+        });
         let from = cluster.placement.host_of(p.vm);
         let dest_rack = cluster.placement.rack_of_host(p.dest);
         shim.outstanding.insert(
@@ -826,6 +1014,9 @@ fn fabric_plan_and_send(
 
 #[cfg(test)]
 mod tests {
+    // the deprecated wrappers are exactly what these tests pin down
+    #![allow(deprecated)]
+
     use super::*;
     use dcn_sim::engine::ClusterConfig;
     use dcn_topology::fattree::{self, FatTreeConfig};

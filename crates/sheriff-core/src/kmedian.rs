@@ -9,7 +9,9 @@
 //! `p`-swaps achieves ratio `3 + 2/p` (Sec. VI-C); an exact enumerator
 //! validates the ratio empirically.
 
+use dcn_sim::SheriffError;
 use serde::{Deserialize, Serialize};
+use sheriff_obs::{emit, Event, EventSink, NullSink};
 
 /// A k-median instance: `cost[c][f]` is the connection cost of client `c`
 /// to facility `f`; exactly `k` facilities may open.
@@ -22,7 +24,8 @@ pub struct KMedianInstance {
 }
 
 impl KMedianInstance {
-    /// Validated constructor.
+    /// Validated constructor. Panics on structural defects; see
+    /// [`KMedianInstance::try_new`] for the fallible form.
     pub fn new(cost: Vec<Vec<f64>>, k: usize) -> Self {
         assert!(!cost.is_empty(), "need at least one client");
         let m = cost[0].len();
@@ -32,6 +35,28 @@ impl KMedianInstance {
         );
         assert!(k >= 1 && k <= m, "k must be in 1..=facilities");
         Self { cost, k }
+    }
+
+    /// Fallible [`KMedianInstance::new`]: returns a typed error instead
+    /// of panicking on an empty or ragged matrix or `k` out of range.
+    pub fn try_new(cost: Vec<Vec<f64>>, k: usize) -> Result<Self, SheriffError> {
+        if cost.is_empty() {
+            return Err(SheriffError::InvalidKMedian {
+                reason: "need at least one client".into(),
+            });
+        }
+        let m = cost[0].len();
+        if !cost.iter().all(|r| r.len() == m) {
+            return Err(SheriffError::InvalidKMedian {
+                reason: "matrix must be rectangular".into(),
+            });
+        }
+        if k < 1 || k > m {
+            return Err(SheriffError::InvalidKMedian {
+                reason: format!("k = {k} must be in 1..={m}"),
+            });
+        }
+        Ok(Self { cost, k })
     }
 
     /// Number of clients.
@@ -119,6 +144,19 @@ pub fn local_search_from(
     p: usize,
     max_iterations: usize,
 ) -> KMedianSolution {
+    local_search_from_obs(inst, initial, p, max_iterations, &mut NullSink)
+}
+
+/// [`local_search_from`] with instrumentation: every accepted improving
+/// p-swap is emitted as a `swap_accepted` event carrying the objective
+/// value after the swap, so a trace shows the Alg. 5 descent curve.
+pub fn local_search_from_obs<S: EventSink + ?Sized>(
+    inst: &KMedianInstance,
+    initial: Vec<usize>,
+    p: usize,
+    max_iterations: usize,
+    sink: &mut S,
+) -> KMedianSolution {
     assert!(p >= 1, "swap size must be at least 1");
     assert_eq!(
         initial.len(),
@@ -138,6 +176,11 @@ pub fn local_search_from(
         if !improved {
             break;
         }
+        emit(sink, || Event::SwapAccepted {
+            iteration: iterations as u64,
+            cost,
+        });
+        sink.counter("kmedian.swaps", 1);
     }
     open.sort_unstable();
     KMedianSolution {
@@ -377,5 +420,41 @@ mod tests {
     #[should_panic(expected = "k must be in")]
     fn invalid_k_rejected() {
         KMedianInstance::new(vec![vec![1.0]], 2);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(KMedianInstance::try_new(vec![], 1).is_err());
+        assert!(KMedianInstance::try_new(vec![vec![1.0], vec![1.0, 2.0]], 1).is_err());
+        assert!(KMedianInstance::try_new(vec![vec![1.0]], 2).is_err());
+        assert!(KMedianInstance::try_new(vec![vec![1.0, 2.0]], 2).is_ok());
+    }
+
+    #[test]
+    fn instrumented_search_traces_the_descent() {
+        use sheriff_obs::RingRecorder;
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = line_instance(&mut rng, 12, 8, 3);
+        // a poor start guarantees at least one improving swap
+        let start: Vec<usize> = (0..3).collect();
+        let base = local_search_from(&inst, start.clone(), 2, 1000);
+        let mut rec = RingRecorder::new(64);
+        let traced = local_search_from_obs(&inst, start, 2, 1000, &mut rec);
+        assert_eq!(traced.cost, base.cost, "instrumentation changed the result");
+        let swaps: Vec<f64> = rec
+            .events()
+            .filter_map(|e| match e {
+                Event::SwapAccepted { cost, .. } => Some(*cost),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            swaps.windows(2).all(|w| w[1] < w[0]),
+            "descent not monotone"
+        );
+        assert_eq!(rec.counters().get("kmedian.swaps"), swaps.len() as u64);
+        if let Some(&last) = swaps.last() {
+            assert!((last - traced.cost).abs() < 1e-9);
+        }
     }
 }

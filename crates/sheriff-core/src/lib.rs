@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod alert_mgmt;
+pub mod builder;
 pub mod centralized;
 pub mod channel;
 pub mod distributed;
@@ -31,20 +32,30 @@ pub mod priority;
 pub mod protocol;
 pub mod request;
 pub mod reroute;
+pub mod runtime;
 pub mod sharded;
 pub mod shim;
 pub mod strategy;
 pub mod system;
 pub mod vmmigration;
 
-pub use alert_mgmt::{pre_alert_management, ShimOutcome};
+pub use alert_mgmt::{pre_alert_management, pre_alert_management_obs, ShimOutcome};
+pub use builder::SystemBuilder;
+#[allow(deprecated)]
+pub use centralized::centralized_migration;
 pub use centralized::{
-    centralized_migration, centralized_migration_chunked, destination_tors, kmedian_migration,
+    centralized_migration_chunked, centralized_migration_chunked_obs, centralized_migration_obs,
+    destination_tors, destination_tors_obs, kmedian_migration, kmedian_migration_obs,
 };
 pub use channel::{NetStats, SimNet};
-pub use distributed::{distributed_round, fabric_round, DistributedReport, FabricConfig};
+#[allow(deprecated)]
+pub use distributed::{distributed_round, fabric_round};
+pub use distributed::{distributed_round_obs, fabric_round_obs, DistributedReport, FabricConfig};
 pub use evacuation::{drain_rack, evacuate_host};
-pub use kmedian::{exact_optimal, local_search, KMedianInstance, KMedianSolution};
+pub use kmedian::{
+    exact_optimal, local_search, local_search_from, local_search_from_obs, KMedianInstance,
+    KMedianSolution,
+};
 pub use matching::{min_cost_assignment, min_cost_assignment_padded};
 pub use metrics::{RatioPoint, Series, Totals};
 pub use priority::{priority, Budget};
@@ -53,8 +64,20 @@ pub use protocol::{
 };
 pub use request::{request_migration, RequestOutcome};
 pub use reroute::{flow_reroute, flow_reroute_balanced, RerouteReport};
-pub use sharded::{sharded_round, ShardedReport};
+pub use runtime::{
+    CentralizedRuntime, DistributedRuntime, FabricRuntime, RoundOutcome, RunCtx, Runtime,
+    ShardedRuntime,
+};
+#[allow(deprecated)]
+pub use sharded::sharded_round;
+pub use sharded::{sharded_round_obs, ShardedReport};
 pub use shim::{RoundReport, Sheriff};
 pub use strategy::{run_policy, AlertPolicy, StrategyOutcome};
 pub use system::{StepReport, System};
-pub use vmmigration::{vmmigration, vmmigration_scoped, MigrationContext, MigrationPlan, Move};
+pub use vmmigration::{
+    vmmigration, vmmigration_scoped, vmmigration_scoped_obs, MigrationContext, MigrationPlan, Move,
+};
+
+// The construction error type lives in `dcn-sim` (both layers raise it);
+// re-exported here so users of the management crate see one error type.
+pub use dcn_sim::SheriffError;

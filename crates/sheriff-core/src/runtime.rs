@@ -1,0 +1,373 @@
+//! One trait over all four management loops.
+//!
+//! The repository grew four ways to run one management round — the
+//! centralized baseline of Sec. VI-B, the shared-lock threaded runtime,
+//! the sharded message-passing runtime, and the virtual-time fabric
+//! runtime — each with its own free function and argument list. The
+//! [`Runtime`] trait unifies them behind `step(&mut self, ctx)` so
+//! experiments, benches and the bakeoff examples can iterate over
+//! `Box<dyn Runtime>` values instead of matching on names, and every
+//! runtime reports through the same [`RoundOutcome`] and the same
+//! [`EventSink`].
+//!
+//! The old free functions ([`distributed_round`](crate::distributed_round)
+//! and friends) remain as deprecated wrappers for one release.
+
+use crate::centralized::centralized_migration_obs;
+use crate::distributed::{
+    distributed_round_obs, fabric_round_obs, select_victims, DistributedReport, FabricConfig,
+};
+use crate::sharded::{sharded_round_obs, ShardedReport};
+use crate::vmmigration::{MigrationContext, MigrationPlan};
+use dcn_sim::engine::Cluster;
+use dcn_sim::{Alert, RackMetric};
+use dcn_topology::{RackId, VmId};
+use sheriff_obs::{emit, Event, EventSink};
+
+/// Everything one management round needs: the mutable cluster, the
+/// precomputed cost metric, this period's alerts with their ALERT
+/// magnitudes, and the event sink observing the round.
+///
+/// The sink is a `&mut dyn EventSink` (not a generic parameter) so
+/// `Runtime` stays object-safe — heterogeneous `Box<dyn Runtime>`
+/// bakeoffs are the point of the trait.
+pub struct RunCtx<'a> {
+    /// Cluster state; `step` mutates its placement in place.
+    pub cluster: &'a mut Cluster,
+    /// Precomputed rack-to-rack migration-cost metric.
+    pub metric: &'a RackMetric,
+    /// Pre-alerts raised this management period.
+    pub alerts: &'a [Alert],
+    /// `alert_values[vm.index()]` is the ALERT magnitude used by
+    /// PRIORITY's `w = 1` branch.
+    pub alert_values: &'a [f64],
+    /// Observer for the round's structured events.
+    pub sink: &'a mut dyn EventSink,
+}
+
+/// What one [`Runtime::step`] did, across all four runtimes. Fields a
+/// runtime does not track (e.g. `ticks` outside the fabric) stay zero.
+#[derive(Debug, Clone, Default)]
+pub struct RoundOutcome {
+    /// Merged migration plan of the round.
+    pub plan: MigrationPlan,
+    /// Shims (or managers) that participated.
+    pub shims: usize,
+    /// Commit attempts rejected and replanned.
+    pub retries: usize,
+    /// Messages lost by the channel (fabric only).
+    pub drops: usize,
+    /// Requests whose reply deadline expired at least once (fabric only).
+    pub timeouts: usize,
+    /// Retransmissions sent after timeouts (fabric only).
+    pub resends: usize,
+    /// Duplicate REQUEST deliveries absorbed by dedup logs.
+    pub dedup_hits: usize,
+    /// Shims that ran with part of their region presumed dead.
+    pub degraded_shims: usize,
+    /// Alerted shims that were crashed and could not participate.
+    pub crashed_shims: usize,
+    /// Virtual ticks the round took (fabric only).
+    pub ticks: u64,
+}
+
+impl From<DistributedReport> for RoundOutcome {
+    fn from(r: DistributedReport) -> Self {
+        Self {
+            plan: r.plan,
+            shims: r.shims,
+            retries: r.retries,
+            drops: r.drops,
+            timeouts: r.timeouts,
+            resends: r.resends,
+            dedup_hits: r.dedup_hits,
+            degraded_shims: r.degraded_shims,
+            crashed_shims: r.crashed_shims,
+            ticks: r.ticks,
+        }
+    }
+}
+
+impl From<ShardedReport> for RoundOutcome {
+    fn from(r: ShardedReport) -> Self {
+        let mut plan = r.plan;
+        plan.rejected += r.rejected;
+        Self {
+            plan,
+            shims: r.shims,
+            ..Self::default()
+        }
+    }
+}
+
+/// One management loop: given this period's alerts, mutate the cluster's
+/// placement and report what happened.
+pub trait Runtime {
+    /// Stable identifier for reports and trace labels.
+    fn name(&self) -> &'static str;
+
+    /// Run one management round.
+    fn step(&mut self, ctx: &mut RunCtx<'_>) -> RoundOutcome;
+}
+
+/// The centralized global manager of Sec. VI-B behind the [`Runtime`]
+/// trait: Alg. 1/2 victim selection per alerted rack, then one global
+/// VMMIGRATION whose destination set is every rack in the network.
+#[derive(Debug, Clone)]
+pub struct CentralizedRuntime {
+    /// Replan rounds for the global matching.
+    pub max_rounds: usize,
+}
+
+impl Default for CentralizedRuntime {
+    fn default() -> Self {
+        Self { max_rounds: 3 }
+    }
+}
+
+impl Runtime for CentralizedRuntime {
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+
+    fn step(&mut self, ctx: &mut RunCtx<'_>) -> RoundOutcome {
+        let mut racks: Vec<RackId> = ctx.alerts.iter().map(|a| a.rack).collect();
+        racks.sort_unstable();
+        racks.dedup();
+        let mut candidates: Vec<VmId> = Vec::new();
+        for &rack in &racks {
+            let (selected, pool) = select_victims(
+                &ctx.cluster.placement,
+                &ctx.cluster.dcn.inventory,
+                &ctx.cluster.sim,
+                rack,
+                ctx.alerts,
+                ctx.alert_values,
+            );
+            emit(&mut *ctx.sink, || Event::VictimsSelected {
+                rack: rack.index() as u64,
+                candidates: pool as u64,
+                selected: selected.len() as u64,
+            });
+            candidates.extend(selected);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let plan = {
+            let mut mctx = MigrationContext {
+                placement: &mut ctx.cluster.placement,
+                inventory: &ctx.cluster.dcn.inventory,
+                deps: &ctx.cluster.deps,
+                metric: ctx.metric,
+                sim: &ctx.cluster.sim,
+            };
+            centralized_migration_obs(&mut mctx, &candidates, self.max_rounds, &mut *ctx.sink)
+        };
+        RoundOutcome {
+            plan,
+            shims: if racks.is_empty() { 0 } else { 1 },
+            ..RoundOutcome::default()
+        }
+    }
+}
+
+/// The shared-lock threaded runtime behind the [`Runtime`] trait: one
+/// planner thread per alerted shim, commits FCFS through the destination
+/// racks' protocol endpoints.
+#[derive(Debug, Clone)]
+pub struct DistributedRuntime {
+    /// Replan rounds per shim after the first.
+    pub max_retry: usize,
+}
+
+impl Default for DistributedRuntime {
+    fn default() -> Self {
+        Self { max_retry: 3 }
+    }
+}
+
+impl Runtime for DistributedRuntime {
+    fn name(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn step(&mut self, ctx: &mut RunCtx<'_>) -> RoundOutcome {
+        distributed_round_obs(
+            ctx.cluster,
+            ctx.metric,
+            ctx.alerts,
+            ctx.alert_values,
+            self.max_retry,
+            &mut *ctx.sink,
+        )
+        .into()
+    }
+}
+
+/// The sharded message-passing runtime behind the [`Runtime`] trait:
+/// per-rack agent threads own their capacity shards; planners negotiate
+/// over channels.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedRuntime;
+
+impl Runtime for ShardedRuntime {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn step(&mut self, ctx: &mut RunCtx<'_>) -> RoundOutcome {
+        sharded_round_obs(
+            ctx.cluster,
+            ctx.metric,
+            ctx.alerts,
+            ctx.alert_values,
+            &mut *ctx.sink,
+        )
+        .into()
+    }
+}
+
+/// The virtual-time fabric runtime behind the [`Runtime`] trait:
+/// REQUEST/ACK/REJECT over a seeded faulty channel with timeouts,
+/// backoff, dedup and heartbeat liveness.
+#[derive(Debug, Clone, Default)]
+pub struct FabricRuntime {
+    /// Channel fault model, seed, backoff and liveness configuration.
+    pub cfg: FabricConfig,
+}
+
+impl Runtime for FabricRuntime {
+    fn name(&self) -> &'static str {
+        "fabric"
+    }
+
+    fn step(&mut self, ctx: &mut RunCtx<'_>) -> RoundOutcome {
+        fabric_round_obs(
+            ctx.cluster,
+            ctx.metric,
+            ctx.alerts,
+            ctx.alert_values,
+            &self.cfg,
+            &mut *ctx.sink,
+        )
+        .into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::engine::ClusterConfig;
+    use dcn_sim::SimConfig;
+    use dcn_topology::fattree::{self, FatTreeConfig};
+    use sheriff_obs::{NullSink, RingRecorder};
+
+    fn cluster(seed: u64) -> Cluster {
+        let dcn = fattree::build(&FatTreeConfig::paper(8));
+        Cluster::build(
+            dcn,
+            &ClusterConfig {
+                vms_per_host: 2.5,
+                skew: 3.0,
+                seed,
+                ..ClusterConfig::default()
+            },
+            SimConfig::paper(),
+        )
+    }
+
+    fn alert_values(c: &Cluster) -> Vec<f64> {
+        c.placement
+            .vm_ids()
+            .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
+            .collect()
+    }
+
+    #[test]
+    fn every_runtime_reduces_imbalance_through_one_interface() {
+        let runtimes: Vec<Box<dyn Runtime>> = vec![
+            Box::new(CentralizedRuntime::default()),
+            Box::new(DistributedRuntime::default()),
+            Box::new(ShardedRuntime),
+            Box::new(FabricRuntime::default()),
+        ];
+        for mut rt in runtimes {
+            let mut c = cluster(91);
+            let metric = RackMetric::build(&c.dcn, &c.sim);
+            let before = c.utilization_stddev();
+            for t in 0..4 {
+                let alerts = c.fraction_alerts(0.08, t);
+                let vals = alert_values(&c);
+                let mut ctx = RunCtx {
+                    cluster: &mut c,
+                    metric: &metric,
+                    alerts: &alerts,
+                    alert_values: &vals,
+                    sink: &mut NullSink,
+                };
+                let out = rt.step(&mut ctx);
+                assert!(out.shims > 0, "{}: no shims ran", rt.name());
+            }
+            let after = c.utilization_stddev();
+            assert!(after < before, "{}: std-dev {before} -> {after}", rt.name());
+        }
+    }
+
+    #[test]
+    fn distributed_runtime_matches_the_free_function() {
+        let mut via_trait = cluster(92);
+        let mut via_fn = cluster(92);
+        let metric = RackMetric::build(&via_trait.dcn, &via_trait.sim);
+        let alerts = via_trait.fraction_alerts(0.10, 0);
+        let vals = alert_values(&via_trait);
+
+        let mut rt = DistributedRuntime { max_retry: 3 };
+        let mut ctx = RunCtx {
+            cluster: &mut via_trait,
+            metric: &metric,
+            alerts: &alerts,
+            alert_values: &vals,
+            sink: &mut NullSink,
+        };
+        let a = rt.step(&mut ctx);
+        #[allow(deprecated)]
+        let b = crate::distributed::distributed_round(&mut via_fn, &metric, &alerts, &vals, 3);
+
+        assert_eq!(a.plan.moves.len(), b.plan.moves.len());
+        assert!((a.plan.total_cost - b.plan.total_cost).abs() < 1e-9);
+        for vm in via_trait.placement.vm_ids() {
+            assert_eq!(
+                via_trait.placement.host_of(vm),
+                via_fn.placement.host_of(vm)
+            );
+        }
+    }
+
+    #[test]
+    fn trait_step_streams_events_through_the_ctx_sink() {
+        let mut c = cluster(93);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let mut rec = RingRecorder::new(4096);
+        let mut rt = FabricRuntime::default();
+        let out = rt.step(&mut RunCtx {
+            cluster: &mut c,
+            metric: &metric,
+            alerts: &alerts,
+            alert_values: &vals,
+            sink: &mut rec,
+        });
+        assert!(!out.plan.moves.is_empty());
+        assert_eq!(
+            rec.count_kind("migration_committed"),
+            out.plan.moves.len(),
+            "one commit event per recorded move"
+        );
+        assert!(rec.count_kind("request_sent") >= rec.count_kind("ack_received"));
+        assert_eq!(
+            rec.counters().get("migrations.committed"),
+            out.plan.moves.len() as u64
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! Alg. 4's REQUEST → ACK/REJECT handshake (FCFS in channel-arrival
 //! order, exactly the paper's receiver rule).
 //!
-//! The [`distributed`] module's runtime shares one placement behind a
+//! The [`crate::distributed`] module's runtime shares one placement behind a
 //! lock (simple, linearisable); this one shards state like real shims
 //! would, and the tests verify both runtimes enforce the same
 //! invariants.
@@ -19,6 +19,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use dcn_sim::engine::Cluster;
 use dcn_sim::{Alert, AlertSource, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
+use sheriff_obs::{emit, Event, EventSink, NullSink};
 
 /// A migration request from a source shim to a destination rack agent
 /// (Alg. 4's input).
@@ -93,13 +94,47 @@ pub struct ShardedReport {
     pub shims: usize,
 }
 
+/// What one planner thread hands back to the single-threaded apply
+/// phase: the committed moves plus the selection/matching statistics the
+/// observability layer reports on its behalf.
+struct PlannerOut {
+    moves: Vec<Move>,
+    rejected: usize,
+    candidates: usize,
+    victims: usize,
+    unassigned: usize,
+    search_space: usize,
+}
+
 /// Run one management round on the sharded runtime. Mutates
 /// `cluster.placement` to the merged post-round state.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ShardedRuntime` via the `Runtime` trait, or `sharded_round_obs`"
+)]
 pub fn sharded_round(
     cluster: &mut Cluster,
     metric: &RackMetric,
     alerts: &[Alert],
     alert_values: &[f64],
+) -> ShardedReport {
+    sharded_round_obs(cluster, metric, alerts, alert_values, &mut NullSink)
+}
+
+/// [`sharded_round`] with an [`EventSink`] observing the round.
+///
+/// Planner and agent threads stay oblivious to the sink: they return
+/// their statistics, and all events are emitted from the single-threaded
+/// apply phase in alerted-rack order, so the stream is deterministic and
+/// the sink needs no synchronization. Per-request REQUEST/ACK detail is
+/// not observable here (the handshakes race inside threads); the
+/// per-planner aggregates and committed moves are.
+pub fn sharded_round_obs<S: EventSink + ?Sized>(
+    cluster: &mut Cluster,
+    metric: &RackMetric,
+    alerts: &[Alert],
+    alert_values: &[f64],
+    sink: &mut S,
 ) -> ShardedReport {
     let mut alerted: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
     alerted.sort_unstable();
@@ -134,7 +169,7 @@ pub fn sharded_round(
         ..ShardedReport::default()
     };
 
-    let results: (Vec<(Vec<Move>, usize)>, Vec<Shard>) = crossbeam::thread::scope(|scope| {
+    let results: (Vec<PlannerOut>, Vec<Shard>) = crossbeam::thread::scope(|scope| {
         // agents: own their shard, serve requests until every planner is done
         let agent_handles: Vec<_> = (0..rack_count)
             .map(|r| {
@@ -176,7 +211,7 @@ pub fn sharded_round(
             })
             .collect();
 
-        let planner_out: Vec<(Vec<Move>, usize)> = planner_handles
+        let planner_out: Vec<PlannerOut> = planner_handles
             .into_iter()
             .map(|h| h.join().expect("planner panicked"))
             .collect();
@@ -192,14 +227,36 @@ pub fn sharded_round(
 
     let (planner_out, _shards) = results;
     // apply the committed moves to the authoritative placement; every ACK
-    // reserved real capacity in the owning shard, so these cannot fail
-    for (moves, rejected) in planner_out {
-        report.rejected += rejected;
-        for m in moves {
+    // reserved real capacity in the owning shard, so these cannot fail.
+    // Events are emitted here, after the threads joined, in alerted-rack
+    // order — the only deterministic vantage point of this runtime.
+    for (&rack, out) in alerted.iter().zip(planner_out) {
+        emit(sink, || Event::VictimsSelected {
+            rack: rack.index() as u64,
+            candidates: out.candidates as u64,
+            selected: out.victims as u64,
+        });
+        emit(sink, || Event::PlanComputed {
+            rack: rack.index() as u64,
+            proposals: (out.moves.len() + out.rejected) as u64,
+            unassigned: out.unassigned as u64,
+            search_space: out.search_space as u64,
+        });
+        report.rejected += out.rejected;
+        sink.counter("migrations.rejected", out.rejected as u64);
+        report.plan.search_space += out.search_space;
+        for m in out.moves {
             cluster
                 .placement
                 .migrate(m.vm, m.to)
                 .expect("shard ACK guarantees capacity");
+            emit(sink, || Event::MigrationCommitted {
+                vm: m.vm.index() as u64,
+                from_host: m.from.index() as u64,
+                to_host: m.to.index() as u64,
+                cost: m.cost,
+            });
+            sink.counter("migrations.committed", 1);
             report.plan.total_cost += m.cost;
             report.plan.moves.push(m);
         }
@@ -208,7 +265,8 @@ pub fn sharded_round(
 }
 
 /// One planner: Alg. 1 victim selection + matching on the snapshot, then
-/// per-move REQUEST negotiation. Returns (committed moves, rejections).
+/// per-move REQUEST negotiation. Returns the committed moves plus the
+/// statistics the apply phase reports to the event sink.
 #[allow(clippy::too_many_arguments)]
 fn plan_and_negotiate(
     placement: &Placement,
@@ -221,13 +279,15 @@ fn plan_and_negotiate(
     alerts: &[Alert],
     alert_values: &[f64],
     inboxes: &[Sender<Request>],
-) -> (Vec<Move>, usize) {
+) -> PlannerOut {
     // victim selection (host alerts, w = 1; ToR alerts, β budget)
     let mut victims: Vec<VmId> = Vec::new();
+    let mut candidates = 0usize;
     let mut tor_alert = false;
     for alert in alerts.iter().filter(|a| a.rack == rack) {
         match alert.source {
             AlertSource::Host(h) => {
+                candidates += placement.vms_on(h).len();
                 victims.extend(priority(
                     placement.vms_on(h),
                     placement,
@@ -244,6 +304,7 @@ fn plan_and_negotiate(
         for &host in inventory.hosts_in(rack) {
             f.extend_from_slice(placement.vms_on(host));
         }
+        candidates += f.len();
         victims.extend(priority(
             &f,
             placement,
@@ -254,7 +315,14 @@ fn plan_and_negotiate(
     victims.sort_unstable();
     victims.dedup();
     if victims.is_empty() {
-        return (Vec::new(), 0);
+        return PlannerOut {
+            moves: Vec::new(),
+            rejected: 0,
+            candidates,
+            victims: 0,
+            unassigned: 0,
+            search_space: 0,
+        };
     }
 
     // destination slots across the region + own rack
@@ -294,8 +362,12 @@ fn plan_and_negotiate(
     // negotiate each move with the destination rack's agent
     let mut moves = Vec::new();
     let mut rejected = 0usize;
+    let mut unassigned = 0usize;
     for (i, assigned) in assignment.into_iter().enumerate() {
-        let Some(j) = assigned else { continue };
+        let Some(j) = assigned else {
+            unassigned += 1;
+            continue;
+        };
         let vm = victims[i];
         let host = slot_hosts[j];
         let dest_rack = placement.rack_of_host(host);
@@ -320,11 +392,22 @@ fn plan_and_negotiate(
             _ => rejected += 1,
         }
     }
-    (moves, rejected)
+    let victim_count = victims.len();
+    PlannerOut {
+        moves,
+        rejected,
+        candidates,
+        victims: victim_count,
+        unassigned,
+        search_space: victim_count * slot_hosts.len(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // the deprecated wrappers are exactly what these tests pin down
+    #![allow(deprecated)]
+
     use super::*;
     use dcn_sim::engine::ClusterConfig;
     use dcn_topology::fattree::{self, FatTreeConfig};

@@ -17,9 +17,10 @@ use dcn_sim::tor_monitor::TorMonitor;
 use dcn_sim::{Alert, AlertSource, RackMetric};
 use dcn_topology::RackId;
 use serde::{Deserialize, Serialize};
+use sheriff_obs::{emit, AlertKind, Event, EventSink, NullSink, Timer};
 
 /// What one system step did.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StepReport {
     /// Simulation step executed.
     pub time: usize,
@@ -39,8 +40,11 @@ pub struct StepReport {
     pub worst_queue: f64,
 }
 
-/// The full assembled system.
-pub struct System {
+/// The full assembled system, generic over the [`EventSink`] observing
+/// it. The default `System<NullSink>` is observation-free and compiles
+/// to exactly the uninstrumented loop; [`System::with_sink`] swaps in a
+/// recorder or JSON-lines streamer without touching the management code.
+pub struct System<S: EventSink = NullSink> {
     /// Cluster state (topology, placement, workloads).
     pub cluster: Cluster,
     /// Live flows between dependent VMs.
@@ -52,13 +56,23 @@ pub struct System {
     /// Precomputed migration-cost metric.
     pub metric: RackMetric,
     sheriff: Sheriff,
+    sink: S,
     time: usize,
 }
 
 impl System {
-    /// Assemble the system. `flows` may be empty when only host-side
-    /// management is simulated.
+    /// Assemble the system with no observation. `flows` may be empty when
+    /// only host-side management is simulated.
     pub fn new(cluster: Cluster, flows: FlowNetwork) -> Self {
+        Self::with_sink(cluster, flows, NullSink)
+    }
+}
+
+impl<S: EventSink> System<S> {
+    /// Assemble the system with an [`EventSink`] observing every round:
+    /// round boundaries, each raised alert, and the full negotiation
+    /// trace of the management loop.
+    pub fn with_sink(cluster: Cluster, flows: FlowNetwork, sink: S) -> Self {
         let metric = RackMetric::build(&cluster.dcn, &cluster.sim);
         let qcn = CongestionSim::new(&cluster.dcn, CongestionConfig::default());
         let tor = TorMonitor::new(&cluster.dcn, 32);
@@ -70,6 +84,7 @@ impl System {
             tor,
             metric,
             sheriff,
+            sink,
             time: 0,
         }
     }
@@ -79,9 +94,28 @@ impl System {
         self.time
     }
 
+    /// Borrow the event sink (e.g. to query a
+    /// [`RingRecorder`](sheriff_obs::RingRecorder) mid-run).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutably borrow the event sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Tear the system down and hand back the sink (e.g. to call
+    /// [`JsonLinesSink::finish`](sheriff_obs::JsonLinesSink::finish)).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
     /// Advance one management period `T`: monitor, pre-alert, manage.
     pub fn step<P: ProfilePredictor>(&mut self, predictor: &P) -> StepReport {
         let t = self.time;
+        let timer = Timer::start("system.step", t as u64);
+        emit(&mut self.sink, || Event::RoundStart { time: t as u64 });
         let mut report = StepReport {
             time: t,
             ..StepReport::default()
@@ -95,6 +129,15 @@ impl System {
             self.cluster.predicted_alerts(predictor, t + 1)
         };
         report.host_alerts = alerts.len();
+        for a in &alerts {
+            emit(&mut self.sink, || Event::AlertRaised {
+                time: t as u64,
+                rack: a.rack.index() as u64,
+                kind: AlertKind::Host,
+                severity: a.severity,
+            });
+        }
+        self.sink.counter("alerts.host", report.host_alerts as u64);
 
         // 2. local ToR: predicted uplink congestion
         self.tor.record(&self.flows, &self.cluster.placement);
@@ -102,6 +145,15 @@ impl System {
             .tor
             .predicted_alerts(self.cluster.sim.alert_threshold, 3, t);
         report.tor_alerts = tor_alerts.len();
+        for a in &tor_alerts {
+            emit(&mut self.sink, || Event::AlertRaised {
+                time: t as u64,
+                rack: a.rack.index() as u64,
+                kind: AlertKind::LocalTor,
+                severity: a.severity,
+            });
+        }
+        self.sink.counter("alerts.tor", report.tor_alerts as u64);
         alerts.extend(tor_alerts);
 
         // 3. outer switches: QCN feedback
@@ -114,15 +166,24 @@ impl System {
                 .map(|f| self.cluster.placement.rack_of(self.flows.flows()[f].src))
                 .collect();
             for rack in racks {
+                let severity = self.qcn.severity(*sw).max(0.9);
+                emit(&mut self.sink, || Event::AlertRaised {
+                    time: t as u64,
+                    rack: rack.index() as u64,
+                    kind: AlertKind::OuterSwitch,
+                    severity,
+                });
                 alerts.push(Alert {
                     rack,
                     source: AlertSource::OuterSwitch(*sw),
-                    severity: self.qcn.severity(*sw).max(0.9),
+                    severity,
                     time: t,
                 });
                 report.switch_alerts += 1;
             }
         }
+        self.sink
+            .counter("alerts.switch", report.switch_alerts as u64);
 
         // --- management (Alg. 1 per alerted shim) ---------------------
         let mut racks: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
@@ -159,7 +220,7 @@ impl System {
                     metric: &self.metric,
                     sim: &self.cluster.sim,
                 };
-                crate::alert_mgmt::pre_alert_management(
+                crate::alert_mgmt::pre_alert_management_obs(
                     &mut ctx,
                     &self.cluster.dcn,
                     Some(&mut self.flows),
@@ -168,6 +229,7 @@ impl System {
                     &alerts,
                     &|vm| demands[vm.index()],
                     self.sheriff.max_rounds,
+                    &mut self.sink,
                 )
             };
             report.migrations += outcome.plan.moves.len();
@@ -183,6 +245,12 @@ impl System {
         report.stddev = self.cluster.utilization_stddev();
         report.worst_queue = self.qcn.worst_queue();
         self.time += 1;
+        emit(&mut self.sink, || Event::RoundEnd {
+            time: t as u64,
+            migrations: report.migrations as u64,
+            reroutes: report.reroutes as u64,
+        });
+        timer.stop(&mut self.sink, self.time as u64);
         report
     }
 

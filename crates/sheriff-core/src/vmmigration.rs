@@ -7,6 +7,7 @@ use crate::request::{request_migration, RequestOutcome};
 use dcn_sim::{RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Placement, RackId, VmId};
 use serde::{Deserialize, Serialize};
+use sheriff_obs::{emit, Event, EventSink, NullSink, RejectKind};
 use std::collections::HashSet;
 
 /// One committed migration.
@@ -96,6 +97,35 @@ pub fn vmmigration_scoped(
     max_rounds: usize,
     include_own_racks: bool,
 ) -> MigrationPlan {
+    vmmigration_scoped_obs(
+        ctx,
+        candidates,
+        target_racks,
+        max_rounds,
+        include_own_racks,
+        &mut NullSink,
+    )
+}
+
+/// [`vmmigration_scoped`] with instrumentation: each REQUEST issued to a
+/// destination shim and its verdict is emitted to `sink`
+/// (`request_sent`, `ack_received`/`reject_received`,
+/// `migration_committed`), plus one `plan_computed` summary per
+/// invocation. Request ids follow the wire format `rack << 32 | seq`
+/// with a per-invocation sequence, so a trace interleaves cleanly with
+/// fabric traffic.
+pub fn vmmigration_scoped_obs<S: EventSink + ?Sized>(
+    ctx: &mut MigrationContext<'_>,
+    candidates: &[VmId],
+    target_racks: &[RackId],
+    max_rounds: usize,
+    include_own_racks: bool,
+    sink: &mut S,
+) -> MigrationPlan {
+    let home_rack = candidates
+        .first()
+        .map(|&vm| ctx.placement.rack_of(vm).index() as u64);
+    let mut req_seq = 0u64;
     let mut plan = MigrationPlan::default();
     let mut pending: Vec<VmId> = candidates.to_vec();
     // per-VM hosts that rejected or are otherwise excluded
@@ -174,8 +204,27 @@ pub fn vmmigration_scoped(
             let host = slot_hosts[j];
             let from = ctx.placement.host_of(vm);
             let move_cost = cost[i][j];
+            req_seq += 1;
+            let req = (ctx.placement.rack_of(vm).index() as u64) << 32 | req_seq;
+            emit(sink, || Event::RequestSent {
+                req,
+                vm: vm.index() as u64,
+                dest_host: host.index() as u64,
+                attempt: 1,
+            });
             match request_migration(ctx.placement, ctx.deps, vm, host) {
                 RequestOutcome::Ack => {
+                    emit(sink, || Event::AckReceived {
+                        req,
+                        vm: vm.index() as u64,
+                    });
+                    emit(sink, || Event::MigrationCommitted {
+                        vm: vm.index() as u64,
+                        from_host: from.index() as u64,
+                        to_host: host.index() as u64,
+                        cost: move_cost,
+                    });
+                    sink.counter("migrations.committed", 1);
                     plan.moves.push(Move {
                         vm,
                         from,
@@ -185,7 +234,17 @@ pub fn vmmigration_scoped(
                     plan.total_cost += move_cost;
                     any_progress = true;
                 }
-                _ => {
+                verdict => {
+                    emit(sink, || Event::RejectReceived {
+                        req,
+                        vm: vm.index() as u64,
+                        reason: match verdict {
+                            RequestOutcome::RejectConflict => RejectKind::Conflict,
+                            RequestOutcome::RejectNoop => RejectKind::Noop,
+                            _ => RejectKind::Capacity,
+                        },
+                    });
+                    sink.counter("migrations.rejected", 1);
                     plan.rejected += 1;
                     excluded.push((vm, host));
                     next_pending.push(vm);
@@ -198,6 +257,14 @@ pub fn vmmigration_scoped(
         }
     }
     plan.unplaced.extend(pending);
+    if let Some(rack) = home_rack {
+        emit(sink, || Event::PlanComputed {
+            rack,
+            proposals: plan.moves.len() as u64,
+            unassigned: plan.unplaced.len() as u64,
+            search_space: plan.search_space as u64,
+        });
+    }
     plan
 }
 

@@ -9,7 +9,8 @@ use dcn_sim::{ChannelFaults, RackMetric, SimConfig};
 use dcn_topology::fattree::{self, FatTreeConfig};
 use dcn_topology::HostId;
 use proptest::prelude::*;
-use sheriff_core::{fabric_round, FabricConfig};
+use sheriff_core::{FabricConfig, FabricRuntime, RunCtx, Runtime};
+use sheriff_obs::NullSink;
 
 fn small_cluster(seed: u64) -> Cluster {
     let dcn = fattree::build(&FatTreeConfig::paper(4));
@@ -67,7 +68,13 @@ proptest! {
             crashed,
             ..FabricConfig::default()
         };
-        let report = fabric_round(&mut c, &metric, &alerts, &vals, &cfg);
+        let report = FabricRuntime { cfg: cfg.clone() }.step(&mut RunCtx {
+            cluster: &mut c,
+            metric: &metric,
+            alerts: &alerts,
+            alert_values: &vals,
+            sink: &mut NullSink,
+        });
 
         // termination: bounded rounds x bounded retries x bounded backoff
         prop_assert!(report.ticks <= cfg.max_ticks);

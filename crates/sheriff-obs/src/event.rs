@@ -1,0 +1,448 @@
+//! The typed event vocabulary of the Sheriff control loop.
+//!
+//! Every variant corresponds to an observable step of the paper's
+//! pipeline; DESIGN.md maps each one to the section or figure it
+//! instruments. Payloads are plain integers/floats — this crate knows
+//! nothing about topology types, so it stays dependency-free and the
+//! same events can describe any runtime.
+
+use std::fmt;
+
+/// Which of the three alert sources of Sec. III-B raised an alert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlertKind {
+    /// Predicted host overload (CPU/memory profile above `alert_threshold`).
+    Host,
+    /// Predicted local ToR uplink congestion.
+    LocalTor,
+    /// QCN congestion feedback from an outer switch.
+    OuterSwitch,
+}
+
+impl AlertKind {
+    /// Stable lowercase label used in JSON traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::Host => "host",
+            AlertKind::LocalTor => "local_tor",
+            AlertKind::OuterSwitch => "outer_switch",
+        }
+    }
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a destination shim rejected a migration REQUEST (Alg. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectKind {
+    /// Destination host lacked spare capacity for the VM.
+    Capacity,
+    /// A concurrent commit already claimed the slot (FCFS conflict).
+    Conflict,
+    /// The VM was already placed on the requested host.
+    Noop,
+}
+
+impl RejectKind {
+    /// Stable lowercase label used in JSON traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectKind::Capacity => "capacity",
+            RejectKind::Conflict => "conflict",
+            RejectKind::Noop => "noop",
+        }
+    }
+}
+
+impl fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What kind of fault an injector applied to the running cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A link went down.
+    LinkDown,
+    /// A previously failed link came back.
+    LinkUp,
+    /// A host went down (its VMs are stranded until recovery).
+    HostDown,
+    /// A previously failed host came back.
+    HostUp,
+    /// A shim controller crashed (stops answering the fabric).
+    ShimDown,
+    /// A crashed shim controller recovered.
+    ShimUp,
+}
+
+impl FaultKind {
+    /// Stable lowercase label used in JSON traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "link_down",
+            FaultKind::LinkUp => "link_up",
+            FaultKind::HostDown => "host_down",
+            FaultKind::HostUp => "host_up",
+            FaultKind::ShimDown => "shim_down",
+            FaultKind::ShimUp => "shim_up",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One structured observation from the Sheriff control loop.
+///
+/// Identifiers are raw indices (`rack`, `vm`, `host` …) so the event
+/// vocabulary is independent of the topology crate. Request ids follow
+/// the wire format of the shim protocol: `rack << 32 | sequence`.
+///
+/// Payloads are fully deterministic — no wall-clock values — so equal
+/// seeds yield equal event streams (the recorder property tests rely
+/// on this).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A management round (one `period_secs` tick) began.
+    RoundStart {
+        /// Virtual time (period index) of the round.
+        time: u64,
+    },
+    /// A management round finished.
+    RoundEnd {
+        /// Virtual time (period index) of the round.
+        time: u64,
+        /// VM migrations committed during the round.
+        migrations: u64,
+        /// Flows rerouted during the round.
+        reroutes: u64,
+    },
+    /// One of the three alert sources fired (Sec. III-B).
+    AlertRaised {
+        /// Virtual time at which the alert was raised.
+        time: u64,
+        /// Rack whose shim receives the alert.
+        rack: u64,
+        /// Which detector fired.
+        kind: AlertKind,
+        /// Severity score handed to PRIORITY (predicted utilization,
+        /// uplink load or QCN feedback value).
+        severity: f64,
+    },
+    /// PRIORITY (Alg. 2) selected migration victims for a rack.
+    VictimsSelected {
+        /// Alerted rack.
+        rack: u64,
+        /// Candidate VMs considered by the knapsack.
+        candidates: u64,
+        /// Victims actually selected for migration.
+        selected: u64,
+    },
+    /// VMMIGRATION (Alg. 3) produced a min-cost assignment for a rack.
+    PlanComputed {
+        /// Rack the plan was computed for.
+        rack: u64,
+        /// Proposed (vm, destination) assignments.
+        proposals: u64,
+        /// Victims that could not be assigned a destination.
+        unassigned: u64,
+        /// Size of the searched (vm × destination) space.
+        search_space: u64,
+    },
+    /// A shim sent a migration REQUEST (Alg. 4).
+    RequestSent {
+        /// Request id (`rack << 32 | seq`).
+        req: u64,
+        /// VM the request wants to move.
+        vm: u64,
+        /// Destination host.
+        dest_host: u64,
+        /// 1-based send attempt (1 = first transmission).
+        attempt: u64,
+    },
+    /// The destination shim ACKed a REQUEST; the move is committed.
+    AckReceived {
+        /// Request id.
+        req: u64,
+        /// VM that moved.
+        vm: u64,
+    },
+    /// The destination shim REJECTed a REQUEST.
+    RejectReceived {
+        /// Request id.
+        req: u64,
+        /// VM that failed to move.
+        vm: u64,
+        /// Why the destination refused.
+        reason: RejectKind,
+    },
+    /// A pending REQUEST passed its deadline without a verdict.
+    RequestTimeout {
+        /// Request id.
+        req: u64,
+        /// Attempt that timed out.
+        attempt: u64,
+    },
+    /// A timed-out REQUEST was retransmitted after backoff.
+    RequestResent {
+        /// Request id.
+        req: u64,
+        /// New 1-based attempt number.
+        attempt: u64,
+    },
+    /// A duplicate delivery was absorbed by the receiver's dedup log.
+    DuplicateAbsorbed {
+        /// Request id of the duplicate.
+        req: u64,
+    },
+    /// The k-median local search (Alg. 5) accepted an improving p-swap.
+    SwapAccepted {
+        /// 1-based improving-swap count within the search.
+        iteration: u64,
+        /// Objective value after the swap.
+        cost: f64,
+    },
+    /// A VM migration was committed to the placement.
+    MigrationCommitted {
+        /// VM that moved.
+        vm: u64,
+        /// Source host.
+        from_host: u64,
+        /// Destination host.
+        to_host: u64,
+        /// Migration cost `c(v, h)` of the move.
+        cost: f64,
+    },
+    /// A planned VM migration could not be committed.
+    MigrationFailed {
+        /// VM that stayed put.
+        vm: u64,
+        /// Rack whose shim had planned the move.
+        rack: u64,
+    },
+    /// Alg. 1 rerouted delay-insensitive flows off a congested uplink.
+    FlowsRerouted {
+        /// Alerted rack.
+        rack: u64,
+        /// Flows moved to alternate paths.
+        rerouted: u64,
+        /// Flows that had no alternate path.
+        stuck: u64,
+    },
+    /// A fault injector changed the cluster (link/host/shim up or down).
+    FaultInjected {
+        /// What changed.
+        kind: FaultKind,
+        /// Index of the affected link, host or rack.
+        id: u64,
+    },
+    /// A shim fell back to degraded local-only operation.
+    ShimDegraded {
+        /// Rack of the degraded shim.
+        rack: u64,
+    },
+    /// A shim was declared dead by the liveness tracker.
+    ShimCrashed {
+        /// Rack of the crashed shim.
+        rack: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case discriminant name, used as the `"ev"` field of
+    /// JSON traces and by [`RingRecorder::count_kind`](crate::RingRecorder::count_kind).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::AlertRaised { .. } => "alert_raised",
+            Event::VictimsSelected { .. } => "victims_selected",
+            Event::PlanComputed { .. } => "plan_computed",
+            Event::RequestSent { .. } => "request_sent",
+            Event::AckReceived { .. } => "ack_received",
+            Event::RejectReceived { .. } => "reject_received",
+            Event::RequestTimeout { .. } => "request_timeout",
+            Event::RequestResent { .. } => "request_resent",
+            Event::DuplicateAbsorbed { .. } => "duplicate_absorbed",
+            Event::SwapAccepted { .. } => "swap_accepted",
+            Event::MigrationCommitted { .. } => "migration_committed",
+            Event::MigrationFailed { .. } => "migration_failed",
+            Event::FlowsRerouted { .. } => "flows_rerouted",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::ShimDegraded { .. } => "shim_degraded",
+            Event::ShimCrashed { .. } => "shim_crashed",
+        }
+    }
+
+    /// Render the event as one JSON object with stable key order
+    /// (`"ev"` first, then payload fields in declaration order).
+    pub fn to_json(&self) -> String {
+        let mut w = crate::json::JsonObject::new(self.kind());
+        match self {
+            Event::RoundStart { time } => {
+                w.u64("time", *time);
+            }
+            Event::RoundEnd {
+                time,
+                migrations,
+                reroutes,
+            } => {
+                w.u64("time", *time);
+                w.u64("migrations", *migrations);
+                w.u64("reroutes", *reroutes);
+            }
+            Event::AlertRaised {
+                time,
+                rack,
+                kind,
+                severity,
+            } => {
+                w.u64("time", *time);
+                w.u64("rack", *rack);
+                w.str("kind", kind.label());
+                w.f64("severity", *severity);
+            }
+            Event::VictimsSelected {
+                rack,
+                candidates,
+                selected,
+            } => {
+                w.u64("rack", *rack);
+                w.u64("candidates", *candidates);
+                w.u64("selected", *selected);
+            }
+            Event::PlanComputed {
+                rack,
+                proposals,
+                unassigned,
+                search_space,
+            } => {
+                w.u64("rack", *rack);
+                w.u64("proposals", *proposals);
+                w.u64("unassigned", *unassigned);
+                w.u64("search_space", *search_space);
+            }
+            Event::RequestSent {
+                req,
+                vm,
+                dest_host,
+                attempt,
+            } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.u64("dest_host", *dest_host);
+                w.u64("attempt", *attempt);
+            }
+            Event::AckReceived { req, vm } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+            }
+            Event::RejectReceived { req, vm, reason } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.str("reason", reason.label());
+            }
+            Event::RequestTimeout { req, attempt } => {
+                w.u64("req", *req);
+                w.u64("attempt", *attempt);
+            }
+            Event::RequestResent { req, attempt } => {
+                w.u64("req", *req);
+                w.u64("attempt", *attempt);
+            }
+            Event::DuplicateAbsorbed { req } => {
+                w.u64("req", *req);
+            }
+            Event::SwapAccepted { iteration, cost } => {
+                w.u64("iteration", *iteration);
+                w.f64("cost", *cost);
+            }
+            Event::MigrationCommitted {
+                vm,
+                from_host,
+                to_host,
+                cost,
+            } => {
+                w.u64("vm", *vm);
+                w.u64("from_host", *from_host);
+                w.u64("to_host", *to_host);
+                w.f64("cost", *cost);
+            }
+            Event::MigrationFailed { vm, rack } => {
+                w.u64("vm", *vm);
+                w.u64("rack", *rack);
+            }
+            Event::FlowsRerouted {
+                rack,
+                rerouted,
+                stuck,
+            } => {
+                w.u64("rack", *rack);
+                w.u64("rerouted", *rerouted);
+                w.u64("stuck", *stuck);
+            }
+            Event::FaultInjected { kind, id } => {
+                w.str("kind", kind.label());
+                w.u64("id", *id);
+            }
+            Event::ShimDegraded { rack } => {
+                w.u64("rack", *rack);
+            }
+            Event::ShimCrashed { rack } => {
+                w.u64("rack", *rack);
+            }
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_is_stable() {
+        assert_eq!(Event::RoundStart { time: 3 }.kind(), "round_start");
+        assert_eq!(
+            Event::RejectReceived {
+                req: 1,
+                vm: 2,
+                reason: RejectKind::Capacity
+            }
+            .kind(),
+            "reject_received"
+        );
+    }
+
+    #[test]
+    fn json_has_stable_shape() {
+        let ev = Event::AlertRaised {
+            time: 7,
+            rack: 2,
+            kind: AlertKind::OuterSwitch,
+            severity: 0.5,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"alert_raised","time":7,"rack":2,"kind":"outer_switch","severity":0.5}"#
+        );
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Event::AckReceived { req: 9, vm: 4 };
+        let b = Event::AckReceived { req: 9, vm: 4 };
+        let c = Event::AckReceived { req: 9, vm: 5 };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixed-bucket histogram for latency and size distributions.
+
+/// A histogram over fixed, caller-supplied bucket upper bounds.
+///
+/// A sample `x` lands in the first bucket whose bound satisfies
+/// `x <= bound`; samples above the last bound land in an implicit
+/// overflow bucket. Bounds are fixed at construction so recording is
+/// allocation-free and two histograms with the same bounds are directly
+/// comparable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Build a histogram with the given strictly increasing upper
+    /// bounds. Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Exponential bounds `start, start*factor, …` (`len` buckets) —
+    /// the usual shape for latencies. Panics on non-positive `start`,
+    /// `factor <= 1`, or `len == 0`.
+    pub fn exponential(start: f64, factor: f64, len: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && len > 0);
+        let mut bounds = Vec::with_capacity(len);
+        let mut b = start;
+        for _ in 0..len {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| x <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or `None` before the first record.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample seen, or `None` before the first record.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen, or `None` before the first record.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry uses
+    /// `f64::INFINITY` as the overflow bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (in `[0, 1]`),
+    /// or `None` before the first record. A conservative estimate: the
+    /// true quantile is at most the returned bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bound, n) in self.buckets() {
+            seen += n;
+            if seen >= rank {
+                return Some(bound);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_quantiles() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for &x in &[0.5, 0.7, 5.0, 50.0, 500.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 5);
+        let counts: Vec<u64> = h.buckets().map(|(_, n)| n).collect();
+        assert_eq!(counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(500.0));
+    }
+
+    #[test]
+    fn exponential_bounds() {
+        let h = Histogram::exponential(1.0, 2.0, 4);
+        let bounds: Vec<f64> = h.buckets().map(|(b, _)| b).collect();
+        assert_eq!(bounds, vec![1.0, 2.0, 4.0, 8.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

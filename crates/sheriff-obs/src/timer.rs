@@ -1,0 +1,76 @@
+//! Scoped timer recording wall-clock and virtual-time durations.
+
+use std::time::Instant;
+
+use crate::sink::EventSink;
+
+/// A scoped timer started with the current virtual time and stopped
+/// against a sink, which receives both the wall-clock nanoseconds and
+/// the virtual-time ticks that elapsed.
+///
+/// The timer does not borrow the sink while running, so the timed scope
+/// is free to emit events through the same sink:
+///
+/// ```
+/// use sheriff_obs::{RingRecorder, Timer};
+///
+/// let mut sink = RingRecorder::new(16);
+/// let timer = Timer::start("round", 10);
+/// // ... timed work, possibly emitting events into `sink` ...
+/// timer.stop(&mut sink, 12); // 2 virtual ticks elapsed
+/// assert_eq!(sink.timing_stat("round").unwrap().virt_ticks, 2);
+/// ```
+#[derive(Debug)]
+pub struct Timer {
+    name: &'static str,
+    wall_start: Instant,
+    virt_start: u64,
+}
+
+impl Timer {
+    /// Start timing `name` at virtual time `virt_now`.
+    pub fn start(name: &'static str, virt_now: u64) -> Self {
+        Timer {
+            name,
+            wall_start: Instant::now(),
+            virt_start: virt_now,
+        }
+    }
+
+    /// Name this timer reports under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stop the scope at virtual time `virt_now` and report both
+    /// durations to `sink` via [`EventSink::timing`].
+    pub fn stop<S: EventSink + ?Sized>(self, sink: &mut S, virt_now: u64) {
+        let wall = self.wall_start.elapsed().as_nanos();
+        let wall = u64::try_from(wall).unwrap_or(u64::MAX);
+        let virt = virt_now.saturating_sub(self.virt_start);
+        sink.timing(self.name, wall, virt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RingRecorder;
+
+    #[test]
+    fn reports_virtual_and_wall_durations() {
+        let mut sink = RingRecorder::new(4);
+        let t = Timer::start("scope", 100);
+        t.stop(&mut sink, 103);
+        let stat = sink.timing_stat("scope").expect("timing recorded");
+        assert_eq!(stat.count, 1);
+        assert_eq!(stat.virt_ticks, 3);
+    }
+
+    #[test]
+    fn virtual_time_going_backwards_saturates() {
+        let mut sink = RingRecorder::new(4);
+        Timer::start("scope", 10).stop(&mut sink, 7);
+        assert_eq!(sink.timing_stat("scope").unwrap().virt_ticks, 0);
+    }
+}

@@ -30,6 +30,7 @@ fn main() {
         cluster.utilization_stddev()
     );
 
+    let mut runtime = DistributedRuntime { max_retry: 3 };
     for round in 0..6 {
         let alerts = cluster.fraction_alerts(0.08, round);
         let alert_values: Vec<f64> = cluster
@@ -37,7 +38,13 @@ fn main() {
             .vm_ids()
             .map(|vm| cluster.placement.utilization(cluster.placement.host_of(vm)))
             .collect();
-        let report = distributed_round(&mut cluster, &metric, &alerts, &alert_values, 3);
+        let report = runtime.step(&mut RunCtx {
+            cluster: &mut cluster,
+            metric: &metric,
+            alerts: &alerts,
+            alert_values: &alert_values,
+            sink: &mut NullSink,
+        });
         println!(
             "round {round}: {} shim threads, {} moves, {} REQUESTs rejected+retried, std-dev {:.1}%",
             report.shims,
@@ -60,6 +67,7 @@ fn main() {
         SimConfig::paper(),
     );
     println!("\nsharded runtime (per-rack agents, REQUEST/ACK over channels):");
+    let mut runtime = ShardedRuntime;
     for round in 0..6 {
         let alerts = sharded.fraction_alerts(0.08, round);
         let vals: Vec<f64> = sharded
@@ -67,12 +75,18 @@ fn main() {
             .vm_ids()
             .map(|vm| sharded.placement.utilization(sharded.placement.host_of(vm)))
             .collect();
-        let r = sharded_round(&mut sharded, &metric, &alerts, &vals);
+        let r = runtime.step(&mut RunCtx {
+            cluster: &mut sharded,
+            metric: &metric,
+            alerts: &alerts,
+            alert_values: &vals,
+            sink: &mut NullSink,
+        });
         println!(
             "round {round}: {} planner threads, {} moves, {} REQUESTs rejected, std-dev {:.1}%",
             r.shims,
             r.plan.moves.len(),
-            r.rejected,
+            r.plan.rejected,
             sharded.utilization_stddev()
         );
     }

@@ -2,35 +2,34 @@
 //! ToR monitors stepped as one system — every alert source of Sec. III-B
 //! live at once, every shim reacting through Alg. 1.
 //!
+//! The same seeded scenario runs twice: once unobserved (`NullSink`) and
+//! once streaming a JSON-lines trace to `results/full_system_trace.jsonl`
+//! (`JsonLinesSink`). The two runs must produce byte-identical step
+//! reports — observation is free of side effects on the simulation.
+//!
 //! ```text
 //! cargo run --release --example full_system
 //! ```
 
+use std::fs::{self, File};
+use std::io::BufWriter;
+
 use sheriff_dcn::prelude::*;
-use sheriff_dcn::sheriff::System;
-use sheriff_dcn::sim::flows::{Flow, FlowNetwork};
+use sheriff_dcn::sim::flows::Flow;
 
-fn main() {
-    let dcn = fattree::build(&FatTreeConfig::paper(4));
-    let cluster = Cluster::build(
-        dcn,
-        &ClusterConfig {
-            vms_per_host: 2.0,
-            skew: 2.0,
-            workload_len: 200,
-            seed: 71,
-            ..ClusterConfig::default()
-        },
-        SimConfig::paper(),
-    );
+const SEED: u64 = 71;
+const STEPS: usize = 40;
 
-    // traffic between dependent VMs: a flow per dependency edge with
-    // modest rate, plus two deliberately overlapping elephants
-    let mut flows_list: Vec<Flow> = Vec::new();
+/// Traffic between dependent VMs: a flow per cross-rack dependency edge
+/// with modest rate, plus a herd of deliberately overlapping elephants
+/// between the two most populous racks — enough sustained outbound rate
+/// to push the source rack's ToR uplink toward saturation.
+fn dependent_flows(cluster: &Cluster) -> Vec<Flow> {
+    let mut flows: Vec<Flow> = Vec::new();
     for vm in cluster.placement.vm_ids() {
         for &other in cluster.deps.neighbors(vm) {
             if vm < other && cluster.placement.rack_of(vm) != cluster.placement.rack_of(other) {
-                flows_list.push(Flow {
+                flows.push(Flow {
                     src: vm,
                     dst: other,
                     rate: 0.05,
@@ -52,31 +51,63 @@ fn main() {
         .collect();
     if fat.len() >= 2 {
         let (srcs, dsts) = (vms_in(fat[0]), vms_in(fat[1]));
-        for i in 0..2 {
-            flows_list.push(Flow {
-                src: srcs[i],
-                dst: dsts[i],
-                rate: 0.45,
+        for i in 0..4 {
+            flows.push(Flow {
+                src: srcs[i % srcs.len()],
+                dst: dsts[i % dsts.len()],
+                rate: 0.5,
                 delay_sensitive: false,
             });
         }
     }
-    println!(
-        "{} flows between dependent VMs + 2 elephants",
-        flows_list.len()
-    );
+    flows
+}
 
-    let flows = FlowNetwork::route(&cluster.dcn, &cluster.placement, flows_list);
-    let mut system = System::new(cluster, flows);
+/// Build the seeded scenario observed by `sink`. Identical seed and
+/// flows each time, so every build yields the very same system.
+fn build_system<S: EventSink>(sink: S) -> System<S> {
+    let dcn = fattree::build(&FatTreeConfig::paper(4));
+    let configured = |dcn: Dcn| {
+        SystemBuilder::new(dcn)
+            .vms_per_host(2.0)
+            .skew(2.0)
+            .workload_len(200)
+            .seed(SEED)
+    };
+    // probe build: the flow list depends on the seeded placement
+    let probe = configured(dcn.clone())
+        .build()
+        .expect("paper configuration is valid");
+    configured(dcn)
+        .flows(dependent_flows(&probe.cluster))
+        .build_with_sink(sink)
+        .expect("paper configuration is valid")
+}
+
+fn run<S: EventSink>(system: &mut System<S>, predictor: &HoltPredictor) -> Vec<StepReport> {
+    (0..STEPS).map(|_| system.step(predictor)).collect()
+}
+
+fn main() {
     let predictor = HoltPredictor::default();
 
+    // --- pass 1: unobserved ------------------------------------------
+    let mut silent = build_system(NullSink);
+    let baseline = run(&mut silent, &predictor);
+
+    // --- pass 2: same scenario, JSON-lines trace ---------------------
+    fs::create_dir_all("results").expect("create results/");
+    let trace_path = "results/full_system_trace.jsonl";
+    let writer = BufWriter::new(File::create(trace_path).expect("create trace file"));
+    let mut observed = build_system(JsonLinesSink::new(writer));
+    let reports = run(&mut observed, &predictor);
+
     println!(
-        "\n{:>5} {:>6} {:>5} {:>7} {:>6} {:>8} {:>7} {:>7}",
+        "{:>5} {:>6} {:>5} {:>7} {:>6} {:>8} {:>7} {:>7}",
         "step", "host", "tor", "switch", "moves", "reroutes", "stddev", "queue"
     );
     let mut acted = 0usize;
-    for _ in 0..40 {
-        let r = system.step(&predictor);
+    for r in &reports {
         acted += r.migrations + r.reroutes;
         if r.time.is_multiple_of(5) || r.host_alerts + r.switch_alerts + r.tor_alerts > 0 {
             println!(
@@ -93,8 +124,55 @@ fn main() {
         }
     }
     println!(
-        "\n{acted} total management actions over 40 periods; final std-dev {:.1}%, worst queue {:.1}",
-        system.cluster.utilization_stddev(),
-        system.qcn.worst_queue()
+        "\n{acted} total management actions over {STEPS} periods; final std-dev {:.1}%, worst queue {:.1}",
+        observed.cluster.utilization_stddev(),
+        observed.qcn.worst_queue()
     );
+
+    // --- observation must not perturb the simulation -----------------
+    assert_eq!(
+        baseline, reports,
+        "NullSink and JsonLinesSink runs diverged"
+    );
+    assert_eq!(
+        format!("{baseline:?}"),
+        format!("{reports:?}"),
+        "step reports are not byte-identical"
+    );
+    println!("observed run is byte-identical to the unobserved run ({STEPS} step reports)");
+
+    // --- the trace itself --------------------------------------------
+    let events = observed.into_sink().finish().expect("flush trace");
+    drop(events);
+    let trace = fs::read_to_string(trace_path).expect("read trace back");
+    let count = |needle: &str| trace.lines().filter(|l| l.contains(needle)).count();
+    let host = count(r#""ev":"alert_raised","#)
+        - count(r#""kind":"local_tor""#)
+        - count(r#""kind":"outer_switch""#);
+    println!("\ntrace {trace_path}: {} lines", trace.lines().count());
+    println!(
+        "  alert_raised host/tor/switch  {host}/{}/{}",
+        count(r#""kind":"local_tor""#),
+        count(r#""kind":"outer_switch""#)
+    );
+    println!(
+        "  request_sent / ack_received   {}/{}",
+        count(r#""ev":"request_sent""#),
+        count(r#""ev":"ack_received""#)
+    );
+    println!(
+        "  round_start / round_end       {}/{}",
+        count(r#""ev":"round_start""#),
+        count(r#""ev":"round_end""#)
+    );
+    assert!(host > 0, "no host alerts in trace");
+    assert!(count(r#""kind":"local_tor""#) > 0, "no ToR alerts in trace");
+    assert!(
+        count(r#""kind":"outer_switch""#) > 0,
+        "no QCN alerts in trace"
+    );
+    assert!(count(r#""ev":"request_sent""#) > 0, "no REQUEST in trace");
+    assert!(count(r#""ev":"ack_received""#) > 0, "no ACK in trace");
+    assert_eq!(count(r#""ev":"round_start""#), STEPS);
+    assert_eq!(count(r#""ev":"round_end""#), STEPS);
 }

@@ -49,7 +49,13 @@ fn main() {
         crashed: vec![crashed],
         ..FabricConfig::default()
     };
-    let report = fabric_round(&mut cluster, &metric, &alerts, &alert_values, &cfg);
+    let report = FabricRuntime { cfg }.step(&mut RunCtx {
+        cluster: &mut cluster,
+        metric: &metric,
+        alerts: &alerts,
+        alert_values: &alert_values,
+        sink: &mut NullSink,
+    });
 
     println!("fabric round finished in {} virtual ticks:", report.ticks);
     println!("  shims participating   {:>5}", report.shims);

@@ -1,5 +1,6 @@
-//! Quickstart: build a small Fat-Tree data center, let 5 % of VMs raise
-//! pre-alerts, and watch Sheriff's regional shims re-balance the cluster.
+//! Quickstart: build a small Fat-Tree data center through the validating
+//! [`SystemBuilder`], step the assembled management loop, and inspect
+//! what the in-memory event recorder observed.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -17,49 +18,50 @@ fn main() {
         dcn.inventory.host_count()
     );
 
-    // populate with VMs on scattered hot spots
-    let cluster_cfg = ClusterConfig {
-        vms_per_host: 2.5,
-        skew: 4.0,
-        seed: 7,
-        ..ClusterConfig::default()
-    };
-    let mut cluster = Cluster::build(dcn, &cluster_cfg, SimConfig::paper());
+    // populate with VMs on scattered hot spots; the builder validates
+    // every knob and returns a typed SheriffError instead of panicking
+    let mut system = SystemBuilder::new(dcn)
+        .vms_per_host(2.5)
+        .skew(4.0)
+        .seed(7)
+        .workload_len(200)
+        .build_with_sink(RingRecorder::new(4096))
+        .expect("paper configuration is valid");
     println!(
         "placed {} VMs; initial workload std-dev {:.1}%",
-        cluster.placement.vm_count(),
-        cluster.utilization_stddev()
+        system.cluster.placement.vm_count(),
+        system.cluster.utilization_stddev()
     );
 
-    // the rack-to-rack migration-cost metric (Eqn. 1 collapsed by
-    // Floyd–Warshall/Dijkstra, Sec. V-A)
-    let metric = RackMetric::build(&cluster.dcn, &cluster.sim);
-
-    // one shim per rack, each dominating its pod
-    let sheriff = Sheriff::new(&cluster);
-
-    for round in 0..8 {
-        let alerts = cluster.fraction_alerts(0.05, round);
-        let utils: Vec<f64> = cluster
-            .placement
-            .vm_ids()
-            .map(|vm| cluster.placement.utilization(cluster.placement.host_of(vm)))
-            .collect();
-        let report = sheriff.round(&mut cluster, &metric, None, &alerts, &|vm| {
-            utils[vm.index()]
-        });
+    // step the full loop: monitor -> predict -> pre-alert -> manage
+    let predictor = HoltPredictor::default();
+    for _ in 0..8 {
+        let r = system.step(&predictor);
         println!(
-            "round {round}: {} shims active, {} migrations (cost {:.0}), std-dev {:.1}% -> {:.1}%",
-            report.shims_active,
-            report.plan.moves.len(),
-            report.plan.total_cost,
-            report.stddev_before,
-            report.stddev_after
+            "round {}: {} host alerts, {} migrations, {} reroutes, std-dev {:.1}%",
+            r.time, r.host_alerts, r.migrations, r.reroutes, r.stddev
         );
     }
-
     println!(
         "final workload std-dev {:.1}%",
-        cluster.utilization_stddev()
+        system.cluster.utilization_stddev()
     );
+
+    // every decision above was also streamed to the recorder
+    let rec = system.sink();
+    println!(
+        "\nrecorder saw {} events: {} alerts, {} REQUESTs, {} ACKs, {} commits",
+        rec.len(),
+        rec.count_kind("alert_raised"),
+        rec.count_kind("request_sent"),
+        rec.count_kind("ack_received"),
+        rec.count_kind("migration_committed"),
+    );
+    if let Some(t) = rec.timing_stat("system.step") {
+        println!(
+            "system.step: {} scopes, {:.2} ms wall total",
+            t.count,
+            t.wall_nanos as f64 / 1e6
+        );
+    }
 }

@@ -13,15 +13,21 @@
 //! * [`sheriff`] — the management algorithms (PRIORITY, VMMIGRATION,
 //!   REQUEST, k-median local search) and both runtimes.
 //!
+//! Assemble a system with the validating [`SystemBuilder`](prelude::SystemBuilder)
+//! and step it while a recorder observes every round:
+//!
 //! ```
 //! use sheriff_dcn::prelude::*;
 //!
 //! let dcn = fattree::build(&FatTreeConfig::paper(4));
-//! let cluster = Cluster::build(dcn, &ClusterConfig::default(), SimConfig::paper());
-//! let metric = RackMetric::build(&cluster.dcn, &cluster.sim);
-//! let controller = Sheriff::new(&cluster);
-//! assert!(!controller.region(RackId(0)).is_empty());
-//! let _ = metric;
+//! let mut system = SystemBuilder::new(dcn)
+//!     .vms_per_host(2.0)
+//!     .seed(7)
+//!     .workload_len(100)
+//!     .build_with_sink(RingRecorder::new(1024))
+//!     .expect("paper configuration is valid");
+//! system.run(&HoltPredictor::default(), 3);
+//! assert_eq!(system.sink().count_kind("round_start"), 3);
 //! ```
 
 #![warn(missing_docs)]
@@ -29,27 +35,43 @@
 pub use dcn_sim as sim;
 pub use dcn_topology as topology;
 pub use sheriff_core as sheriff;
+pub use sheriff_obs as obs;
 pub use timeseries as forecast;
 
-/// Everything a typical application needs, one `use` away.
+/// Everything a typical application needs, one `use` away, grouped by
+/// layer: topology → simulation → management → forecasting →
+/// observability.
 pub mod prelude {
+    // --- topology: builders, graph, placement ------------------------
+    pub use dcn_topology::bcube::{self, BCubeConfig};
+    pub use dcn_topology::dcell::{self, DCellConfig};
+    pub use dcn_topology::fattree::{self, FatTreeConfig};
+    pub use dcn_topology::{Dcn, DependencyGraph, HostId, Placement, RackId, VmId, VmSpec};
+
+    // --- simulation: cluster engine, alerts, cost model, faults ------
     pub use dcn_sim::engine::{Cluster, ClusterConfig, HoltPredictor, ProfilePredictor};
     pub use dcn_sim::{
         Alert, AlertSource, ArimaProfilePredictor, CongestionSim, Profile, RackMetric, SimConfig,
         TorMonitor, VmWorkload,
     };
-    pub use dcn_sim::{ChannelFaults, FaultInjector};
-    pub use dcn_topology::bcube::{self, BCubeConfig};
-    pub use dcn_topology::dcell::{self, DCellConfig};
-    pub use dcn_topology::fattree::{self, FatTreeConfig};
-    pub use dcn_topology::{Dcn, DependencyGraph, HostId, Placement, RackId, VmId, VmSpec};
+    pub use dcn_sim::{ChannelFaults, FaultInjector, SheriffError};
+
+    // --- management: the four loops behind one Runtime trait ---------
     pub use sheriff_core::{
-        distributed_round, drain_rack, evacuate_host, fabric_round, priority, sharded_round,
-        vmmigration, Budget, DistributedReport, FabricConfig, MigrationContext, MigrationPlan,
-        RoundReport, Sheriff, System,
+        drain_rack, evacuate_host, priority, vmmigration, Budget, CentralizedRuntime,
+        DistributedReport, DistributedRuntime, FabricConfig, FabricRuntime, MigrationContext,
+        MigrationPlan, RoundOutcome, RoundReport, RunCtx, Runtime, ShardedRuntime, Sheriff,
+        StepReport, System, SystemBuilder,
     };
+
+    // --- forecasting: the Sec. III-B predictors ----------------------
     pub use timeseries::{
         ArimaModel, ArimaSpec, DynamicSelector, HoltWinters, HwConfig, Narnet, NarnetConfig,
         Predictor, SarimaModel, SarimaSpec,
+    };
+
+    // --- observability: structured events, counters, timers ----------
+    pub use sheriff_obs::{
+        Counters, Event, EventSink, Histogram, JsonLinesSink, NullSink, RingRecorder, Timer,
     };
 }

@@ -105,7 +105,13 @@ fn sequential_and_distributed_runtimes_both_balance() {
             .vm_ids()
             .map(|vm| dist.placement.utilization(dist.placement.host_of(vm)))
             .collect();
-        sheriff_dcn::sheriff::distributed_round(&mut dist, &metric, &alerts, &vals, 3);
+        DistributedRuntime { max_retry: 3 }.step(&mut RunCtx {
+            cluster: &mut dist,
+            metric: &metric,
+            alerts: &alerts,
+            alert_values: &vals,
+            sink: &mut NullSink,
+        });
     }
     assert!(
         seq.utilization_stddev() < initial * 0.75,
