@@ -4,7 +4,7 @@ use crate::error::{check_probability, SheriffError};
 use serde::{Deserialize, Serialize};
 
 /// Global simulation configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// `C_r`: fixed cost of initialization + reservation + commitment +
     /// activation of a live migration (paper: 100).
@@ -56,7 +56,7 @@ pub struct SimConfig {
 /// delegates to a "backup system"). All probabilities are per message and
 /// applied independently; delivery delay is drawn uniformly from
 /// `[delay_min, delay_max]` virtual ticks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChannelFaults {
     /// Probability a message is silently lost.
     pub drop: f64,

@@ -115,6 +115,20 @@ impl VmWorkload {
         }
     }
 
+    /// Overlay a surge window: every feature in steps
+    /// `[start, start + duration)` is multiplied by `factor` and clamped
+    /// back into [0, 1]. The burst scenarios of the scenario engine use
+    /// this to turn the diurnal synthetic traces into flash crowds
+    /// (factor > 1) or brown-outs (factor < 1).
+    pub fn apply_surge(&mut self, start: usize, duration: usize, factor: f64) {
+        let end = start.saturating_add(duration).min(self.len());
+        for series in [&mut self.cpu, &mut self.mem, &mut self.io, &mut self.trf] {
+            for v in &mut series[start.min(end)..end] {
+                *v = (*v * factor).clamp(0.0, 1.0);
+            }
+        }
+    }
+
     /// Borrow one feature's history up to (excluding) step `t` — the input
     /// the per-feature forecaster sees.
     pub fn feature_history(&self, feature: Feature, t: usize) -> &[f64] {
@@ -187,6 +201,23 @@ mod tests {
         assert_eq!(h[29], w.at(29).cpu);
         // beyond end clamps to full series
         assert_eq!(w.feature_history(Feature::Trf, 500).len(), 100);
+    }
+
+    #[test]
+    fn surge_scales_and_clamps_the_window() {
+        let mut w = VmWorkload::synthetic(20, 3);
+        let before = w.at(4);
+        let inside = w.at(7);
+        w.apply_surge(5, 5, 10.0);
+        // outside the window: untouched
+        assert_eq!(w.at(4), before);
+        assert_eq!(w.at(10), VmWorkload::synthetic(20, 3).at(10));
+        // inside: scaled up and clamped into [0, 1]
+        let after = w.at(7);
+        assert!(after.cpu >= inside.cpu);
+        assert!(after.is_normalized());
+        // a surge window past the end is a no-op, not a panic
+        w.apply_surge(100, 5, 2.0);
     }
 
     #[test]

@@ -110,14 +110,15 @@ pub fn pre_alert_management_obs<S: EventSink + ?Sized>(
                 }
                 let mut ranked: Vec<(VmId, f64)> = rate_of.into_iter().collect();
                 ranked.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .expect("rates are never NaN")
+                    // total_cmp: a NaN rate/value (corrupt input) must not
+                    // abort the whole management round — it gets a fixed
+                    // place in the order instead
+                    b.1.total_cmp(&a.1)
                         .then_with(|| {
                             ctx.placement
                                 .spec(a.0)
                                 .value
-                                .partial_cmp(&ctx.placement.spec(b.0).value)
-                                .expect("values are never NaN")
+                                .total_cmp(&ctx.placement.spec(b.0).value)
                         })
                         .then(a.0.cmp(&b.0))
                 });

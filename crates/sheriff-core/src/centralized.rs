@@ -18,6 +18,7 @@ use sheriff_obs::{EventSink, NullSink};
 
 /// Run the centralized manager over all alerting candidates: one global
 /// VMMIGRATION whose target region is the entire rack set.
+#[cfg(feature = "legacy")]
 #[deprecated(
     since = "0.1.0",
     note = "use `CentralizedRuntime` via the `Runtime` trait, or `centralized_migration_obs`"
@@ -30,8 +31,10 @@ pub fn centralized_migration(
     centralized_migration_obs(ctx, candidates, max_rounds, &mut NullSink)
 }
 
-/// [`centralized_migration`] with an [`EventSink`] observing every
-/// REQUEST/verdict and the final plan summary.
+/// The centralized manager with an [`EventSink`] observing every
+/// REQUEST/verdict and the final plan summary (the deprecated
+/// `centralized_migration` wrapper is this with a [`NullSink`], behind
+/// the `legacy` feature).
 pub fn centralized_migration_obs<S: EventSink + ?Sized>(
     ctx: &mut MigrationContext<'_>,
     candidates: &[VmId],
@@ -44,7 +47,8 @@ pub fn centralized_migration_obs<S: EventSink + ?Sized>(
     vmmigration_scoped_obs(ctx, candidates, &all_racks, max_rounds, true, sink)
 }
 
-/// Like [`centralized_migration`] but processes candidates in chunks of
+/// Like [`centralized_migration_obs`] (with a [`NullSink`]) but
+/// processes candidates in chunks of
 /// `chunk` rows per matching call. The Hungarian algorithm is
 /// O(rows² · cols); at data-center scale (thousands of candidates ×
 /// tens of thousands of hosts) one global matrix is intractable, and with
@@ -177,9 +181,6 @@ pub fn kmedian_migration_obs<S: EventSink + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    // the deprecated wrapper is exactly what these tests pin down
-    #![allow(deprecated)]
-
     use super::*;
     use dcn_sim::engine::{Cluster, ClusterConfig};
     use dcn_sim::{RackMetric, SimConfig};
@@ -239,7 +240,7 @@ mod tests {
                 metric: &metric,
                 sim: &c1.sim,
             };
-            centralized_migration(&mut ctx, &cands, 5)
+            centralized_migration_obs(&mut ctx, &cands, 5, &mut NullSink)
         };
         let regional = {
             let region = c2.dcn.neighbor_racks(c2.placement.rack_of(cands[0]), 2);
@@ -272,7 +273,7 @@ mod tests {
                 metric: &metric,
                 sim: &c1.sim,
             };
-            centralized_migration(&mut ctx, &cands, 1)
+            centralized_migration_obs(&mut ctx, &cands, 1, &mut NullSink)
         };
         let regional = {
             let region = c2.dcn.neighbor_racks(c2.placement.rack_of(cands[0]), 2);
@@ -345,7 +346,7 @@ mod tests {
                 metric: &metric,
                 sim: &c2.sim,
             };
-            centralized_migration(&mut ctx, &cands, 1)
+            centralized_migration_obs(&mut ctx, &cands, 1, &mut NullSink)
         };
         assert!(
             km_plan.search_space < full.search_space,

@@ -4,13 +4,13 @@
 //! Two runtimes share one planning core (PRIORITY victim selection +
 //! min-cost matching on a snapshot, Algs. 1–3):
 //!
-//! * [`distributed_round`] — each shim plans on its own thread, then all
+//! * [`distributed_round_obs`] — each shim plans on its own thread, then all
 //!   commits funnel through the destination racks' [`ShimEndpoint`]s in
 //!   deterministic rack order (Alg. 4 FCFS, Sec. II-B/V-B — "each local
 //!   manager adjusts network traffic locally, they need to communicate
 //!   between each other to avoid conflictions"). The shared mutex guards
 //!   only the placement snapshot/commit; the protocol layer decides.
-//! * [`fabric_round`] — the same negotiation as explicit
+//! * [`fabric_round_obs`] — the same negotiation as explicit
 //!   REQUEST/ACK/REJECT messages over a seeded, faulty [`SimNet`]
 //!   channel, with per-request deadlines, exponential backoff with
 //!   jitter, idempotent commits via request-id dedup, heartbeat liveness,
@@ -18,7 +18,7 @@
 //!   rack-local evacuation → report unplaced).
 //!
 //! With a [`ChannelFaults::reliable`] channel and no crashed shims,
-//! `fabric_round` reproduces `distributed_round` move for move: both
+//! the fabric reproduces the threaded runtime move for move: both
 //! issue the identical sequence of Alg. 4 requests in the identical
 //! order, so the ACK/REJECT outcomes — and therefore the plans — match.
 
@@ -33,7 +33,7 @@ use dcn_sim::engine::Cluster;
 use dcn_sim::{Alert, AlertSource, ChannelFaults, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
 use parking_lot::Mutex;
-use sheriff_obs::{emit, Event, EventSink, NullSink, RejectKind};
+use sheriff_obs::{emit, Event, EventSink, RejectKind};
 use std::collections::HashMap;
 
 /// Map a protocol-level REJECT payload to its observability label.
@@ -213,6 +213,7 @@ struct ShimState {
 ///
 /// `alert_values[vm]` supplies the ALERT magnitude for PRIORITY's `w = 1`
 /// branch. Mutates `cluster.placement` in place on return.
+#[cfg(feature = "legacy")]
 #[deprecated(
     since = "0.1.0",
     note = "use `DistributedRuntime` via the `Runtime` trait, or `distributed_round_obs`"
@@ -230,17 +231,18 @@ pub fn distributed_round(
         alerts,
         alert_values,
         max_retry,
-        &mut NullSink,
+        &mut sheriff_obs::NullSink,
     )
 }
 
-/// [`distributed_round`] with an [`EventSink`] observing the negotiation.
+/// The threaded shim round with an [`EventSink`] observing the
+/// negotiation (the deprecated `distributed_round` wrapper is this with
+/// a [`NullSink`](sheriff_obs::NullSink), behind the `legacy` feature).
 ///
 /// Planning still runs one thread per shim; events are emitted only from
 /// the single-threaded victim-selection and commit phases, in
 /// deterministic rack/request order, so the event stream is reproducible
-/// and the sink needs no synchronization. With [`NullSink`] this compiles
-/// down to exactly [`distributed_round`].
+/// and the sink needs no synchronization.
 pub fn distributed_round_obs<S: EventSink + ?Sized>(
     cluster: &mut Cluster,
     metric: &RackMetric,
@@ -420,7 +422,7 @@ pub struct FabricConfig {
     /// Seed for the channel's fault RNG.
     pub seed: u64,
     /// Replan rounds per shim after the first, mirroring
-    /// [`distributed_round`]'s `max_retry`.
+    /// [`distributed_round_obs`]'s `max_retry`.
     pub max_retry: usize,
     /// Timeout/retransmission policy per request.
     pub backoff: BackoffPolicy,
@@ -512,7 +514,8 @@ struct FabricShim {
 ///
 /// Single-threaded and deterministic in virtual time; with
 /// [`ChannelFaults::reliable`] and no crashes it produces the same plan
-/// as [`distributed_round`] with `max_retry = cfg.max_retry`.
+/// as [`distributed_round_obs`] with `max_retry = cfg.max_retry`.
+#[cfg(feature = "legacy")]
 #[deprecated(
     since = "0.1.0",
     note = "use `FabricRuntime` via the `Runtime` trait, or `fabric_round_obs`"
@@ -524,10 +527,17 @@ pub fn fabric_round(
     alert_values: &[f64],
     cfg: &FabricConfig,
 ) -> DistributedReport {
-    fabric_round_obs(cluster, metric, alerts, alert_values, cfg, &mut NullSink)
+    fabric_round_obs(
+        cluster,
+        metric,
+        alerts,
+        alert_values,
+        cfg,
+        &mut sheriff_obs::NullSink,
+    )
 }
 
-/// [`fabric_round`] with an [`EventSink`] observing the message exchange:
+/// The fabric round with an [`EventSink`] observing the message exchange:
 /// every REQUEST/ACK/REJECT, timeout, retransmission, absorbed duplicate,
 /// degradation step, and crashed shim becomes a structured event, and the
 /// channel's [`NetStats`](crate::channel::NetStats) land in counters
@@ -1014,12 +1024,10 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    // the deprecated wrappers are exactly what these tests pin down
-    #![allow(deprecated)]
-
     use super::*;
     use dcn_sim::engine::ClusterConfig;
     use dcn_topology::fattree::{self, FatTreeConfig};
+    use sheriff_obs::NullSink;
 
     fn cluster(seed: u64) -> Cluster {
         let dcn = fattree::build(&FatTreeConfig::paper(8));
@@ -1072,7 +1080,7 @@ mod tests {
         let metric = RackMetric::build(&c.dcn, &c.sim);
         let alerts = c.fraction_alerts(0.10, 0);
         let vals = alert_values(&c);
-        let report = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        let report = distributed_round_obs(&mut c, &metric, &alerts, &vals, 3, &mut NullSink);
         assert!(report.shims > 1, "want true concurrency in this test");
         assert!(!report.plan.moves.is_empty());
         assert_capacity_ok(&c);
@@ -1084,7 +1092,7 @@ mod tests {
         let metric = RackMetric::build(&c.dcn, &c.sim);
         let alerts = c.fraction_alerts(0.10, 0);
         let vals = alert_values(&c);
-        let _ = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        let _ = distributed_round_obs(&mut c, &metric, &alerts, &vals, 3, &mut NullSink);
         assert_deps_ok(&c);
     }
 
@@ -1096,7 +1104,7 @@ mod tests {
         for t in 0..6 {
             let alerts = c.fraction_alerts(0.05, t);
             let vals = alert_values(&c);
-            distributed_round(&mut c, &metric, &alerts, &vals, 3);
+            distributed_round_obs(&mut c, &metric, &alerts, &vals, 3, &mut NullSink);
         }
         let after = c.utilization_stddev();
         assert!(after < before, "std-dev {before} -> {after}");
@@ -1108,7 +1116,7 @@ mod tests {
         let metric = RackMetric::build(&c.dcn, &c.sim);
         let alerts = c.fraction_alerts(0.05, 0);
         let vals = alert_values(&c);
-        let report = distributed_round(&mut c, &metric, &alerts, &vals, 3);
+        let report = distributed_round_obs(&mut c, &metric, &alerts, &vals, 3, &mut NullSink);
         // each VM's final host equals its last recorded move
         let mut last: std::collections::HashMap<VmId, HostId> = Default::default();
         for m in &report.plan.moves {
@@ -1126,7 +1134,7 @@ mod tests {
         let mut c = cluster(25);
         let metric = RackMetric::build(&c.dcn, &c.sim);
         let before = c.utilization_stddev();
-        let report = distributed_round(&mut c, &metric, &[], &[], 3);
+        let report = distributed_round_obs(&mut c, &metric, &[], &[], 3, &mut NullSink);
         assert_eq!(report.shims, 0);
         assert!(report.plan.moves.is_empty());
         assert_eq!(c.utilization_stddev(), before);
@@ -1142,8 +1150,15 @@ mod tests {
 
         let cfg = FabricConfig::default();
         assert!(cfg.faults.is_reliable());
-        let rt = distributed_round(&mut threaded, &metric, &alerts, &vals, cfg.max_retry);
-        let rf = fabric_round(&mut fabric, &metric, &alerts, &vals, &cfg);
+        let rt = distributed_round_obs(
+            &mut threaded,
+            &metric,
+            &alerts,
+            &vals,
+            cfg.max_retry,
+            &mut NullSink,
+        );
+        let rf = fabric_round_obs(&mut fabric, &metric, &alerts, &vals, &cfg, &mut NullSink);
 
         assert_eq!(rt.plan.moves.len(), rf.plan.moves.len());
         for (a, b) in rt.plan.moves.iter().zip(&rf.plan.moves) {
@@ -1183,7 +1198,7 @@ mod tests {
             crashed: vec![crashed],
             ..FabricConfig::default()
         };
-        let report = fabric_round(&mut c, &metric, &alerts, &vals, &cfg);
+        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
 
         assert!(
             report.ticks < cfg.max_ticks,
@@ -1220,7 +1235,7 @@ mod tests {
             seed: 5,
             ..FabricConfig::default()
         };
-        let report = fabric_round(&mut c, &metric, &alerts, &vals, &cfg);
+        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
         assert!(
             report.dedup_hits > 0,
             "50% duplication must hit the dedup log"
@@ -1259,7 +1274,7 @@ mod tests {
             crashed: crashed.clone(),
             ..FabricConfig::default()
         };
-        let report = fabric_round(&mut c, &metric, &alerts, &vals, &cfg);
+        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
         assert_eq!(report.shims, 0);
         assert_eq!(report.crashed_shims, crashed.len());
         assert!(report.plan.moves.is_empty());

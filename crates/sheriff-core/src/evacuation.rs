@@ -7,7 +7,66 @@
 //! the same matching machinery as VMMIGRATION.
 
 use crate::vmmigration::{vmmigration, vmmigration_scoped, MigrationContext, MigrationPlan};
+use dcn_sim::SheriffError;
 use dcn_topology::{HostId, RackId, VmId};
+
+fn check_region(ctx: &MigrationContext<'_>, region: &[RackId]) -> Result<(), SheriffError> {
+    let rack_count = ctx.inventory.rack_count();
+    for &r in region {
+        if r.index() >= rack_count {
+            return Err(SheriffError::Invalid {
+                reason: format!(
+                    "region rack {} out of range (rack count {rack_count})",
+                    r.index()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Fallible [`evacuate_host`]: validates the host and region rack ids
+/// against the inventory and returns a typed [`SheriffError`] instead of
+/// panicking on an out-of-range index. An *empty* host is not an error —
+/// the evacuation is simply a no-op plan, as before.
+pub fn try_evacuate_host(
+    ctx: &mut MigrationContext<'_>,
+    host: HostId,
+    region: &[RackId],
+    max_rounds: usize,
+) -> Result<MigrationPlan, SheriffError> {
+    if host.index() >= ctx.inventory.host_count() {
+        return Err(SheriffError::Invalid {
+            reason: format!(
+                "host {} out of range (host count {})",
+                host.index(),
+                ctx.inventory.host_count()
+            ),
+        });
+    }
+    check_region(ctx, region)?;
+    Ok(evacuate_host(ctx, host, region, max_rounds))
+}
+
+/// Fallible [`drain_rack`]; see [`try_evacuate_host`].
+pub fn try_drain_rack(
+    ctx: &mut MigrationContext<'_>,
+    rack: RackId,
+    region: &[RackId],
+    max_rounds: usize,
+) -> Result<MigrationPlan, SheriffError> {
+    if rack.index() >= ctx.inventory.rack_count() {
+        return Err(SheriffError::Invalid {
+            reason: format!(
+                "rack {} out of range (rack count {})",
+                rack.index(),
+                ctx.inventory.rack_count()
+            ),
+        });
+    }
+    check_region(ctx, region)?;
+    Ok(drain_rack(ctx, rack, region, max_rounds))
+}
 
 /// Evacuate every VM from `host`, preferring the shim's own region and
 /// widening to the whole network when the region lacks capacity.
@@ -182,6 +241,33 @@ mod tests {
         for m in &plan.moves {
             assert_ne!(c.placement.rack_of_host(m.to), rack);
         }
+    }
+
+    #[test]
+    fn try_variants_reject_out_of_range_ids() {
+        let mut c = cluster(35);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let host_count = c.placement.host_count();
+        let rack_count = c.dcn.inventory.rack_count();
+        let mut ctx = MigrationContext {
+            placement: &mut c.placement,
+            inventory: &c.dcn.inventory,
+            deps: &c.deps,
+            metric: &metric,
+            sim: &c.sim,
+        };
+        let err = try_evacuate_host(&mut ctx, HostId::from_index(host_count), &[RackId(0)], 3)
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let err =
+            try_drain_rack(&mut ctx, RackId::from_index(rack_count), &[RackId(0)], 3).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let err = try_evacuate_host(&mut ctx, HostId(0), &[RackId::from_index(rack_count)], 3)
+            .unwrap_err();
+        assert!(err.to_string().contains("region rack"), "{err}");
+        // in-range ids behave exactly like the panicking entry point
+        let plan = try_evacuate_host(&mut ctx, HostId(0), &[RackId(1)], 3).unwrap();
+        assert!(plan.unplaced.is_empty());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //!
 //! together with FLOWREROUTE, the centralized-manager baseline, a
 //! deterministic sequential runtime ([`Sheriff`]) and a threaded runtime
-//! with optimistic planning and FCFS commit ([`distributed_round`]).
+//! with optimistic planning and FCFS commit ([`distributed_round_obs`],
+//! or [`DistributedRuntime`] behind the [`Runtime`] trait).
 
 #![warn(missing_docs)]
 
@@ -42,6 +43,7 @@ pub mod vmmigration;
 pub use alert_mgmt::{pre_alert_management, pre_alert_management_obs, ShimOutcome};
 pub use builder::SystemBuilder;
 #[allow(deprecated)]
+#[cfg(feature = "legacy")]
 pub use centralized::centralized_migration;
 pub use centralized::{
     centralized_migration_chunked, centralized_migration_chunked_obs, centralized_migration_obs,
@@ -49,9 +51,10 @@ pub use centralized::{
 };
 pub use channel::{NetStats, SimNet};
 #[allow(deprecated)]
+#[cfg(feature = "legacy")]
 pub use distributed::{distributed_round, fabric_round};
 pub use distributed::{distributed_round_obs, fabric_round_obs, DistributedReport, FabricConfig};
-pub use evacuation::{drain_rack, evacuate_host};
+pub use evacuation::{drain_rack, evacuate_host, try_drain_rack, try_evacuate_host};
 pub use kmedian::{
     exact_optimal, local_search, local_search_from, local_search_from_obs, KMedianInstance,
     KMedianSolution,
@@ -69,13 +72,15 @@ pub use runtime::{
     ShardedRuntime,
 };
 #[allow(deprecated)]
+#[cfg(feature = "legacy")]
 pub use sharded::sharded_round;
 pub use sharded::{sharded_round_obs, ShardedReport};
 pub use shim::{RoundReport, Sheriff};
 pub use strategy::{run_policy, AlertPolicy, StrategyOutcome};
 pub use system::{StepReport, System};
 pub use vmmigration::{
-    vmmigration, vmmigration_scoped, vmmigration_scoped_obs, MigrationContext, MigrationPlan, Move,
+    try_vmmigration, try_vmmigration_scoped, vmmigration, vmmigration_scoped,
+    vmmigration_scoped_obs, MigrationContext, MigrationPlan, Move,
 };
 
 // The construction error type lives in `dcn-sim` (both layers raise it);

@@ -10,8 +10,9 @@
 //! runtime reports through the same [`RoundOutcome`] and the same
 //! [`EventSink`].
 //!
-//! The old free functions ([`distributed_round`](crate::distributed_round)
-//! and friends) remain as deprecated wrappers for one release.
+//! The old free functions (`distributed_round` and friends) remain as
+//! deprecated wrappers behind the `legacy` cargo feature for one
+//! release.
 
 use crate::centralized::centralized_migration_obs;
 use crate::distributed::{
@@ -314,7 +315,7 @@ mod tests {
     }
 
     #[test]
-    fn distributed_runtime_matches_the_free_function() {
+    fn distributed_runtime_matches_the_obs_function() {
         let mut via_trait = cluster(92);
         let mut via_fn = cluster(92);
         let metric = RackMetric::build(&via_trait.dcn, &via_trait.sim);
@@ -330,8 +331,14 @@ mod tests {
             sink: &mut NullSink,
         };
         let a = rt.step(&mut ctx);
-        #[allow(deprecated)]
-        let b = crate::distributed::distributed_round(&mut via_fn, &metric, &alerts, &vals, 3);
+        let b = crate::distributed::distributed_round_obs(
+            &mut via_fn,
+            &metric,
+            &alerts,
+            &vals,
+            3,
+            &mut NullSink,
+        );
 
         assert_eq!(a.plan.moves.len(), b.plan.moves.len());
         assert!((a.plan.total_cost - b.plan.total_cost).abs() < 1e-9);

@@ -19,7 +19,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use dcn_sim::engine::Cluster;
 use dcn_sim::{Alert, AlertSource, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
-use sheriff_obs::{emit, Event, EventSink, NullSink};
+use sheriff_obs::{emit, Event, EventSink};
 
 /// A migration request from a source shim to a destination rack agent
 /// (Alg. 4's input).
@@ -108,6 +108,7 @@ struct PlannerOut {
 
 /// Run one management round on the sharded runtime. Mutates
 /// `cluster.placement` to the merged post-round state.
+#[cfg(feature = "legacy")]
 #[deprecated(
     since = "0.1.0",
     note = "use `ShardedRuntime` via the `Runtime` trait, or `sharded_round_obs`"
@@ -118,10 +119,18 @@ pub fn sharded_round(
     alerts: &[Alert],
     alert_values: &[f64],
 ) -> ShardedReport {
-    sharded_round_obs(cluster, metric, alerts, alert_values, &mut NullSink)
+    sharded_round_obs(
+        cluster,
+        metric,
+        alerts,
+        alert_values,
+        &mut sheriff_obs::NullSink,
+    )
 }
 
-/// [`sharded_round`] with an [`EventSink`] observing the round.
+/// The sharded round with an [`EventSink`] observing the round (the
+/// deprecated `sharded_round` wrapper is this with a
+/// [`NullSink`](sheriff_obs::NullSink), behind the `legacy` feature).
 ///
 /// Planner and agent threads stay oblivious to the sink: they return
 /// their statistics, and all events are emitted from the single-threaded
@@ -405,12 +414,10 @@ fn plan_and_negotiate(
 
 #[cfg(test)]
 mod tests {
-    // the deprecated wrappers are exactly what these tests pin down
-    #![allow(deprecated)]
-
     use super::*;
     use dcn_sim::engine::ClusterConfig;
     use dcn_topology::fattree::{self, FatTreeConfig};
+    use sheriff_obs::NullSink;
 
     fn cluster(seed: u64) -> Cluster {
         let dcn = fattree::build(&FatTreeConfig::paper(8));
@@ -439,7 +446,7 @@ mod tests {
         let metric = RackMetric::build(&c.dcn, &c.sim);
         let alerts = c.fraction_alerts(0.10, 0);
         let vals = alert_values(&c);
-        let report = sharded_round(&mut c, &metric, &alerts, &vals);
+        let report = sharded_round_obs(&mut c, &metric, &alerts, &vals, &mut NullSink);
         assert!(report.shims > 1);
         assert!(!report.plan.moves.is_empty());
         for h in 0..c.placement.host_count() {
@@ -466,11 +473,18 @@ mod tests {
         for t in 0..8 {
             let alerts = sharded.fraction_alerts(0.05, t);
             let vals = alert_values(&sharded);
-            sharded_round(&mut sharded, &metric, &alerts, &vals);
+            sharded_round_obs(&mut sharded, &metric, &alerts, &vals, &mut NullSink);
 
             let alerts = locked.fraction_alerts(0.05, t);
             let vals = alert_values(&locked);
-            crate::distributed::distributed_round(&mut locked, &metric, &alerts, &vals, 3);
+            crate::distributed::distributed_round_obs(
+                &mut locked,
+                &metric,
+                &alerts,
+                &vals,
+                3,
+                &mut NullSink,
+            );
         }
         let s = sharded.utilization_stddev();
         let l = locked.utilization_stddev();
@@ -487,7 +501,7 @@ mod tests {
         let metric = RackMetric::build(&c.dcn, &c.sim);
         let alerts = c.fraction_alerts(0.25, 0);
         let vals = alert_values(&c);
-        let report = sharded_round(&mut c, &metric, &alerts, &vals);
+        let report = sharded_round_obs(&mut c, &metric, &alerts, &vals, &mut NullSink);
         // with heavy contention some rejections are expected but not
         // required; the hard requirement is capacity safety
         let _ = report.rejected;
@@ -501,7 +515,7 @@ mod tests {
     fn no_alerts_no_threads() {
         let mut c = cluster(84);
         let metric = RackMetric::build(&c.dcn, &c.sim);
-        let report = sharded_round(&mut c, &metric, &[], &[]);
+        let report = sharded_round_obs(&mut c, &metric, &[], &[], &mut NullSink);
         assert_eq!(report.shims, 0);
         assert!(report.plan.moves.is_empty());
     }

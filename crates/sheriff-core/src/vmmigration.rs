@@ -65,6 +65,75 @@ pub struct MigrationContext<'a> {
     pub sim: &'a SimConfig,
 }
 
+/// Check a candidate/target list against the placement and inventory so
+/// the matching never indexes out of range. Shared by the `try_*`
+/// entry points; the panicking entry points skip it (their callers pass
+/// ids they just read back out of the same structures).
+fn check_migration_inputs(
+    ctx: &MigrationContext<'_>,
+    candidates: &[VmId],
+    target_racks: &[RackId],
+) -> Result<(), dcn_sim::SheriffError> {
+    if candidates.is_empty() {
+        return Err(dcn_sim::SheriffError::NoCandidates);
+    }
+    let vm_count = ctx.placement.vm_count();
+    for &vm in candidates {
+        if vm.index() >= vm_count {
+            return Err(dcn_sim::SheriffError::Invalid {
+                reason: format!(
+                    "candidate VM {} out of range (vm count {vm_count})",
+                    vm.index()
+                ),
+            });
+        }
+    }
+    let rack_count = ctx.inventory.rack_count();
+    for &rack in target_racks {
+        if rack.index() >= rack_count {
+            return Err(dcn_sim::SheriffError::Invalid {
+                reason: format!(
+                    "target rack {} out of range (rack count {rack_count})",
+                    rack.index()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Fallible [`vmmigration`]: validates the candidate and target lists
+/// (non-empty candidates, every id in range) and returns a typed
+/// [`SheriffError`](dcn_sim::SheriffError) instead of indexing out of
+/// bounds deep inside the cost matrix.
+pub fn try_vmmigration(
+    ctx: &mut MigrationContext<'_>,
+    candidates: &[VmId],
+    target_racks: &[RackId],
+    max_rounds: usize,
+) -> Result<MigrationPlan, dcn_sim::SheriffError> {
+    check_migration_inputs(ctx, candidates, target_racks)?;
+    Ok(vmmigration(ctx, candidates, target_racks, max_rounds))
+}
+
+/// Fallible [`vmmigration_scoped`]; see [`try_vmmigration`].
+pub fn try_vmmigration_scoped(
+    ctx: &mut MigrationContext<'_>,
+    candidates: &[VmId],
+    target_racks: &[RackId],
+    max_rounds: usize,
+    include_own_racks: bool,
+) -> Result<MigrationPlan, dcn_sim::SheriffError> {
+    check_migration_inputs(ctx, candidates, target_racks)?;
+    Ok(vmmigration_scoped(
+        ctx,
+        candidates,
+        target_racks,
+        max_rounds,
+        include_own_racks,
+    ))
+}
+
 /// Alg. 3. `candidates` are the VMs selected by PRIORITY; `target_racks`
 /// is the shim's dominating region (destination hosts are drawn from
 /// these racks *and* the VMs' own racks, since an overloaded host may

@@ -11,7 +11,9 @@
 //! * [`sim`] — workload profiles, alerts, migration cost model, QCN,
 //!   flows, the cluster engine;
 //! * [`sheriff`] — the management algorithms (PRIORITY, VMMIGRATION,
-//!   REQUEST, k-median local search) and both runtimes.
+//!   REQUEST, k-median local search) and both runtimes;
+//! * [`scenario`] — declarative experiment files (TOML/JSON), seed
+//!   sweeps with fault schedules, parallel deterministic execution.
 //!
 //! Assemble a system with the validating [`SystemBuilder`](prelude::SystemBuilder)
 //! and step it while a recorder observes every round:
@@ -36,6 +38,7 @@ pub use dcn_sim as sim;
 pub use dcn_topology as topology;
 pub use sheriff_core as sheriff;
 pub use sheriff_obs as obs;
+pub use sheriff_scenario as scenario;
 pub use timeseries as forecast;
 
 /// Everything a typical application needs, one `use` away, grouped by
@@ -69,6 +72,9 @@ pub mod prelude {
         ArimaModel, ArimaSpec, DynamicSelector, HoltWinters, HwConfig, Narnet, NarnetConfig,
         Predictor, SarimaModel, SarimaSpec,
     };
+
+    // --- scenarios: declarative sweeps over all of the above ---------
+    pub use sheriff_scenario::{aggregate, ScenarioReport, ScenarioRunner, ScenarioSpec};
 
     // --- observability: structured events, counters, timers ----------
     pub use sheriff_obs::{

@@ -1,0 +1,106 @@
+//! Determinism proofs for the scenario engine: the parallel seed sweep
+//! is byte-identical to the serial one, and re-running a spec file
+//! reproduces the same canonical report.
+
+use proptest::prelude::*;
+use sheriff_dcn::prelude::{aggregate, ScenarioRunner, ScenarioSpec};
+
+fn canonical(spec: &ScenarioSpec, parallel: bool, threads: usize) -> String {
+    let mut runner = ScenarioRunner::new(spec.clone());
+    runner.parallel = parallel;
+    runner.threads = threads;
+    let runs = runner.run().expect("scenario runs");
+    aggregate(spec, &runs).canonical_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole contract: for any small scenario — any runtime, any
+    /// seed pair, faults or not — the parallel sweep's canonical report
+    /// is byte-identical to the serial one.
+    #[test]
+    fn parallel_sweep_matches_serial_byte_for_byte(
+        base_seed in 1u64..1000,
+        rounds in 1usize..4,
+        runtime in 0usize..4,
+        threads in 1usize..5,
+        with_fault in any::<bool>(),
+    ) {
+        let runtime = ["centralized", "distributed", "sharded", "fabric"][runtime];
+        let fault = if with_fault {
+            "\n[[fault]]\nround = 1\naction = \"fail_host\"\nhost = 0\n"
+        } else {
+            ""
+        };
+        let src = format!(
+            r#"
+name = "prop"
+rounds = {rounds}
+seeds = [{base_seed}, {}]
+
+[topology]
+kind = "fat_tree"
+pods = 4
+
+[cluster]
+vms_per_host = 1.5
+skew = 2.0
+
+[runtime]
+kind = "{runtime}"
+{fault}"#,
+            base_seed + 1
+        );
+        let spec = ScenarioSpec::parse_str(&src).expect("generated spec parses");
+        spec.validate().expect("generated spec is valid");
+        let serial = canonical(&spec, false, 0);
+        let parallel = canonical(&spec, true, threads);
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+#[test]
+fn rerunning_a_shipped_spec_file_reproduces_the_report() {
+    // the bundled Fig. 9 scenario, truncated so the test stays fast;
+    // truncation happens after parse, exactly like `scenarios --check`
+    let mut spec = ScenarioSpec::load(std::path::Path::new("scenarios/fig9_prealert.toml"))
+        .expect("bundled scenario parses");
+    spec.rounds = 4;
+    spec.seeds.truncate(2);
+    let first = canonical(&spec, true, 0);
+    let second = canonical(&spec, true, 2);
+    let third = canonical(&spec, false, 0);
+    assert_eq!(first, second, "parallel re-run diverged");
+    assert_eq!(first, third, "serial run diverged from parallel");
+    assert!(first.contains("\"columns\": [\"round\", \"stddev_pct\"]"));
+    assert!(!first.contains("timings_ns"));
+}
+
+#[test]
+fn every_bundled_scenario_parses_and_validates_clean() {
+    let dir = std::path::Path::new("scenarios");
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("scenarios/ exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let spec = ScenarioSpec::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let warnings = spec
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            warnings.is_empty(),
+            "{}: shipped scenarios must be warning-free: {warnings:?}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 6,
+        "expected the full scenario library, found {checked}"
+    );
+}
