@@ -51,7 +51,10 @@ pub fn ablation_priority(trials: usize, seed: u64) -> Table {
                 value: rng.gen_range(1.0..10.0),
                 delay_sensitive: false,
             };
-            ids.push(p.add_vm(s, HostId(0)).expect("fits"));
+            match p.add_vm(s, HostId(0)) {
+                Ok(id) => ids.push(id),
+                Err(_) => continue,
+            }
         }
         let budget = rng.gen_range(15.0..60.0_f64).floor();
 
@@ -60,12 +63,7 @@ pub fn ablation_priority(trials: usize, seed: u64) -> Table {
 
         // greedy: lowest value first, take while it fits
         let mut sorted = ids.clone();
-        sorted.sort_by(|&a, &b| {
-            p.spec(a)
-                .value
-                .partial_cmp(&p.spec(b).value)
-                .expect("no NaN values")
-        });
+        sorted.sort_by(|&a, &b| p.spec(a).value.total_cmp(&p.spec(b).value));
         let mut greedy = Vec::new();
         let mut used = 0.0;
         for vm in sorted {
@@ -304,7 +302,7 @@ pub fn ablation_scope(seed: u64) -> Table {
         let (traj, plan) = sheriff.balance_trajectory(&mut cluster, &metric, 0.05, 12);
         t.push(vec![
             hops as f64,
-            *traj.last().expect("non-empty"),
+            traj.last().copied().unwrap_or(f64::NAN),
             plan.total_cost,
             plan.search_space as f64,
             plan.moves.len() as f64,

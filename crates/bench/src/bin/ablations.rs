@@ -7,6 +7,14 @@
 use sheriff_bench::ablation;
 use std::path::PathBuf;
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: ablations [all|priority|matching|pswap|selector|scope] [--seed N] [--out DIR]"
+    );
+    std::process::exit(2)
+}
+
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut seed = 42u64;
@@ -14,8 +22,15 @@ fn main() {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "--seed" => seed = argv.next().and_then(|v| v.parse().ok()).expect("--seed N"),
-            "--out" => out = PathBuf::from(argv.next().expect("--out DIR")),
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().unwrap_or_else(|| die("--out needs a path")))
+            }
             id => ids.push(id.to_string()),
         }
     }

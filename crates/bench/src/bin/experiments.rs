@@ -113,8 +113,10 @@ fn main() {
             "fig3" => traces::fig3(args.seed),
             "fig4" => traces::fig4(args.seed),
             "fig5" => traces::fig5(args.seed),
-            "fig6" => forecast::fig6(args.seed),
-            "fig7" => forecast::fig7(args.seed),
+            "fig6" => forecast::fig6(args.seed)
+                .unwrap_or_else(|e| die(&format!("fig6: ARIMA fit failed: {e}"))),
+            "fig7" => forecast::fig7(args.seed)
+                .unwrap_or_else(|e| die(&format!("fig7: ARIMA fit failed: {e}"))),
             "fig8" => forecast::fig8(args.seed),
             "fig9" => balance::fig9(args.seed),
             "fig10" => balance::fig10(args.seed),

@@ -16,6 +16,12 @@
 use sheriff_scenario::{aggregate, ScenarioRunner, ScenarioSpec};
 use std::path::{Path, PathBuf};
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: scenarios [--check] [--serial] [--threads N] [--out DIR] <file>...");
+    std::process::exit(2)
+}
+
 fn main() {
     let mut check = false;
     let mut serial = false;
@@ -31,9 +37,11 @@ fn main() {
                 threads = argv
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--threads N")
+                    .unwrap_or_else(|| die("--threads needs an integer"))
             }
-            "--out" => out = PathBuf::from(argv.next().expect("--out DIR")),
+            "--out" => {
+                out = PathBuf::from(argv.next().unwrap_or_else(|| die("--out needs a path")))
+            }
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
@@ -104,7 +112,10 @@ fn run_one(
     let path = out.join(format!("{}.json", spec.name));
     std::fs::write(&path, report.to_json_pretty())
         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-    let final_row = report.rows.last().expect("rows never empty");
+    let final_row = report
+        .rows
+        .last()
+        .ok_or_else(|| "report has no rows (rounds = 0?)".to_string())?;
     Ok(format!(
         "{} seed(s) x {} topology variant(s), {} rounds; final mean std-dev {:.1}% -> {}",
         spec.seeds.len(),

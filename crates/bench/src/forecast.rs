@@ -9,14 +9,18 @@
 //!   on mixed data; its MSE should undercut each single model.
 
 use crate::report::Table;
-use timeseries::arima::{ArimaModel, ArimaSpec};
+use timeseries::arima::{ArimaModel, ArimaSpec, FitError};
 use timeseries::generator::{nonlinear_trace, weekly_traffic_trace, TraceConfig};
 use timeseries::metrics::{mae, mse};
 use timeseries::narnet::{Narnet, NarnetConfig};
 use timeseries::selector::{DynamicSelector, Predictor};
 
 /// Fig. 6 — ARIMA on the weekly traffic trace.
-pub fn fig6(seed: u64) -> Table {
+///
+/// Errors if the generated trace is too short or degenerate for the
+/// ARIMA fit — a seed-dependent condition the CLI reports instead of
+/// panicking on.
+pub fn fig6(seed: u64) -> Result<Table, FitError> {
     let cfg = TraceConfig {
         len: 7 * 72,
         samples_per_day: 72,
@@ -24,7 +28,7 @@ pub fn fig6(seed: u64) -> Table {
     };
     let y = weekly_traffic_trace(&cfg);
     let split = y.len() / 2;
-    let model = ArimaModel::fit(&y[..split], ArimaSpec::new(1, 1, 1)).expect("traffic trace fits");
+    let model = ArimaModel::fit(&y[..split], ArimaSpec::new(1, 1, 1))?;
 
     // in-sample one-step (training output) and out-of-sample (test output)
     let warmup = model.spec.d + 5;
@@ -57,7 +61,7 @@ pub fn fig6(seed: u64) -> Table {
         "naive last-value test MSE = {:.3} (ARIMA should beat this)",
         mse(&naive, test_actual)
     ));
-    t
+    Ok(t)
 }
 
 /// Standard NARNET config used by the figure experiments (20 hidden
@@ -74,7 +78,10 @@ pub fn paper_narnet(seed: u64) -> NarnetConfig {
 }
 
 /// Fig. 7 — NARNET on a nonlinear series (70 % train / 30 % test).
-pub fn fig7(seed: u64) -> Table {
+///
+/// Errors if the ARIMA comparator cannot be fit on the generated
+/// series.
+pub fn fig7(seed: u64) -> Result<Table, FitError> {
     let y = nonlinear_trace(900, seed);
     let split = y.len() * 7 / 10;
     let nn = Narnet::fit(&y[..split], paper_narnet(seed));
@@ -92,13 +99,13 @@ pub fn fig7(seed: u64) -> Table {
     let nn_mse = mse(&preds, actual);
     t.note(format!("NARNET test MSE = {nn_mse:.5}"));
     // the linear comparator the paper motivates NARNET against
-    let ar = ArimaModel::fit(&y[..split], ArimaSpec::new(2, 0, 1)).expect("fits");
+    let ar = ArimaModel::fit(&y[..split], ArimaSpec::new(2, 0, 1))?;
     let ar_preds = ar.rolling_one_step(&y, split);
     let ar_mse = mse(&ar_preds, actual);
     t.note(format!(
         "ARIMA(2,0,1) on the same nonlinear data: test MSE = {ar_mse:.5} (NARNET should win)"
     ));
-    t
+    Ok(t)
 }
 
 /// Build the four-model pool the paper describes (two ARIMA, two NARNET).
@@ -136,7 +143,7 @@ pub fn mixed_series(len: usize, seed: u64) -> Vec<f64> {
     let mut y = weekly_traffic_trace(&cfg);
     // rescale the nonlinear half into the traffic range and append
     let nl = nonlinear_trace(len - y.len(), seed);
-    let base = *y.last().expect("non-empty");
+    let base = y.last().copied().unwrap_or(0.0);
     y.extend(nl.iter().map(|v| base + 25.0 * v));
     y
 }
@@ -187,7 +194,7 @@ mod tests {
 
     #[test]
     fn fig6_arima_beats_naive() {
-        let t = fig6(1);
+        let t = fig6(1).expect("fits");
         let test_mse: f64 = parse_note_value(&t.notes[0], "test MSE = ");
         let naive: f64 = parse_note_value(&t.notes[2], "test MSE = ");
         assert!(test_mse < naive, "ARIMA {test_mse} vs naive {naive}");
@@ -195,7 +202,7 @@ mod tests {
 
     #[test]
     fn fig7_narnet_beats_linear_on_nonlinear_data() {
-        let t = fig7(1);
+        let t = fig7(1).expect("fits");
         let nn: f64 = parse_note_value(&t.notes[0], "MSE = ");
         let ar: f64 = parse_note_value(&t.notes[1], "MSE = ");
         assert!(nn < ar, "NARNET {nn} vs ARIMA {ar}");

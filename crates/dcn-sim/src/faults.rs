@@ -103,6 +103,7 @@ pub struct FaultInjector {
     link_consumed: HashMap<EdgeIdx, f64>,
     down_hosts: BTreeSet<HostId>,
     down_shims: BTreeSet<RackId>,
+    timed_crashes: Vec<(RackId, u64, Option<u64>)>,
 }
 
 impl FaultInjector {
@@ -173,6 +174,44 @@ impl FaultInjector {
     /// The set of currently crashed shims, in rack order.
     pub fn crashed_shims(&self) -> impl Iterator<Item = RackId> + '_ {
         self.down_shims.iter().copied()
+    }
+
+    /// Schedule a *mid-round* shim crash in virtual time: the shim dies
+    /// at tick `crash_at` of the next fabric round and — when
+    /// `recover_at` is `Some` — replays its intent journal and rejoins at
+    /// that tick. A `recover_at` of `None` leaves the shim down, exactly
+    /// like [`FaultInjector::crash_shim`] but starting mid-round.
+    ///
+    /// The schedule accumulates until [`FaultInjector::drain_crash_schedule`]
+    /// hands it to a runtime; the injector's end-of-round `shim_down`
+    /// bookkeeping is updated then, not now.
+    pub fn crash_shim_at(&mut self, rack: RackId, crash_at: u64, recover_at: Option<u64>) {
+        self.timed_crashes.push((rack, crash_at, recover_at));
+    }
+
+    /// Take the pending crash schedule for the next fabric round:
+    /// whole-round windows `(rack, 0, None)` for every shim already down
+    /// via [`FaultInjector::crash_shim`] (unless a timed window for that
+    /// rack supersedes it), followed by the timed windows in insertion
+    /// order. Updates the `shim_down` end-state: a rack whose window has
+    /// no `recover_at` is down after the round; one that recovers is up.
+    pub fn drain_crash_schedule(&mut self) -> Vec<(RackId, u64, Option<u64>)> {
+        let timed = std::mem::take(&mut self.timed_crashes);
+        let mut schedule: Vec<(RackId, u64, Option<u64>)> = self
+            .down_shims
+            .iter()
+            .filter(|r| timed.iter().all(|&(tr, _, _)| tr != **r))
+            .map(|&r| (r, 0, None))
+            .collect();
+        for &(rack, _, recover_at) in &timed {
+            if recover_at.is_some() {
+                self.down_shims.remove(&rack);
+            } else {
+                self.down_shims.insert(rack);
+            }
+        }
+        schedule.extend(timed);
+        schedule
     }
 
     /// Borrow the injector together with an [`EventSink`]: every fault
@@ -255,6 +294,17 @@ impl<S: EventSink + ?Sized> ObservedFaults<'_, S> {
                 id: rack.index() as u64,
             });
         }
+    }
+
+    /// [`FaultInjector::crash_shim_at`], emitting `FaultInjected(ShimDown)`
+    /// when the schedule entry is recorded (the mid-round timing itself
+    /// shows up as `ShimCrashed`/`ShimRecovered` in the fabric's trace).
+    pub fn crash_shim_at(&mut self, rack: RackId, crash_at: u64, recover_at: Option<u64>) {
+        self.injector.crash_shim_at(rack, crash_at, recover_at);
+        emit(self.sink, || Event::FaultInjected {
+            kind: FaultKind::ShimDown,
+            id: rack.index() as u64,
+        });
     }
 
     /// [`FaultInjector::recover_shim`], emitting `FaultInjected(ShimUp)`.
@@ -433,6 +483,32 @@ mod tests {
         );
         assert!(inj.shim_down(RackId(1)));
         assert!(!inj.link_down(2));
+    }
+
+    #[test]
+    fn timed_crash_schedule_drains_with_whole_round_prefix() {
+        let mut inj = FaultInjector::new();
+        inj.crash_shim(RackId(0));
+        inj.crash_shim_at(RackId(1), 4, Some(12));
+        inj.crash_shim_at(RackId(2), 6, None);
+        let sched = inj.drain_crash_schedule();
+        assert_eq!(
+            sched,
+            vec![
+                (RackId(0), 0, None),
+                (RackId(1), 4, Some(12)),
+                (RackId(2), 6, None),
+            ]
+        );
+        // end-state after the round: rack 1 recovered, racks 0 and 2 down
+        assert!(inj.shim_down(RackId(0)));
+        assert!(!inj.shim_down(RackId(1)));
+        assert!(inj.shim_down(RackId(2)));
+        // the timed entries drained; still-down shims persist whole-round
+        assert_eq!(
+            inj.drain_crash_schedule(),
+            vec![(RackId(0), 0, None), (RackId(2), 0, None)]
+        );
     }
 
     #[test]

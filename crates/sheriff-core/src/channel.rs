@@ -62,6 +62,46 @@ impl Ord for InFlight {
 /// A delivered message: `(from, to, msg)`.
 pub type Delivery = (RackId, RackId, ShimMsg);
 
+/// One rack's crash schedule in virtual time: the shim goes down at
+/// `crash_at` and — unless `recover_at` is `None` — comes back, replays
+/// its journal and rejoins heartbeating at `recover_at`. A window with
+/// `crash_at == 0` and no recovery reproduces the old whole-round
+/// `crashed` semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// Rack whose shim crashes.
+    pub rack: RackId,
+    /// Virtual time of the crash (inclusive: down from this tick on).
+    pub crash_at: u64,
+    /// Virtual time of recovery, or `None` to stay down for the round.
+    pub recover_at: Option<u64>,
+}
+
+impl CrashWindow {
+    /// A shim dead for the whole round (the pre-schedule behaviour).
+    pub fn whole_round(rack: RackId) -> Self {
+        Self {
+            rack,
+            crash_at: 0,
+            recover_at: None,
+        }
+    }
+
+    /// A shim down during `[crash_at, recover_at)`.
+    pub fn during(rack: RackId, crash_at: u64, recover_at: u64) -> Self {
+        Self {
+            rack,
+            crash_at,
+            recover_at: Some(recover_at),
+        }
+    }
+
+    /// Whether the shim is down at virtual time `t`.
+    pub fn down_at(self, t: u64) -> bool {
+        t >= self.crash_at && self.recover_at.is_none_or(|r| t < r)
+    }
+}
+
 /// The simulated network fabric connecting shims.
 #[derive(Debug, Clone)]
 pub struct SimNet {

@@ -22,11 +22,13 @@
 //! issue the identical sequence of Alg. 4 requests in the identical
 //! order, so the ACK/REJECT outcomes — and therefore the plans — match.
 
-use crate::channel::SimNet;
+use crate::audit::{audit_journals, audit_moves, audit_placement, AuditReport};
+use crate::channel::{CrashWindow, SimNet};
+use crate::journal::TxnState;
 use crate::matching::{min_cost_assignment_padded, FORBIDDEN};
 use crate::priority::{priority, Budget};
 use crate::protocol::{
-    BackoffPolicy, Liveness, RejectReason, ReqId, ShimEndpoint, ShimMsg, Verdict,
+    BackoffPolicy, Liveness, RejectReason, ReqId, ShimEndpoint, ShimMsg, TwoPhaseReply, Verdict,
 };
 use crate::vmmigration::{MigrationPlan, Move};
 use dcn_sim::engine::Cluster;
@@ -34,7 +36,7 @@ use dcn_sim::{Alert, AlertSource, ChannelFaults, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
 use parking_lot::Mutex;
 use sheriff_obs::{emit, Event, EventSink, RejectKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Map a protocol-level REJECT payload to its observability label.
 fn reject_kind(reason: RejectReason) -> RejectKind {
@@ -42,6 +44,7 @@ fn reject_kind(reason: RejectReason) -> RejectKind {
         RejectReason::Capacity => RejectKind::Capacity,
         RejectReason::Conflict => RejectKind::Conflict,
         RejectReason::Noop => RejectKind::Noop,
+        RejectReason::Expired => RejectKind::Expired,
     }
 }
 
@@ -68,6 +71,18 @@ pub struct DistributedReport {
     pub crashed_shims: usize,
     /// Virtual ticks the fabric round took (0 for the threaded runtime).
     pub ticks: u64,
+    /// Transactions journalled as `Prepared` (fabric runtime only).
+    pub txn_prepared: usize,
+    /// Transactions that reached `Committed`.
+    pub txn_committed: usize,
+    /// Transactions that ended `Aborted` (lease expiry, ABORT, or the
+    /// end-of-round sweep).
+    pub txn_aborted: usize,
+    /// Shims that crashed mid-round and replayed their journal on
+    /// recovery.
+    pub recoveries: usize,
+    /// Post-round invariant audit (clean when no violations).
+    pub audit: AuditReport,
 }
 
 /// One planned assignment awaiting the destination's verdict.
@@ -411,6 +426,11 @@ pub fn distributed_round_obs<S: EventSink + ?Sized>(
     }
     report.dedup_hits = endpoints.iter().map(|e| e.dedup_hits()).sum();
     cluster.placement = shared.into_inner();
+    report.audit = audit_placement(&cluster.placement, &cluster.deps);
+    report.audit.merge(audit_moves(
+        &cluster.placement,
+        report.plan.moves.iter().map(|m| (m.vm, m.to)),
+    ));
     report
 }
 
@@ -436,9 +456,17 @@ pub struct FabricConfig {
     /// Hard cap on virtual time — a deadlock backstop; unresolved
     /// requests at the cap are abandoned and their VMs reported unplaced.
     pub max_ticks: u64,
-    /// Racks whose shims are crashed for the whole round: they answer no
-    /// requests, send no heartbeats, and serve none of their own alerts.
-    pub crashed: Vec<RackId>,
+    /// Shim crash schedule in virtual time. A window with `crash_at == 0`
+    /// and no `recover_at` reproduces the old whole-round semantics (the
+    /// shim answers no requests, sends no heartbeats and serves none of
+    /// its own alerts); any other window crashes the shim mid-round and
+    /// optionally recovers it, at which point it replays its intent
+    /// journal and rejoins heartbeating.
+    pub crashed: Vec<CrashWindow>,
+    /// Ticks a journalled PREPARE stays valid without a COMMIT before the
+    /// destination unilaterally aborts it. Must comfortably exceed one
+    /// prepare → commit round trip or healthy transactions expire.
+    pub prepare_lease: u64,
 }
 
 impl Default for FabricConfig {
@@ -453,6 +481,7 @@ impl Default for FabricConfig {
             liveness_deadline: 24,
             max_ticks: 4096,
             crashed: Vec::new(),
+            prepare_lease: 64,
         }
     }
 }
@@ -472,7 +501,16 @@ impl FabricConfig {
     }
 }
 
-/// A request awaiting its verdict at the source shim.
+/// Which phase of the two-phase commit a transaction is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnPhase {
+    /// PREPARE sent; waiting for the destination's vote.
+    Preparing,
+    /// PREPARE-OK received and COMMIT sent; waiting for the final ACK.
+    Committing,
+}
+
+/// A transaction awaiting its next reply at the source shim.
 struct Outstanding {
     vm: VmId,
     from: HostId,
@@ -480,6 +518,9 @@ struct Outstanding {
     cost: f64,
     attempt: u32,
     deadline: u64,
+    phase: TxnPhase,
+    /// Absolute lease carried by the PREPARE (stable across resends).
+    lease: u64,
 }
 
 /// Source-shim actor state for the fabric runtime.
@@ -506,6 +547,11 @@ struct FabricShim {
     /// recovery step).
     gave_up: bool,
     degraded: bool,
+    /// Currently crashed (its schedule window is open).
+    down: bool,
+    /// Earliest tick at which a recovered shim may plan again — one
+    /// heartbeat period after recovery, so its liveness view is fresh.
+    resume_at: u64,
 }
 
 /// Run one management round entirely over the simulated shim channel:
@@ -554,13 +600,28 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     let mut racks: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
     racks.sort_unstable();
     racks.dedup();
-    let crashed_alerted = racks.iter().filter(|r| cfg.crashed.contains(r)).count();
-    for &r in racks.iter().filter(|r| cfg.crashed.contains(r)) {
+    // a window with crash_at == 0 and no recovery is the old whole-round
+    // crash: the rack is excluded from the round entirely. Every other
+    // window is a mid-round transition handled inside the tick loop.
+    let whole_round: HashSet<RackId> = cfg
+        .crashed
+        .iter()
+        .filter(|w| w.crash_at == 0 && w.recover_at.is_none())
+        .map(|w| w.rack)
+        .collect();
+    let schedule: Vec<CrashWindow> = cfg
+        .crashed
+        .iter()
+        .copied()
+        .filter(|w| !(w.crash_at == 0 && w.recover_at.is_none()))
+        .collect();
+    let crashed_alerted = racks.iter().filter(|r| whole_round.contains(r)).count();
+    for &r in racks.iter().filter(|r| whole_round.contains(r)) {
         emit(sink, || Event::ShimCrashed {
             rack: r.index() as u64,
         });
     }
-    racks.retain(|r| !cfg.crashed.contains(r));
+    racks.retain(|r| !whole_round.contains(r));
     let mut report = DistributedReport {
         crashed_shims: crashed_alerted,
         ..DistributedReport::default()
@@ -573,7 +634,10 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     let rack_count = cluster.dcn.rack_count();
     let sim = cluster.sim.clone();
     let mut net = SimNet::new(cfg.faults.clone(), cfg.seed);
-    for &r in &cfg.crashed {
+    // racks currently down, rebuilt incrementally from the schedule — the
+    // per-tick membership test the beacon loops use
+    let mut down: HashSet<RackId> = whole_round.clone();
+    for &r in &whole_round {
         net.set_down(r);
     }
     let mut endpoints: Vec<ShimEndpoint> = (0..rack_count)
@@ -621,6 +685,8 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                 progressed: false,
                 gave_up: false,
                 degraded: false,
+                down: false,
+                resume_at: 0,
             }
         })
         .collect();
@@ -643,11 +709,71 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
 
     let mut t: u64 = 0;
     while t <= cfg.max_ticks {
+        // crash/recover transitions scheduled for this tick. A crashing
+        // source shim loses its volatile negotiation state (outstanding
+        // requests become unresolved — their fate settles against ground
+        // truth); its durable intent journal survives and is replayed on
+        // recovery.
+        for w in &schedule {
+            if w.crash_at == t {
+                net.set_down(w.rack);
+                down.insert(w.rack);
+                emit(sink, || Event::ShimCrashed {
+                    rack: w.rack.index() as u64,
+                });
+                if let Some(&i) = source_index.get(&w.rack) {
+                    let shim = &mut shims[i];
+                    shim.down = true;
+                    shim.started = false;
+                    let lost: Vec<Outstanding> = shim
+                        .outstanding
+                        .drain()
+                        .map(|(_, o)| o)
+                        .chain(shim.zombies.drain().map(|(_, o)| o))
+                        .collect();
+                    shim.unresolved.extend(lost);
+                }
+            }
+            if w.recover_at == Some(t) {
+                net.set_up(w.rack);
+                down.remove(&w.rack);
+                emit(sink, || Event::ShimRecovered {
+                    rack: w.rack.index() as u64,
+                });
+                report.recoveries += 1;
+                // journal replay: re-ACK committed transfers, abort
+                // orphaned prepares whose lease lapsed while down
+                let rep =
+                    endpoints[w.rack.index()].recover(&mut cluster.placement, &cluster.deps, t);
+                sink.counter("journal.replayed", rep.replayed as u64);
+                sink.counter("journal.reacked", rep.reacks.len() as u64);
+                sink.counter("journal.forwarded", rep.forwarded as u64);
+                for req_id in rep.reacks {
+                    net.send(t, w.rack, req_id.source(), ShimMsg::Ack { req_id });
+                }
+                for (req, vm) in rep.lease_aborts {
+                    report.txn_aborted += 1;
+                    emit(sink, || Event::TxnAborted {
+                        req: req.0,
+                        vm: vm.index() as u64,
+                    });
+                    sink.counter("txn.aborted", 1);
+                }
+                if let Some(&i) = source_index.get(&w.rack) {
+                    let shim = &mut shims[i];
+                    shim.down = false;
+                    // rejoin heartbeating first; plan once the liveness
+                    // view has had a full beacon period to repopulate
+                    shim.resume_at = t + cfg.heartbeat_period + 1;
+                }
+            }
+        }
+
         // liveness beacons: every live rack announces itself to every
         // source shim at t = 0 and on each heartbeat period
         if t == 0 {
             for &r in &all_racks {
-                if cfg.crashed.contains(&r) {
+                if down.contains(&r) {
                     continue;
                 }
                 for &s in &racks {
@@ -656,7 +782,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
             }
         } else if cfg.heartbeat_period > 0 && t.is_multiple_of(cfg.heartbeat_period) {
             for &r in &all_racks {
-                if cfg.crashed.contains(&r) {
+                if down.contains(&r) {
                     continue;
                 }
                 for &s in &racks {
@@ -687,11 +813,108 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                     }
                     net.send(t, to, from, ShimEndpoint::reply_msg(req_id, verdict));
                 }
+                ShimMsg::Prepare {
+                    req_id,
+                    vm,
+                    dest,
+                    lease,
+                } => {
+                    let ep = &mut endpoints[to.index()];
+                    let hits_before = ep.dedup_hits();
+                    let journalled_before = ep.journal().len();
+                    let reply = ep.handle_prepare(
+                        &mut cluster.placement,
+                        &cluster.deps,
+                        req_id,
+                        vm,
+                        dest,
+                        lease,
+                    );
+                    if ep.journal().len() > journalled_before {
+                        report.txn_prepared += 1;
+                        emit(sink, || Event::TxnPrepared {
+                            req: req_id.0,
+                            vm: vm.index() as u64,
+                            dest_host: dest.index() as u64,
+                        });
+                        sink.counter("txn.prepared", 1);
+                    }
+                    if ep.dedup_hits() > hits_before {
+                        emit(sink, || Event::DuplicateAbsorbed { req: req_id.0 });
+                    }
+                    net.send(t, to, from, ShimEndpoint::reply_2pc_msg(req_id, reply));
+                }
+                ShimMsg::PrepareOk { req_id } => {
+                    if let Some(&i) = source_index.get(&to) {
+                        let shim = &mut shims[i];
+                        if let Some(o) = shim.outstanding.get_mut(&req_id) {
+                            if o.phase == TxnPhase::Preparing {
+                                // vote is in: the transaction will commit,
+                                // so the batch made progress
+                                o.phase = TxnPhase::Committing;
+                                o.attempt = 0;
+                                o.deadline = t + cfg.backoff.delay(0, req_id);
+                                shim.progressed = true;
+                                let dest_rack = cluster.placement.rack_of_host(o.dest);
+                                net.send(t, shim.st.rack, dest_rack, ShimMsg::Commit { req_id });
+                            }
+                            // duplicate vote for a committing txn: ignore
+                        } else if let Some(mut o) = shim.zombies.remove(&req_id) {
+                            // late vote resolves the zombie: the
+                            // destination is alive and holds the prepare,
+                            // so drive the commit home instead of letting
+                            // the lease strand it
+                            let dest_rack = cluster.placement.rack_of_host(o.dest);
+                            shim.liveness.observe(dest_rack, t);
+                            o.phase = TxnPhase::Committing;
+                            o.attempt = 0;
+                            o.deadline = t + cfg.backoff.delay(0, req_id);
+                            shim.outstanding.insert(req_id, o);
+                            shim.progressed = true;
+                            net.send(t, shim.st.rack, dest_rack, ShimMsg::Commit { req_id });
+                        }
+                    }
+                }
+                ShimMsg::Commit { req_id } => {
+                    let ep = &mut endpoints[to.index()];
+                    let was_prepared = ep.journal().state(req_id) == Some(TxnState::Prepared);
+                    let reply = ep.handle_commit(req_id);
+                    if was_prepared && reply == TwoPhaseReply::Ack {
+                        report.txn_committed += 1;
+                        if let Some(rec) = ep.journal().get(req_id) {
+                            let vm = rec.vm;
+                            emit(sink, || Event::TxnCommitted {
+                                req: req_id.0,
+                                vm: vm.index() as u64,
+                            });
+                        }
+                        sink.counter("txn.committed", 1);
+                    }
+                    net.send(t, to, from, ShimEndpoint::reply_2pc_msg(req_id, reply));
+                }
+                ShimMsg::Abort { req_id } => {
+                    if let Some((vm, _)) = endpoints[to.index()].handle_abort(
+                        &mut cluster.placement,
+                        &cluster.deps,
+                        req_id,
+                    ) {
+                        report.txn_aborted += 1;
+                        emit(sink, || Event::TxnAborted {
+                            req: req_id.0,
+                            vm: vm.index() as u64,
+                        });
+                        sink.counter("txn.aborted", 1);
+                    }
+                    // fire-and-forget: the source already walked away
+                }
                 ShimMsg::Ack { req_id } => {
                     if let Some(&i) = source_index.get(&to) {
                         let shim = &mut shims[i];
                         // a late ACK for a given-up request still means
-                        // the destination committed: record it
+                        // the destination committed: record it. Only the
+                        // zombie case counts as batch progress — for a
+                        // live transaction the PREPARE-OK already did.
+                        let was_zombie = shim.zombies.contains_key(&req_id);
                         if let Some(o) = shim
                             .outstanding
                             .remove(&req_id)
@@ -715,7 +938,9 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                                 cost: o.cost,
                             });
                             shim.st.plan.total_cost += o.cost;
-                            shim.progressed = true;
+                            if was_zombie {
+                                shim.progressed = true;
+                            }
                         }
                         // duplicate ACK: already resolved, ignore
                     }
@@ -754,25 +979,51 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
             }
         }
 
+        // lease expiry: a live destination unilaterally aborts prepares
+        // whose COMMIT never arrived (a commit delivered this same tick
+        // wins — deliveries were processed above). Crashed endpoints
+        // expire theirs during journal replay on recovery instead.
+        for (r, endpoint) in endpoints.iter_mut().enumerate() {
+            let rack = RackId::from_index(r);
+            if down.contains(&rack) {
+                continue;
+            }
+            for (req, vm) in endpoint.expire_leases(&mut cluster.placement, &cluster.deps, t) {
+                report.txn_aborted += 1;
+                emit(sink, || Event::TxnAborted {
+                    req: req.0,
+                    vm: vm.index() as u64,
+                });
+                sink.counter("txn.aborted", 1);
+            }
+        }
+
         // source-shim actions, in rack order for determinism
         for shim in &mut shims {
-            if shim.done {
+            if shim.done || shim.down {
                 continue;
             }
             if !shim.started {
-                if t >= cfg.hello_window {
-                    shim.started = true;
-                    fabric_plan_and_send(
-                        shim,
-                        cluster,
-                        metric,
-                        &sim,
-                        &mut net,
-                        t,
-                        &cfg.backoff,
-                        &mut report,
-                        sink,
-                    );
+                if t >= cfg.hello_window && t >= shim.resume_at {
+                    if shim.rounds_left > 0 {
+                        shim.started = true;
+                        fabric_plan_and_send(
+                            shim,
+                            cluster,
+                            metric,
+                            &sim,
+                            &mut net,
+                            t,
+                            cfg,
+                            &mut report,
+                            sink,
+                        );
+                    } else if shim.zombies.is_empty() {
+                        shim.done = true;
+                    } else {
+                        // out of planning rounds but still owed verdicts
+                        shim.started = true;
+                    }
                 }
                 continue;
             }
@@ -802,14 +1053,17 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                         attempt: o.attempt as u64 + 1,
                     });
                     sink.counter("net.resends", 1);
-                    let (vm, dest) = (o.vm, o.dest);
-                    let dest_rack = cluster.placement.rack_of_host(dest);
-                    net.send(
-                        t,
-                        shim.st.rack,
-                        dest_rack,
-                        ShimMsg::Request { req_id, vm, dest },
-                    );
+                    let msg = match o.phase {
+                        TxnPhase::Preparing => ShimMsg::Prepare {
+                            req_id,
+                            vm: o.vm,
+                            dest: o.dest,
+                            lease: o.lease,
+                        },
+                        TxnPhase::Committing => ShimMsg::Commit { req_id },
+                    };
+                    let dest_rack = cluster.placement.rack_of_host(o.dest);
+                    net.send(t, shim.st.rack, dest_rack, msg);
                 } else {
                     // give up: presume the destination dead — but a stale
                     // copy of the request may still commit there, so the
@@ -832,7 +1086,9 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
             }
 
             // zombies past their patience window stay unresolved; the
-            // report assembly settles them against ground truth
+            // report assembly settles them against ground truth. A
+            // best-effort ABORT lets the destination release a prepare
+            // early instead of waiting out its lease.
             let expired: Vec<ReqId> = shim
                 .zombies
                 .iter()
@@ -841,12 +1097,19 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                 .collect();
             for id in expired {
                 let o = shim.zombies.remove(&id).expect("collected above");
+                let dest_rack = cluster.placement.rack_of_host(o.dest);
+                net.send(t, shim.st.rack, dest_rack, ShimMsg::Abort { req_id: id });
                 shim.unresolved.push(o);
             }
 
-            // batch resolved: replan or finish (zombies keep the shim
-            // listening even when nothing else is outstanding)
-            if shim.outstanding.is_empty() {
+            // batch resolved once every PREPARE has its vote: replan while
+            // the commits drain (their placement effect is already
+            // visible), or finish when truly idle
+            let preparing = shim
+                .outstanding
+                .values()
+                .any(|o| o.phase == TxnPhase::Preparing);
+            if !preparing {
                 let replan = !shim.st.pending.is_empty()
                     && shim.rounds_left > 0
                     && (shim.progressed || shim.gave_up);
@@ -858,20 +1121,45 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                         &sim,
                         &mut net,
                         t,
-                        &cfg.backoff,
+                        cfg,
                         &mut report,
                         sink,
                     );
-                } else if shim.zombies.is_empty() {
+                } else if shim.outstanding.is_empty() && shim.zombies.is_empty() {
                     shim.done = true;
                 }
             }
         }
 
-        if shims.iter().all(|s| s.done) {
+        // the round ends when every source shim settled; a crashed shim
+        // only holds the round open while a recovery is still scheduled
+        let all_settled = shims.iter().all(|s| {
+            s.done
+                || (s.down
+                    && !schedule
+                        .iter()
+                        .any(|w| w.rack == s.st.rack && w.recover_at.is_some_and(|r| r > t)))
+        });
+        if all_settled {
             break;
         }
         t += 1;
+    }
+
+    // no transaction outlives the round: sweep every journal and abort
+    // whatever is still `Prepared` (sources that walked away, schedules
+    // that never recovered, the tick cap). Must happen before the
+    // ground-truth settlement below so a half-done prepare can't be
+    // mistaken for a committed move.
+    for ep in &mut endpoints {
+        for (req, vm) in ep.expire_leases(&mut cluster.placement, &cluster.deps, u64::MAX) {
+            report.txn_aborted += 1;
+            emit(sink, || Event::TxnAborted {
+                req: req.0,
+                vm: vm.index() as u64,
+            });
+            sink.counter("txn.aborted", 1);
+        }
     }
 
     // settle unknown fates against ground truth: the simulator (unlike
@@ -929,6 +1217,15 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
             report.degraded_shims += 1;
         }
     }
+    report.audit = audit_placement(&cluster.placement, &cluster.deps);
+    report.audit.merge(audit_moves(
+        &cluster.placement,
+        report.plan.moves.iter().map(|m| (m.vm, m.to)),
+    ));
+    report.audit.merge(audit_journals(
+        &cluster.placement,
+        endpoints.iter().map(|e| e.journal()),
+    ));
     report
 }
 
@@ -943,7 +1240,7 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
     sim: &SimConfig,
     net: &mut SimNet,
     now: u64,
-    backoff: &BackoffPolicy,
+    cfg: &FabricConfig,
     report: &mut DistributedReport,
     sink: &mut S,
 ) {
@@ -997,6 +1294,7 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
         });
         let from = cluster.placement.host_of(p.vm);
         let dest_rack = cluster.placement.rack_of_host(p.dest);
+        let lease = now + cfg.prepare_lease;
         shim.outstanding.insert(
             req_id,
             Outstanding {
@@ -1005,17 +1303,20 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
                 dest: p.dest,
                 cost: p.cost,
                 attempt: 0,
-                deadline: now + backoff.delay(0, req_id),
+                deadline: now + cfg.backoff.delay(0, req_id),
+                phase: TxnPhase::Preparing,
+                lease,
             },
         );
         net.send(
             now,
             shim.st.rack,
             dest_rack,
-            ShimMsg::Request {
+            ShimMsg::Prepare {
                 req_id,
                 vm: p.vm,
                 dest: p.dest,
+                lease,
             },
         );
     }
@@ -1178,6 +1479,13 @@ mod tests {
         assert_eq!(rf.dedup_hits, 0);
         assert_eq!(rf.degraded_shims, 0);
         assert!(!rt.plan.moves.is_empty(), "vacuous equivalence");
+        // every move travelled the full PREPARE -> COMMIT -> ACK path and
+        // nothing was left half-done
+        assert_eq!(rf.txn_committed, rf.plan.moves.len());
+        assert_eq!(rf.txn_aborted, 0);
+        assert_eq!(rf.recoveries, 0);
+        assert!(rf.audit.is_clean(), "{}", rf.audit);
+        assert!(rt.audit.is_clean(), "{}", rt.audit);
     }
 
     #[test]
@@ -1195,7 +1503,7 @@ mod tests {
                 ..ChannelFaults::lossy(0.10)
             },
             seed: 99,
-            crashed: vec![crashed],
+            crashed: vec![CrashWindow::whole_round(crashed)],
             ..FabricConfig::default()
         };
         let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
@@ -1271,7 +1579,11 @@ mod tests {
             r
         };
         let cfg = FabricConfig {
-            crashed: crashed.clone(),
+            crashed: crashed
+                .iter()
+                .copied()
+                .map(CrashWindow::whole_round)
+                .collect(),
             ..FabricConfig::default()
         };
         let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
@@ -1279,5 +1591,73 @@ mod tests {
         assert_eq!(report.crashed_shims, crashed.len());
         assert!(report.plan.moves.is_empty());
         assert_eq!(c.utilization_stddev(), before);
+    }
+
+    #[test]
+    fn mid_round_source_crash_recovers_and_audits_clean() {
+        let mut c = cluster(31);
+        let initial = c.placement.clone();
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        // kill an alerted source shim between its PREPARE burst (applied
+        // at t = 3 on the destinations) and the COMMIT phase, then
+        // recover it: the orphaned prepares must lease-abort cleanly and
+        // the recovered shim rejoins planning
+        let victim = alerts[0].rack;
+        let cfg = FabricConfig {
+            crashed: vec![CrashWindow::during(victim, 4, 12)],
+            ..FabricConfig::default()
+        };
+        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
+
+        assert!(report.ticks < cfg.max_ticks, "round wedged");
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(
+            report.crashed_shims, 0,
+            "a recovering shim is not written off"
+        );
+        assert!(report.audit.is_clean(), "{}", report.audit);
+        assert_capacity_ok(&c);
+        assert_deps_ok(&c);
+        // exactly-once despite the crash: replaying the recorded moves
+        // from the initial placement reproduces the final one
+        let mut loc: std::collections::HashMap<VmId, HostId> = c
+            .placement
+            .vm_ids()
+            .map(|vm| (vm, initial.host_of(vm)))
+            .collect();
+        for m in &report.plan.moves {
+            assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
+            loc.insert(m.vm, m.to);
+        }
+        for vm in c.placement.vm_ids() {
+            assert_eq!(loc[&vm], c.placement.host_of(vm));
+        }
+    }
+
+    #[test]
+    fn mid_round_source_crash_settles_without_zombie_txns() {
+        let mut c = cluster(32);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        // kill an alerted source shim right after its PREPAREs land and
+        // never bring it back: its prepares must lease-abort or settle,
+        // never stay half-done
+        let victim = alerts[0].rack;
+        let cfg = FabricConfig {
+            crashed: vec![CrashWindow {
+                rack: victim,
+                crash_at: 4,
+                recover_at: None,
+            }],
+            ..FabricConfig::default()
+        };
+        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
+        assert!(report.ticks < cfg.max_ticks, "round wedged");
+        assert!(report.audit.is_clean(), "{}", report.audit);
+        assert_capacity_ok(&c);
+        assert_deps_ok(&c);
     }
 }

@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod alert_mgmt;
+pub mod audit;
 pub mod builder;
 pub mod centralized;
 pub mod channel;
 pub mod distributed;
 pub mod evacuation;
+pub mod journal;
 pub mod kmedian;
 pub mod matching;
 pub mod metrics;
@@ -41,6 +43,7 @@ pub mod system;
 pub mod vmmigration;
 
 pub use alert_mgmt::{pre_alert_management, pre_alert_management_obs, ShimOutcome};
+pub use audit::{audit_journals, audit_moves, audit_placement, AuditReport, AuditViolation};
 pub use builder::SystemBuilder;
 #[allow(deprecated)]
 #[cfg(feature = "legacy")]
@@ -49,12 +52,13 @@ pub use centralized::{
     centralized_migration_chunked, centralized_migration_chunked_obs, centralized_migration_obs,
     destination_tors, destination_tors_obs, kmedian_migration, kmedian_migration_obs,
 };
-pub use channel::{NetStats, SimNet};
+pub use channel::{CrashWindow, NetStats, SimNet};
 #[allow(deprecated)]
 #[cfg(feature = "legacy")]
 pub use distributed::{distributed_round, fabric_round};
 pub use distributed::{distributed_round_obs, fabric_round_obs, DistributedReport, FabricConfig};
 pub use evacuation::{drain_rack, evacuate_host, try_drain_rack, try_evacuate_host};
+pub use journal::{AbortOutcome, IntentJournal, RecoveryReport, TxnRecord, TxnState};
 pub use kmedian::{
     exact_optimal, local_search, local_search_from, local_search_from_obs, KMedianInstance,
     KMedianSolution,
@@ -63,7 +67,8 @@ pub use matching::{min_cost_assignment, min_cost_assignment_padded};
 pub use metrics::{RatioPoint, Series, Totals};
 pub use priority::{priority, Budget};
 pub use protocol::{
-    BackoffPolicy, DedupLog, Liveness, RejectReason, ReqId, ShimEndpoint, ShimMsg, Verdict,
+    BackoffPolicy, DedupLog, Liveness, RejectReason, ReqId, ShimEndpoint, ShimMsg, TwoPhaseReply,
+    Verdict,
 };
 pub use request::{request_migration, RequestOutcome};
 pub use reroute::{flow_reroute, flow_reroute_balanced, RerouteReport};

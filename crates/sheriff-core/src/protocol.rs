@@ -10,6 +10,7 @@
 //! heartbeat ledger lets a source shim exclude dead neighbours from its
 //! matching instead of waiting on them forever.
 
+use crate::journal::{AbortOutcome, IntentJournal, RecoveryReport, TxnState};
 use crate::request::{request_migration, RequestOutcome};
 use dcn_topology::{DependencyGraph, HostId, Placement, RackId, VmId};
 use std::collections::HashMap;
@@ -49,6 +50,9 @@ pub enum RejectReason {
     /// The VM is already on that host — a duplicate of an applied move or
     /// a stale plan.
     Noop,
+    /// The transaction was aborted (lease lapsed or ABORT arrived) before
+    /// this message; the source must replan from scratch.
+    Expired,
 }
 
 /// A destination's verdict on one REQUEST — what the dedup log replays.
@@ -115,6 +119,45 @@ pub enum ShimMsg {
         /// Why it was refused.
         reason: RejectReason,
     },
+    /// Phase 1 of a crash-consistent migration: ask the destination to
+    /// reserve the move and journal the intent. Supersedes `Request` for
+    /// the fabric runtime; retransmissions reuse the same `req_id`.
+    Prepare {
+        /// Transaction id (stable across retransmissions).
+        req_id: ReqId,
+        /// The VM to migrate.
+        vm: VmId,
+        /// The host it should land on.
+        dest: HostId,
+        /// Virtual time after which an orphaned prepare self-aborts.
+        lease: u64,
+    },
+    /// The destination journalled the intent and voted yes.
+    PrepareOk {
+        /// Id of the prepared transaction.
+        req_id: ReqId,
+    },
+    /// Phase 2: finalize a prepared transaction. Answered with `Ack`.
+    Commit {
+        /// Id of the transaction to finish.
+        req_id: ReqId,
+    },
+    /// The source walked away; undo the prepared transaction.
+    Abort {
+        /// Id of the transaction to undo.
+        req_id: ReqId,
+    },
+}
+
+/// The destination's answer to one delivered 2PC message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoPhaseReply {
+    /// PREPARE accepted: intent journalled, placement reserved.
+    PrepareOk,
+    /// COMMIT applied (or replayed); the transaction is final.
+    Ack,
+    /// The message was refused; the payload says why.
+    Reject(RejectReason),
 }
 
 /// Retransmission policy: exponential backoff with deterministic jitter.
@@ -194,6 +237,12 @@ impl DedupLog {
         self.hits
     }
 
+    /// Count a duplicate that was absorbed outside the log itself (e.g.
+    /// replayed from the intent journal instead).
+    pub fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
     /// Number of distinct requests decided.
     pub fn len(&self) -> usize {
         self.seen.len()
@@ -213,6 +262,7 @@ pub struct ShimEndpoint {
     /// The rack this endpoint speaks for.
     pub rack: RackId,
     dedup: DedupLog,
+    journal: IntentJournal,
 }
 
 impl ShimEndpoint {
@@ -221,6 +271,7 @@ impl ShimEndpoint {
         Self {
             rack,
             dedup: DedupLog::default(),
+            journal: IntentJournal::new(),
         }
     }
 
@@ -243,11 +294,137 @@ impl ShimEndpoint {
         verdict
     }
 
+    /// Decide one delivered PREPARE copy. A fresh prepare runs Alg. 4,
+    /// reserves the move in the placement and journals the intent before
+    /// voting yes; duplicates replay the journalled decision, and
+    /// prepares for an already aborted transaction are refused with
+    /// `Expired` (presumed abort).
+    pub fn handle_prepare(
+        &mut self,
+        placement: &mut Placement,
+        deps: &DependencyGraph,
+        req_id: ReqId,
+        vm: VmId,
+        dest: HostId,
+        lease: u64,
+    ) -> TwoPhaseReply {
+        match self.journal.state(req_id) {
+            Some(TxnState::Prepared) => {
+                self.dedup.note_hit();
+                return TwoPhaseReply::PrepareOk;
+            }
+            Some(TxnState::Committed) => {
+                self.dedup.note_hit();
+                return TwoPhaseReply::Ack;
+            }
+            Some(TxnState::Aborted) => return TwoPhaseReply::Reject(RejectReason::Expired),
+            None => {}
+        }
+        if let Some(v) = self.dedup.replay(req_id) {
+            return match v {
+                Verdict::Ack => TwoPhaseReply::Ack,
+                Verdict::Reject(reason) => TwoPhaseReply::Reject(reason),
+            };
+        }
+        let src = placement.host_of(vm);
+        match Verdict::from(request_migration(placement, deps, vm, dest)) {
+            Verdict::Ack => {
+                self.journal.prepare(req_id, vm, src, dest, lease);
+                TwoPhaseReply::PrepareOk
+            }
+            Verdict::Reject(reason) => {
+                self.dedup.record(req_id, Verdict::Reject(reason));
+                TwoPhaseReply::Reject(reason)
+            }
+        }
+    }
+
+    /// Decide one delivered COMMIT copy: finalize a prepared transaction
+    /// (idempotently re-ACK a committed one); a commit for an aborted or
+    /// unknown transaction is refused with `Expired`.
+    pub fn handle_commit(&mut self, req_id: ReqId) -> TwoPhaseReply {
+        match self.journal.state(req_id) {
+            Some(TxnState::Prepared) => {
+                self.journal.commit(req_id);
+                TwoPhaseReply::Ack
+            }
+            Some(TxnState::Committed) => {
+                self.dedup.note_hit();
+                TwoPhaseReply::Ack
+            }
+            Some(TxnState::Aborted) | None => TwoPhaseReply::Reject(RejectReason::Expired),
+        }
+    }
+
+    /// Process one delivered ABORT: undo a prepared transaction (rolling
+    /// back, or committing forward if rollback is impossible). An abort
+    /// for an unknown id leaves an `Expired` tombstone in the dedup log
+    /// so a late retransmitted PREPARE with the same id is refused.
+    /// Returns the aborted VM and how the abort resolved, when one was
+    /// actually pending.
+    pub fn handle_abort(
+        &mut self,
+        placement: &mut Placement,
+        deps: &DependencyGraph,
+        req_id: ReqId,
+    ) -> Option<(VmId, AbortOutcome)> {
+        match self.journal.state(req_id) {
+            Some(TxnState::Prepared) => {
+                let vm = self.journal.get(req_id).map(|r| r.vm)?;
+                let outcome = self.journal.abort(placement, deps, req_id);
+                Some((vm, outcome))
+            }
+            Some(_) => None,
+            None => {
+                if self.dedup.replay(req_id).is_none() {
+                    self.dedup
+                        .record(req_id, Verdict::Reject(RejectReason::Expired));
+                }
+                None
+            }
+        }
+    }
+
+    /// Abort every journalled prepare whose lease is `<= now`.
+    pub fn expire_leases(
+        &mut self,
+        placement: &mut Placement,
+        deps: &DependencyGraph,
+        now: u64,
+    ) -> Vec<(ReqId, VmId)> {
+        self.journal.expire_leases(placement, deps, now)
+    }
+
+    /// Replay the journal after a crash: re-ACKs to send, orphaned
+    /// prepares aborted, in-lease prepares kept.
+    pub fn recover(
+        &mut self,
+        placement: &mut Placement,
+        deps: &DependencyGraph,
+        now: u64,
+    ) -> RecoveryReport {
+        self.journal.recover(placement, deps, now)
+    }
+
+    /// Read access to the intent journal (the auditor's input).
+    pub fn journal(&self) -> &IntentJournal {
+        &self.journal
+    }
+
     /// Build the reply message for a verdict.
     pub fn reply_msg(req_id: ReqId, verdict: Verdict) -> ShimMsg {
         match verdict {
             Verdict::Ack => ShimMsg::Ack { req_id },
             Verdict::Reject(reason) => ShimMsg::Reject { req_id, reason },
+        }
+    }
+
+    /// Build the reply message for a 2PC reply.
+    pub fn reply_2pc_msg(req_id: ReqId, reply: TwoPhaseReply) -> ShimMsg {
+        match reply {
+            TwoPhaseReply::PrepareOk => ShimMsg::PrepareOk { req_id },
+            TwoPhaseReply::Ack => ShimMsg::Ack { req_id },
+            TwoPhaseReply::Reject(reason) => ShimMsg::Reject { req_id, reason },
         }
     }
 
@@ -374,6 +551,73 @@ mod tests {
         // jitter decorrelates requests
         let other = ReqId::new(RackId(2), 9);
         assert!((8..16).contains(&b.delay(0, other)));
+    }
+
+    #[test]
+    fn prepare_commit_acks_exactly_once() {
+        let (mut p, deps) = small();
+        let mut ep = ShimEndpoint::new(RackId(0));
+        let id = ReqId::new(RackId(0), 0);
+        let v = ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50);
+        assert_eq!(v, TwoPhaseReply::PrepareOk);
+        assert_eq!(p.host_of(VmId(0)), HostId(1), "prepare reserves the move");
+        // duplicate prepare replays the vote without re-running Alg. 4
+        assert_eq!(
+            ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50),
+            TwoPhaseReply::PrepareOk
+        );
+        assert_eq!(ep.dedup_hits(), 1);
+        assert_eq!(ep.handle_commit(id), TwoPhaseReply::Ack);
+        // duplicate commit re-ACKs idempotently
+        assert_eq!(ep.handle_commit(id), TwoPhaseReply::Ack);
+        assert_eq!(ep.journal().committed(), 1);
+        // a prepare retransmitted after the commit still answers Ack
+        assert_eq!(
+            ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50),
+            TwoPhaseReply::Ack
+        );
+    }
+
+    #[test]
+    fn abort_rolls_back_and_tombstones() {
+        let (mut p, deps) = small();
+        let mut ep = ShimEndpoint::new(RackId(0));
+        let id = ReqId::new(RackId(0), 0);
+        ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50);
+        let (vm, outcome) = ep.handle_abort(&mut p, &deps, id).unwrap();
+        assert_eq!(
+            (vm, outcome),
+            (VmId(0), crate::journal::AbortOutcome::RolledBack)
+        );
+        assert_eq!(p.host_of(VmId(0)), HostId(0));
+        // a late commit for the aborted txn is refused
+        assert_eq!(
+            ep.handle_commit(id),
+            TwoPhaseReply::Reject(RejectReason::Expired)
+        );
+        // an abort for an id never prepared leaves a tombstone ...
+        let stale = ReqId::new(RackId(0), 7);
+        assert!(ep.handle_abort(&mut p, &deps, stale).is_none());
+        // ... that refuses the late-arriving prepare
+        assert_eq!(
+            ep.handle_prepare(&mut p, &deps, stale, VmId(0), HostId(1), 50),
+            TwoPhaseReply::Reject(RejectReason::Expired)
+        );
+    }
+
+    #[test]
+    fn lease_expiry_aborts_orphaned_prepare() {
+        let (mut p, deps) = small();
+        let mut ep = ShimEndpoint::new(RackId(0));
+        let id = ReqId::new(RackId(0), 0);
+        ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 10);
+        assert!(ep.expire_leases(&mut p, &deps, 9).is_empty(), "in lease");
+        assert_eq!(ep.expire_leases(&mut p, &deps, 10), vec![(id, VmId(0))]);
+        assert_eq!(p.host_of(VmId(0)), HostId(0), "rolled back");
+        assert_eq!(
+            ep.handle_commit(id),
+            TwoPhaseReply::Reject(RejectReason::Expired)
+        );
     }
 
     #[test]

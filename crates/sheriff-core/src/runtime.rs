@@ -14,6 +14,7 @@
 //! deprecated wrappers behind the `legacy` cargo feature for one
 //! release.
 
+use crate::audit::{audit_moves, audit_placement, AuditReport};
 use crate::centralized::centralized_migration_obs;
 use crate::distributed::{
     distributed_round_obs, fabric_round_obs, select_victims, DistributedReport, FabricConfig,
@@ -70,6 +71,16 @@ pub struct RoundOutcome {
     pub crashed_shims: usize,
     /// Virtual ticks the round took (fabric only).
     pub ticks: u64,
+    /// Migration transactions that entered PREPARE (fabric only).
+    pub txn_prepared: usize,
+    /// Transactions that finished COMMIT (fabric only).
+    pub txn_committed: usize,
+    /// Transactions aborted — explicit or lease-expired (fabric only).
+    pub txn_aborted: usize,
+    /// Shims that crashed mid-round and came back (fabric only).
+    pub recoveries: usize,
+    /// Post-round invariant audit — clean unless a bug corrupted state.
+    pub audit: AuditReport,
 }
 
 impl From<DistributedReport> for RoundOutcome {
@@ -85,6 +96,11 @@ impl From<DistributedReport> for RoundOutcome {
             degraded_shims: r.degraded_shims,
             crashed_shims: r.crashed_shims,
             ticks: r.ticks,
+            txn_prepared: r.txn_prepared,
+            txn_committed: r.txn_committed,
+            txn_aborted: r.txn_aborted,
+            recoveries: r.recoveries,
+            audit: r.audit,
         }
     }
 }
@@ -164,9 +180,15 @@ impl Runtime for CentralizedRuntime {
             };
             centralized_migration_obs(&mut mctx, &candidates, self.max_rounds, &mut *ctx.sink)
         };
+        let mut audit = audit_placement(&ctx.cluster.placement, &ctx.cluster.deps);
+        audit.merge(audit_moves(
+            &ctx.cluster.placement,
+            plan.moves.iter().map(|m| (m.vm, m.to)),
+        ));
         RoundOutcome {
             plan,
             shims: if racks.is_empty() { 0 } else { 1 },
+            audit,
             ..RoundOutcome::default()
         }
     }
@@ -217,14 +239,20 @@ impl Runtime for ShardedRuntime {
     }
 
     fn step(&mut self, ctx: &mut RunCtx<'_>) -> RoundOutcome {
-        sharded_round_obs(
+        let mut out: RoundOutcome = sharded_round_obs(
             ctx.cluster,
             ctx.metric,
             ctx.alerts,
             ctx.alert_values,
             &mut *ctx.sink,
         )
-        .into()
+        .into();
+        out.audit = audit_placement(&ctx.cluster.placement, &ctx.cluster.deps);
+        out.audit.merge(audit_moves(
+            &ctx.cluster.placement,
+            out.plan.moves.iter().map(|m| (m.vm, m.to)),
+        ));
+        out
     }
 }
 

@@ -38,6 +38,9 @@ pub struct StepReport {
     pub stddev: f64,
     /// Worst switch queue after the step.
     pub worst_queue: f64,
+    /// Invariant breaches found by the post-step audit (zero unless a
+    /// bug corrupted the placement).
+    pub audit_violations: usize,
 }
 
 /// The full assembled system, generic over the [`EventSink`] observing
@@ -242,6 +245,8 @@ impl<S: EventSink> System<S> {
             }
         }
 
+        report.audit_violations =
+            crate::audit::audit_placement(&self.cluster.placement, &self.cluster.deps).len();
         report.stddev = self.cluster.utilization_stddev();
         report.worst_queue = self.qcn.worst_queue();
         self.time += 1;

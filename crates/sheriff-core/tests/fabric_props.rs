@@ -9,7 +9,7 @@ use dcn_sim::{ChannelFaults, RackMetric, SimConfig};
 use dcn_topology::fattree::{self, FatTreeConfig};
 use dcn_topology::HostId;
 use proptest::prelude::*;
-use sheriff_core::{FabricConfig, FabricRuntime, RunCtx, Runtime};
+use sheriff_core::{CrashWindow, FabricConfig, FabricRuntime, RunCtx, Runtime};
 use sheriff_obs::NullSink;
 
 fn small_cluster(seed: u64) -> Cluster {
@@ -43,6 +43,8 @@ proptest! {
         reorder in 0.0f64..0.35,
         delay_spread in 0u64..3,
         crash_first in any::<bool>(),
+        crash_at in 0u64..24,
+        recover_delay in 0u64..32,
     ) {
         let mut c = small_cluster(cluster_seed);
         let initial = c.placement.clone();
@@ -55,7 +57,18 @@ proptest! {
             .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
             .collect();
 
-        let crashed = if crash_first { vec![alerts[0].rack] } else { Vec::new() };
+        // crash_first now exercises mid-round crashes too: crash_at == 0
+        // with no recovery is the old whole-round semantics, anything else
+        // is a timed window; recover_delay == 0 means the shim stays down
+        let crashed = if crash_first {
+            vec![CrashWindow {
+                rack: alerts[0].rack,
+                crash_at,
+                recover_at: (recover_delay > 0).then(|| crash_at + recover_delay),
+            }]
+        } else {
+            Vec::new()
+        };
         let cfg = FabricConfig {
             faults: ChannelFaults {
                 drop,
@@ -116,5 +129,11 @@ proptest! {
         let sum: f64 = report.plan.moves.iter().map(|m| m.cost).sum();
         prop_assert!((report.plan.total_cost - sum).abs() < 1e-9);
         prop_assert!(report.resends <= report.timeouts);
+
+        // the always-on auditor agrees: nothing lost, duplicated, over
+        // capacity, co-located, landed offline, or left half-committed
+        prop_assert!(report.audit.is_clean(), "{}", report.audit);
+        prop_assert_eq!(report.txn_committed + report.txn_aborted, report.txn_prepared,
+            "a prepared transaction neither committed nor aborted");
     }
 }

@@ -45,6 +45,9 @@ pub enum RejectKind {
     Conflict,
     /// The VM was already placed on the requested host.
     Noop,
+    /// The transaction's prepare lease expired (or was aborted) before
+    /// the COMMIT arrived.
+    Expired,
 }
 
 impl RejectKind {
@@ -54,6 +57,7 @@ impl RejectKind {
             RejectKind::Capacity => "capacity",
             RejectKind::Conflict => "conflict",
             RejectKind::Noop => "noop",
+            RejectKind::Expired => "expired",
         }
     }
 }
@@ -255,6 +259,34 @@ pub enum Event {
         /// Rack of the crashed shim.
         rack: u64,
     },
+    /// A crashed shim came back, replayed its journal and rejoined.
+    ShimRecovered {
+        /// Rack of the recovered shim.
+        rack: u64,
+    },
+    /// A destination shim journalled a PREPARE (intent durable).
+    TxnPrepared {
+        /// Request id of the transaction.
+        req: u64,
+        /// VM the transaction wants to move.
+        vm: u64,
+        /// Destination host of the prepared move.
+        dest_host: u64,
+    },
+    /// A prepared transaction committed (COMMIT applied, ACK sent).
+    TxnCommitted {
+        /// Request id of the transaction.
+        req: u64,
+        /// VM that moved.
+        vm: u64,
+    },
+    /// A prepared transaction aborted (rolled back or lease-expired).
+    TxnAborted {
+        /// Request id of the transaction.
+        req: u64,
+        /// VM whose move was undone.
+        vm: u64,
+    },
 }
 
 impl Event {
@@ -280,6 +312,10 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::ShimDegraded { .. } => "shim_degraded",
             Event::ShimCrashed { .. } => "shim_crashed",
+            Event::ShimRecovered { .. } => "shim_recovered",
+            Event::TxnPrepared { .. } => "txn_prepared",
+            Event::TxnCommitted { .. } => "txn_committed",
+            Event::TxnAborted { .. } => "txn_aborted",
         }
     }
 
@@ -399,6 +435,22 @@ impl Event {
             }
             Event::ShimCrashed { rack } => {
                 w.u64("rack", *rack);
+            }
+            Event::ShimRecovered { rack } => {
+                w.u64("rack", *rack);
+            }
+            Event::TxnPrepared { req, vm, dest_host } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.u64("dest_host", *dest_host);
+            }
+            Event::TxnCommitted { req, vm } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+            }
+            Event::TxnAborted { req, vm } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
             }
         }
         w.finish()

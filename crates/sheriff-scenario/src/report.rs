@@ -173,6 +173,22 @@ pub fn aggregate(spec: &ScenarioSpec, runs: &[SeedRun]) -> ScenarioReport {
             "overload_rounds".into(),
             stat(&|r| r.rounds.iter().filter(|s| s.overloaded_hosts > 0).count() as f64),
         ),
+        (
+            "audit_violations_total".into(),
+            sum_rounds(&|s| s.audit_violations as f64),
+        ),
+        (
+            "txn_committed_total".into(),
+            sum_rounds(&|s| s.txn_committed as f64),
+        ),
+        (
+            "txn_aborted_total".into(),
+            sum_rounds(&|s| s.txn_aborted as f64),
+        ),
+        (
+            "shim_recoveries_total".into(),
+            sum_rounds(&|s| s.recoveries as f64),
+        ),
     ];
 
     let mut counters = Counters::new();

@@ -18,8 +18,9 @@ use dcn_sim::{
 };
 use dcn_topology::{HostId, RackId, VmId};
 use sheriff_core::{
-    try_drain_rack, try_evacuate_host, CentralizedRuntime, DistributedRuntime, FabricConfig,
-    FabricRuntime, MigrationContext, MigrationPlan, RoundOutcome, RunCtx, Runtime, ShardedRuntime,
+    try_drain_rack, try_evacuate_host, CentralizedRuntime, CrashWindow, DistributedRuntime,
+    FabricConfig, FabricRuntime, MigrationContext, MigrationPlan, RoundOutcome, RunCtx, Runtime,
+    ShardedRuntime,
 };
 use sheriff_obs::{Counters, Event, EventSink};
 
@@ -83,6 +84,14 @@ pub struct RoundStat {
     pub overloaded_hosts: usize,
     /// VMs evacuated by the backup system this round (host/rack faults).
     pub evacuated: usize,
+    /// Invariant breaches the post-round auditor found (should be 0).
+    pub audit_violations: usize,
+    /// Migration transactions committed via 2PC (fabric).
+    pub txn_committed: usize,
+    /// Migration transactions aborted or lease-expired (fabric).
+    pub txn_aborted: usize,
+    /// Shims that crashed mid-round and replayed their journal (fabric).
+    pub recoveries: usize,
 }
 
 /// The full deterministic record of one (topology, seed) job.
@@ -163,9 +172,13 @@ impl ScenarioRunner {
                     .collect();
                 handles.into_iter().map(|h| h.join()).collect()
             })
-            .expect("scenario worker panicked");
+            .map_err(|_| SheriffError::Invalid {
+                reason: "scenario worker panicked".to_string(),
+            })?;
         let mut runs = Vec::with_capacity(jobs.len());
-        for part in outcome.expect("scenario worker panicked") {
+        for part in outcome.map_err(|_| SheriffError::Invalid {
+            reason: "scenario worker panicked".to_string(),
+        })? {
             for run in part {
                 runs.push(run?);
             }
@@ -319,7 +332,18 @@ fn apply_faults(
                 }
                 obs.recover_shim(rack);
             }
-            FaultAction::CrashShim { rack } => obs.crash_shim(RackId::from_index(rack)),
+            FaultAction::CrashShim {
+                rack,
+                crash_at,
+                recover_at,
+            } => {
+                let rack = RackId::from_index(rack);
+                if crash_at.is_none() && recover_at.is_none() {
+                    obs.crash_shim(rack);
+                } else {
+                    obs.crash_shim_at(rack, crash_at.unwrap_or(0), recover_at);
+                }
+            }
             FaultAction::RecoverShim { rack } => obs.recover_shim(RackId::from_index(rack)),
         }
     }
@@ -406,7 +430,11 @@ pub(crate) fn run_job(
         // 2. the backup system resolves crash errors before management
         let evac = evacuate(&mut cluster, &metric, &stranded, &drained)?;
 
-        // 3. channel phases re-shape the fabric's control channel
+        // 3. channel phases re-shape the fabric's control channel; the
+        // injector's crash schedule (whole-round downs plus any timed
+        // mid-round windows) is drained every round — this also settles
+        // the injector's end-of-round shim_down state for step 4
+        let crash_schedule = injector.drain_crash_schedule();
         if let Loop::Fabric(rt) = &mut runtime {
             while phase_cursor < spec.channel_phases.len()
                 && spec.channel_phases[phase_cursor].round <= t
@@ -416,7 +444,14 @@ pub(crate) fn run_job(
                 rt.cfg.hello_window = 2u64.max(phase.faults.delay_max + 1);
                 phase_cursor += 1;
             }
-            rt.cfg.crashed = injector.crashed_shims().collect();
+            rt.cfg.crashed = crash_schedule
+                .iter()
+                .map(|&(rack, crash_at, recover_at)| CrashWindow {
+                    rack,
+                    crash_at,
+                    recover_at,
+                })
+                .collect();
         }
 
         // 4. raise this round's pre-alerts
@@ -503,6 +538,10 @@ pub(crate) fn run_job(
             ticks: out.ticks,
             overloaded_hosts,
             evacuated: evac.moves.len(),
+            audit_violations: out.audit.len(),
+            txn_committed: out.txn_committed,
+            txn_aborted: out.txn_aborted,
+            recoveries: out.recoveries,
         });
     }
 

@@ -255,10 +255,20 @@ pub enum FaultAction {
         /// Rack index.
         rack: usize,
     },
-    /// Crash a rack's shim process only (hosts keep running).
+    /// Crash a rack's shim process only (hosts keep running). With the
+    /// optional virtual-time fields the crash happens *mid-round* on the
+    /// fabric runtime: the shim dies at tick `crash_at` and — when
+    /// `recover_at` is set — replays its intent journal and rejoins at
+    /// that tick. Omitting both keeps the whole-round semantics.
     CrashShim {
         /// Rack index.
         rack: usize,
+        /// Virtual tick (within the round) at which the shim dies;
+        /// `None` means "down from tick 0".
+        crash_at: Option<u64>,
+        /// Virtual tick at which the shim recovers; `None` means it
+        /// stays down into the following rounds.
+        recover_at: Option<u64>,
     },
     /// Recover a crashed shim.
     RecoverShim {
@@ -696,7 +706,19 @@ fn parse_sim(v: &Value) -> Result<SimConfig, SheriffError> {
 
 fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
     let t = want_table(v, "fault")?;
-    check_keys(t, &["round", "action", "link", "host", "rack"], "fault")?;
+    check_keys(
+        t,
+        &[
+            "round",
+            "action",
+            "link",
+            "host",
+            "rack",
+            "crash_at",
+            "recover_at",
+        ],
+        "fault",
+    )?;
     let round =
         get_usize(t, "round", "fault")?.ok_or_else(|| invalid("fault.round is required".into()))?;
     let action =
@@ -726,6 +748,8 @@ fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
         },
         "crash_shim" => FaultAction::CrashShim {
             rack: need("rack")?,
+            crash_at: get_u64(t, "crash_at", "fault")?,
+            recover_at: get_u64(t, "recover_at", "fault")?,
         },
         "recover_shim" => FaultAction::RecoverShim {
             rack: need("rack")?,
@@ -737,6 +761,13 @@ fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
             )))
         }
     };
+    if !matches!(action, FaultAction::CrashShim { .. })
+        && (t.contains_key("crash_at") || t.contains_key("recover_at"))
+    {
+        return Err(invalid(
+            "fault.crash_at / fault.recover_at only apply to action \"crash_shim\"".into(),
+        ));
+    }
     Ok(FaultEvent { round, action })
 }
 
@@ -961,7 +992,7 @@ impl ScenarioSpec {
                         }
                         FaultAction::FailRack { rack }
                         | FaultAction::RestoreRack { rack }
-                        | FaultAction::CrashShim { rack }
+                        | FaultAction::CrashShim { rack, .. }
                         | FaultAction::RecoverShim { rack } => ("rack", rack, racks),
                     };
                     if id >= bound {
@@ -988,6 +1019,31 @@ impl ScenarioSpec {
                     "fault at round {} never fires (rounds = {})",
                     fevent.round, self.rounds
                 ));
+            }
+            if let FaultAction::CrashShim {
+                crash_at,
+                recover_at,
+                ..
+            } = fevent.action
+            {
+                if let Some(r) = recover_at {
+                    if r <= crash_at.unwrap_or(0) {
+                        return Err(invalid(format!(
+                            "fault.recover_at {} must be after crash_at {}",
+                            r,
+                            crash_at.unwrap_or(0)
+                        )));
+                    }
+                }
+                if (crash_at.is_some() || recover_at.is_some())
+                    && !matches!(self.runtime, RuntimeSpec::Fabric { .. })
+                {
+                    warnings.push(format!(
+                        "crash_at/recover_at need virtual time: the {} runtime treats the \
+                         crash as whole-round",
+                        self.runtime.name()
+                    ));
+                }
             }
         }
         for p in &self.channel_phases {

@@ -522,7 +522,9 @@ fn toml_parse(src: &str) -> Result<Value, SheriffError> {
             }
             if is_array {
                 let parent = descend(&mut root, &path[..path.len() - 1])?;
-                let leaf = path.last().expect("key path is never empty");
+                let leaf = path
+                    .last()
+                    .ok_or_else(|| invalid("empty key path".to_string()))?;
                 let slot = parent
                     .entry(leaf.clone())
                     .or_insert_with(|| Value::Array(Vec::new()));
@@ -550,7 +552,10 @@ fn toml_parse(src: &str) -> Result<Value, SheriffError> {
         let mut full = open.clone();
         full.extend_from_slice(&path[..path.len() - 1]);
         let table = descend(&mut root, &full)?;
-        let leaf = path.last().expect("key path is never empty").clone();
+        let leaf = path
+            .last()
+            .ok_or_else(|| invalid("empty key path".to_string()))?
+            .clone();
         if table.insert(leaf.clone(), value).is_some() {
             return Err(invalid(format!("duplicate key {leaf:?}")));
         }

@@ -46,7 +46,7 @@ fn main() {
     let cfg = FabricConfig {
         faults: ChannelFaults::lossy(0.05),
         seed: 7,
-        crashed: vec![crashed],
+        crashed: vec![CrashWindow::whole_round(crashed)],
         ..FabricConfig::default()
     };
     let report = FabricRuntime { cfg }.step(&mut RunCtx {

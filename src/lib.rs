@@ -61,10 +61,10 @@ pub mod prelude {
 
     // --- management: the four loops behind one Runtime trait ---------
     pub use sheriff_core::{
-        drain_rack, evacuate_host, priority, vmmigration, Budget, CentralizedRuntime,
-        DistributedReport, DistributedRuntime, FabricConfig, FabricRuntime, MigrationContext,
-        MigrationPlan, RoundOutcome, RoundReport, RunCtx, Runtime, ShardedRuntime, Sheriff,
-        StepReport, System, SystemBuilder,
+        audit_placement, drain_rack, evacuate_host, priority, vmmigration, AuditReport, Budget,
+        CentralizedRuntime, CrashWindow, DistributedReport, DistributedRuntime, FabricConfig,
+        FabricRuntime, IntentJournal, MigrationContext, MigrationPlan, RoundOutcome, RoundReport,
+        RunCtx, Runtime, ShardedRuntime, Sheriff, StepReport, System, SystemBuilder,
     };
 
     // --- forecasting: the Sec. III-B predictors ----------------------

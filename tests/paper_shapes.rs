@@ -26,7 +26,7 @@ fn fig3_to_5_traces_have_paper_ranges() {
 
 #[test]
 fn fig6_arima_tracks_traffic() {
-    let t = forecast::fig6(1);
+    let t = forecast::fig6(1).expect("fits");
     // bias column stays small relative to the signal for most points
     let big_bias = t
         .rows

@@ -78,6 +78,52 @@ fn rerunning_a_shipped_spec_file_reproduces_the_report() {
 }
 
 #[test]
+fn mid_round_crash_scenario_is_deterministic_with_clean_audit() {
+    // the crash-consistency scenario: shims die and recover *inside*
+    // rounds; parallel must still equal serial byte-for-byte, and the
+    // always-on auditor columns must report zero violations
+    let mut spec = ScenarioSpec::load(std::path::Path::new("scenarios/mid_round_shim_crash.toml"))
+        .expect("bundled scenario parses");
+    spec.seeds.truncate(2);
+    let serial = canonical(&spec, false, 0);
+    let parallel = canonical(&spec, true, 2);
+    assert_eq!(serial, parallel, "mid-round crashes broke determinism");
+    for metric in [
+        "audit_violations_total",
+        "txn_committed_total",
+        "txn_aborted_total",
+        "shim_recoveries_total",
+    ] {
+        assert!(serial.contains(metric), "report lacks {metric}");
+    }
+
+    // per-round ground truth: the auditor never fires, transactions
+    // commit, and the round-3 mid-round crash recovers in-round
+    let mut runner = ScenarioRunner::new(spec.clone());
+    runner.parallel = false;
+    let runs = runner.run().expect("scenario runs");
+    for run in &runs {
+        for s in &run.rounds {
+            assert_eq!(
+                s.audit_violations, 0,
+                "seed {} round {}: auditor found violations",
+                run.seed, s.round
+            );
+        }
+        assert!(
+            run.rounds.iter().map(|s| s.txn_committed).sum::<usize>() > 0,
+            "seed {}: no transaction ever committed",
+            run.seed
+        );
+        assert!(
+            run.rounds.iter().map(|s| s.recoveries).sum::<usize>() >= 1,
+            "seed {}: the scheduled mid-round recovery never happened",
+            run.seed
+        );
+    }
+}
+
+#[test]
 fn every_bundled_scenario_parses_and_validates_clean() {
     let dir = std::path::Path::new("scenarios");
     let mut checked = 0;
