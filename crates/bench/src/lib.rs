@@ -6,6 +6,7 @@
 //! sweeps (Fig. 11–14), and the approximation-ratio check (Sec. VI-C).
 //! Run them with `cargo run --release -p sheriff-bench --bin experiments`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;

@@ -17,6 +17,7 @@
 //! assert!(cluster.placement.vm_count() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alert;

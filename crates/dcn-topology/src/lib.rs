@@ -17,6 +17,7 @@
 //! assert!(costs.dist(dcn.rack_node(0.into()), dcn.rack_node(7.into())).is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bcube;

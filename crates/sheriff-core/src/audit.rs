@@ -11,7 +11,7 @@
 use crate::journal::{IntentJournal, TxnState};
 use crate::protocol::ReqId;
 use dcn_topology::{DependencyGraph, HostId, Placement, VmId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// One invariant breach found by the auditor.
@@ -214,9 +214,10 @@ where
     let mut report = AuditReport::default();
     // latest committed record per VM across all journals; req ids of one
     // VM always come from its own rack's shim, so the id order is the
-    // decision order
-    let mut latest: HashMap<VmId, (ReqId, HostId)> = HashMap::new();
-    let mut rolled_back: HashMap<VmId, ReqId> = HashMap::new();
+    // decision order. `BTreeMap` keeps the final iteration (and thus the
+    // violation order in the report) deterministic (DET02).
+    let mut latest: BTreeMap<VmId, (ReqId, HostId)> = BTreeMap::new();
+    let mut rolled_back: BTreeMap<VmId, ReqId> = BTreeMap::new();
     for journal in journals {
         for (req, rec) in journal.records() {
             match rec.state {

@@ -36,7 +36,7 @@ use dcn_sim::{Alert, AlertSource, ChannelFaults, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
 use parking_lot::Mutex;
 use sheriff_obs::{emit, Event, EventSink, RejectKind};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Map a protocol-level REJECT payload to its observability label.
 fn reject_kind(reason: RejectReason) -> RejectKind {
@@ -528,11 +528,13 @@ struct FabricShim {
     st: ShimState,
     liveness: Liveness,
     region: Vec<RackId>,
-    outstanding: HashMap<ReqId, Outstanding>,
+    /// `BTreeMap`, not `HashMap`: these maps are drained/iterated when
+    /// settling fates, so their order feeds report ordering (DET02).
+    outstanding: BTreeMap<ReqId, Outstanding>,
     /// Given-up requests whose fate is unknown: a stale copy may still
     /// commit at the destination, so the VM must not be replanned. The
     /// entry's `deadline` becomes the patience cutoff for late verdicts.
-    zombies: HashMap<ReqId, Outstanding>,
+    zombies: BTreeMap<ReqId, Outstanding>,
     /// Zombies whose patience expired with no verdict; resolved against
     /// ground truth when the simulator assembles the report.
     unresolved: Vec<Outstanding>,
@@ -603,7 +605,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     // a window with crash_at == 0 and no recovery is the old whole-round
     // crash: the rack is excluded from the round entirely. Every other
     // window is a mid-round transition handled inside the tick loop.
-    let whole_round: HashSet<RackId> = cfg
+    let whole_round: BTreeSet<RackId> = cfg
         .crashed
         .iter()
         .filter(|w| w.crash_at == 0 && w.recover_at.is_none())
@@ -636,7 +638,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     let mut net = SimNet::new(cfg.faults.clone(), cfg.seed);
     // racks currently down, rebuilt incrementally from the schedule — the
     // per-tick membership test the beacon loops use
-    let mut down: HashSet<RackId> = whole_round.clone();
+    let mut down: BTreeSet<RackId> = whole_round.clone();
     for &r in &whole_round {
         net.set_down(r);
     }
@@ -676,8 +678,8 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                 },
                 liveness: Liveness::new(cfg.liveness_deadline),
                 region,
-                outstanding: HashMap::new(),
-                zombies: HashMap::new(),
+                outstanding: BTreeMap::new(),
+                zombies: BTreeMap::new(),
                 unresolved: Vec::new(),
                 rounds_left: cfg.max_retry + 1,
                 started: false,
@@ -725,11 +727,9 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                     let shim = &mut shims[i];
                     shim.down = true;
                     shim.started = false;
-                    let lost: Vec<Outstanding> = shim
-                        .outstanding
-                        .drain()
-                        .map(|(_, o)| o)
-                        .chain(shim.zombies.drain().map(|(_, o)| o))
+                    let lost: Vec<Outstanding> = std::mem::take(&mut shim.outstanding)
+                        .into_values()
+                        .chain(std::mem::take(&mut shim.zombies).into_values())
                         .collect();
                     shim.unresolved.extend(lost);
                 }
@@ -1170,8 +1170,8 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
         let leftovers: Vec<Outstanding> = shim
             .unresolved
             .drain(..)
-            .chain(shim.outstanding.drain().map(|(_, o)| o))
-            .chain(shim.zombies.drain().map(|(_, o)| o))
+            .chain(std::mem::take(&mut shim.outstanding).into_values())
+            .chain(std::mem::take(&mut shim.zombies).into_values())
             .collect();
         for o in leftovers {
             if cluster.placement.host_of(o.vm) == o.dest {

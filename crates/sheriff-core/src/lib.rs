@@ -18,6 +18,7 @@
 //! with optimistic planning and FCFS commit ([`distributed_round_obs`],
 //! or [`DistributedRuntime`] behind the [`Runtime`] trait).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alert_mgmt;

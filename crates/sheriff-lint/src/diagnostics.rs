@@ -1,0 +1,108 @@
+//! Typed, rustc-style diagnostics with a `--json` machine rendering.
+
+use std::fmt;
+
+/// Severity of a finding. Everything the rule engine emits today is an
+/// error (warnings would rot); the distinction exists for the renderer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the check.
+    Error,
+    /// Informational (baseline summaries).
+    Note,
+}
+
+/// One finding: a rule violated at a position, with a suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule code, e.g. `DET01`.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What happened, specific to the site.
+    pub message: String,
+    /// How to fix or suppress it.
+    pub help: &'static str,
+}
+
+impl Diagnostic {
+    /// Ordering key: file, then position, then rule — the render order.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.file.clone(), self.line, self.col, self.rule)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        writeln!(f, "  --> {}:{}:{}", self.file, self.line, self.col)?;
+        write!(f, "   = help: {}", self.help)
+    }
+}
+
+/// Minimal JSON string escaping (the subset `Diagnostic` fields need).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one diagnostic as a JSON object (one line, no trailing newline).
+pub fn to_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"help\":\"{}\"}}",
+        d.rule,
+        json_escape(&d.file),
+        d.line,
+        d.col,
+        json_escape(&d.message),
+        json_escape(d.help)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "DET01",
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            message: "ambient wall-clock read: `Instant::now`".into(),
+            help: "route timing through sheriff_obs::Timer",
+        }
+    }
+
+    #[test]
+    fn renders_rustc_style() {
+        let text = diag().to_string();
+        assert!(text.starts_with("error[DET01]: "));
+        assert!(text.contains("--> crates/x/src/a.rs:3:9"));
+        assert!(text.contains("= help: "));
+    }
+
+    #[test]
+    fn json_is_escaped() {
+        let mut d = diag();
+        d.message = "say \"hi\"\n".into();
+        let j = to_json(&d);
+        assert!(j.contains("\\\"hi\\\"\\n"));
+        assert!(j.contains("\"line\":3"));
+    }
+}

@@ -1,0 +1,33 @@
+//! `sheriff-lint`: a workspace static-analysis pass that proves the
+//! repo's determinism and panic-safety invariants at build time.
+//!
+//! Sheriff's headline claims — same-seed reproducibility of the
+//! regional pre-alert sweeps, graceful degradation instead of panics —
+//! are runtime properties enforced by *conventions*: no ambient wall
+//! clock, no hash-order iteration in the management loops, typed errors
+//! instead of `unwrap`. Conventions rot. This crate turns them into
+//! machine-checked rules over a hand-rolled token stream (same zero-dep
+//! stance as the TOML reader in `sheriff-scenario`), with rustc-style
+//! diagnostics, a mandatory-reason suppression pragma, and a ratcheting
+//! baseline for pre-existing panic debt.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p sheriff-lint -- check            # report everything
+//! cargo run -p sheriff-lint -- check --deny-new # CI mode: also fail on stale baseline
+//! cargo run -p sheriff-lint -- check --update-baseline
+//! ```
+//!
+//! See `DESIGN.md` §9 for the rule-by-rule mapping to the invariants
+//! each one guards.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod diagnostics;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod workspace;

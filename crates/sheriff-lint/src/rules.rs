@@ -1,0 +1,636 @@
+//! The rule engine: six repo-specific rules over the token stream.
+//!
+//! | Code     | Invariant guarded                                            |
+//! |----------|--------------------------------------------------------------|
+//! | DET01    | no ambient wall clock outside `sheriff-obs`                  |
+//! | DET02    | no order-sensitive `HashMap`/`HashSet` iteration in          |
+//! |          | deterministic modules                                        |
+//! | DET03    | no ambient randomness (`thread_rng`, `rand::random`)         |
+//! | PANIC01  | no `unwrap`/`expect`/indexing in non-test library code       |
+//! | UNSAFE01 | every crate root carries `#![forbid(unsafe_code)]`           |
+//! | API01    | no `legacy`-gated free functions outside the feature gate    |
+//! | LINT00   | (meta) malformed `sheriff-lint:` pragmas never silently      |
+//! |          | suppress nothing                                             |
+//!
+//! The engine is heuristic by design — a hand-rolled lexer cannot do
+//! type inference — but every heuristic errs so that real regressions in
+//! *this* workspace are caught, and false positives have a typed escape
+//! hatch: `// sheriff-lint: allow(RULE, "reason")`.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::pragma::{self, Pragma, Suppressions};
+use std::collections::BTreeSet;
+
+/// Rule codes, in report order.
+pub const RULES: &[&str] = &[
+    "DET01", "DET02", "DET03", "PANIC01", "UNSAFE01", "API01", "LINT00",
+];
+
+const HELP_DET01: &str = "route timing through sheriff_obs::Timer (wall clock is excluded from \
+     canonical output there), or add `// sheriff-lint: allow(DET01, \"why\")`";
+const HELP_DET02: &str = "iterate a BTreeMap/BTreeSet, sort the items in this statement, or add \
+     `// sheriff-lint: allow(DET02, \"why the order cannot leak\")`";
+const HELP_DET03: &str = "construct a seeded RNG (e.g. `StdRng::seed_from_u64`) and thread it \
+     through, or add `// sheriff-lint: allow(DET03, \"why\")`";
+const HELP_PANIC01: &str = "return the module's typed error instead (SheriffError / FitError / \
+     TraceIoError patterns), use `.get(..)`, or add `// sheriff-lint: allow(PANIC01, \"why this \
+     cannot panic\")`";
+const HELP_UNSAFE01: &str = "add `#![forbid(unsafe_code)]` next to the crate's other inner \
+     attributes";
+const HELP_API01: &str = "migrate to the `Runtime` trait (`FabricRuntime` & friends) or the \
+     `_obs` variants; the free functions only exist behind `--features legacy`";
+const HELP_LINT00: &str = "write `// sheriff-lint: allow(RULE, \"reason\")` — a typo'd pragma \
+     must not silently suppress nothing";
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (plus everything that is never an expression tail).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+/// Identifiers that make a hash-iteration statement order-insensitive:
+/// explicit sorts, BTree rebuilds, and commutative terminal consumers.
+const NEUTRALIZERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "sum",
+    "count",
+    "len",
+    "is_empty",
+    "all",
+    "any",
+    "min",
+    "max",
+];
+
+/// Methods whose receiver order becomes observable.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Workspace knowledge shared across files (built by a pre-pass).
+#[derive(Debug, Default)]
+pub struct LintContext {
+    /// Free functions defined under `#[cfg(feature = "legacy")]`.
+    pub legacy_fns: BTreeSet<String>,
+}
+
+/// Paths (repo-relative, `/`-separated) whose iteration order is part of
+/// the reproducibility contract: the management loops, the simulator,
+/// and the scenario runner's pure `run_job` path.
+fn is_deterministic_module(path: &str) -> bool {
+    path.starts_with("crates/sheriff-core/src/")
+        || path.starts_with("crates/dcn-sim/src/")
+        || path == "crates/sheriff-scenario/src/runner.rs"
+}
+
+/// The one crate allowed to read the wall clock: its `Timer` keeps wall
+/// durations out of the deterministic event stream by contract.
+fn is_wall_clock_allowlisted(path: &str) -> bool {
+    path.starts_with("crates/sheriff-obs/")
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+}
+
+// ------------------------------------------------------------- regions
+
+/// Per-token flags derived from attributes: inside a `#[cfg(test)]` /
+/// `#[test]` item, or inside a `#[cfg(feature = "legacy")]` item.
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    test: bool,
+    legacy: bool,
+}
+
+#[derive(Debug)]
+struct Attr {
+    /// Index of the `#` token.
+    hash: usize,
+    /// Index one past the closing `]`.
+    end: usize,
+    inner: bool,
+    idents: Vec<String>,
+    literals: Vec<String>,
+}
+
+/// Scan one attribute starting at tokens\[i\] == `#`.
+fn scan_attr(tokens: &[Token], i: usize) -> Option<Attr> {
+    let mut j = i + 1;
+    let inner = tokens.get(j).is_some_and(|t| t.is_punct('!'));
+    if inner {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    j += 1;
+    let mut depth = 1u32;
+    let mut idents = Vec::new();
+    let mut literals = Vec::new();
+    while let Some(t) = tokens.get(j) {
+        match &t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(Attr {
+                        hash: i,
+                        end: j + 1,
+                        inner,
+                        idents,
+                        literals,
+                    });
+                }
+            }
+            TokenKind::Ident(s) => idents.push(s.clone()),
+            TokenKind::Literal(s) => literals.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index one past the end of the item starting at `start`: the matching
+/// `}` of its first top-level brace block, or its terminating `;`.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut j = start;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while let Some(t) = tokens.get(j) {
+        match &t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct(';') if paren <= 0 && bracket <= 0 => return j + 1,
+            TokenKind::Punct('{') if paren <= 0 && bracket <= 0 => {
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                while let Some(t2) = tokens.get(k) {
+                    match &t2.kind {
+                        TokenKind::Punct('{') => depth += 1,
+                        TokenKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return k + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return tokens.len();
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Compute per-token flags plus file-level facts from the attributes.
+fn compute_flags(tokens: &[Token]) -> (Vec<Flags>, bool) {
+    let mut flags = vec![Flags::default(); tokens.len()];
+    let mut has_forbid_unsafe = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens.get(i).is_some_and(|t| t.is_punct('#')) {
+            i += 1;
+            continue;
+        }
+        let Some(attr) = scan_attr(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let is_test_attr = attr.idents.iter().any(|s| s == "test");
+        let is_legacy_attr = attr.idents.iter().any(|s| s == "cfg")
+            && attr.idents.iter().any(|s| s == "feature")
+            && attr.literals.iter().any(|s| s.contains("legacy"));
+        if attr.inner {
+            if is_test_attr {
+                // `#![cfg(test)]`: the whole file is test code
+                for f in &mut flags {
+                    f.test = true;
+                }
+            }
+            if attr.idents.iter().any(|s| s == "forbid")
+                && attr.idents.iter().any(|s| s == "unsafe_code")
+            {
+                has_forbid_unsafe = true;
+            }
+            i = attr.end;
+            continue;
+        }
+        if !(is_test_attr || is_legacy_attr) {
+            i = attr.end;
+            continue;
+        }
+        // skip any further attributes between this one and the item
+        let mut item_start = attr.end;
+        while tokens.get(item_start).is_some_and(|t| t.is_punct('#')) {
+            match scan_attr(tokens, item_start) {
+                Some(a) => item_start = a.end,
+                None => break,
+            }
+        }
+        let end = item_end(tokens, item_start);
+        for f in flags.iter_mut().take(end.min(tokens.len())).skip(attr.hash) {
+            if is_test_attr {
+                f.test = true;
+            }
+            if is_legacy_attr {
+                f.legacy = true;
+            }
+        }
+        i = attr.end;
+    }
+    (flags, has_forbid_unsafe)
+}
+
+// ------------------------------------------------------- legacy pre-pass
+
+/// Collect the names of free functions defined under
+/// `#[cfg(feature = "legacy")]` — the API01 deny-list. Run over every
+/// `sheriff-core` source file before linting the workspace.
+pub fn collect_legacy_fns(src: &str) -> Vec<String> {
+    let tokens = lex(src).tokens;
+    let (flags, _) = compute_flags(&tokens);
+    let mut out = Vec::new();
+    let mut iter = tokens.iter().enumerate().peekable();
+    while let Some((i, t)) = iter.next() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        if !flags.get(i).copied().unwrap_or_default().legacy {
+            continue;
+        }
+        if let Some((_, name_tok)) = iter.peek() {
+            if let Some(name) = name_tok.ident() {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------ the rules
+
+fn diag(
+    rule: &'static str,
+    path: &str,
+    tok: &Token,
+    message: String,
+    help: &'static str,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        help,
+    }
+}
+
+/// `A :: B` at index `i`: the path-segment pair (A, B) if present.
+fn path_pair(tokens: &[Token], i: usize) -> Option<(&str, &str)> {
+    let a = tokens.get(i)?.ident()?;
+    if !(tokens.get(i + 1)?.is_punct(':') && tokens.get(i + 2)?.is_punct(':')) {
+        return None;
+    }
+    let b = tokens.get(i + 3)?.ident()?;
+    Some((a, b))
+}
+
+fn det01(tokens: &[Token], flags: &[Flags], path: &str, out: &mut Vec<Diagnostic>) {
+    if is_wall_clock_allowlisted(path) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if flags.get(i).copied().unwrap_or_default().test {
+            continue;
+        }
+        if let Some((a, b)) = path_pair(tokens, i) {
+            if (a == "SystemTime" || a == "Instant") && b == "now" {
+                out.push(diag(
+                    "DET01",
+                    path,
+                    t,
+                    format!(
+                        "ambient wall-clock read: `{a}::now()` breaks same-seed reproducibility"
+                    ),
+                    HELP_DET01,
+                ));
+            }
+        }
+    }
+}
+
+fn det03(tokens: &[Token], flags: &[Flags], path: &str, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if flags.get(i).copied().unwrap_or_default().test {
+            continue;
+        }
+        if t.is_ident("thread_rng") {
+            out.push(diag(
+                "DET03",
+                path,
+                t,
+                "ambient randomness: `thread_rng` is seeded from the OS".to_string(),
+                HELP_DET03,
+            ));
+        } else if let Some(("rand", "random")) = path_pair(tokens, i) {
+            out.push(diag(
+                "DET03",
+                path,
+                t,
+                "ambient randomness: `rand::random` is seeded from the OS".to_string(),
+                HELP_DET03,
+            ));
+        }
+    }
+}
+
+/// Names in this file declared (or initialised) as `HashMap`/`HashSet`.
+fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
+    const WINDOW: usize = 9;
+    let mut names = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        // `name : … HashMap …` (type ascription / struct field), where the
+        // `:` is not a path separator
+        let ascription = tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && !tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct(':'));
+        // `let [mut] name = … HashMap …`
+        let let_binding = tokens.get(i + 1).is_some_and(|n| n.is_punct('='))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct('='))
+            && {
+                let prev = tokens.get(i.wrapping_sub(1));
+                prev.is_some_and(|p| p.is_ident("let"))
+                    || (prev.is_some_and(|p| p.is_ident("mut"))
+                        && tokens
+                            .get(i.wrapping_sub(2))
+                            .is_some_and(|p| p.is_ident("let")))
+            };
+        if !(ascription || let_binding) {
+            continue;
+        }
+        let hashy = tokens
+            .iter()
+            .skip(i + 2)
+            .take(WINDOW)
+            .take_while(|n| !n.is_punct(';'))
+            .any(|n| n.is_ident("HashMap") || n.is_ident("HashSet"));
+        if hashy {
+            names.insert(name.to_string());
+        }
+    }
+    names
+}
+
+/// Idents of the statement containing index `i` plus the following
+/// statement — the window in which a sort/BTree rebuild neutralises an
+/// order-sensitive iteration.
+fn statement_window_has_neutralizer(tokens: &[Token], i: usize) -> bool {
+    // backward to the start of the statement
+    let before = tokens
+        .iter()
+        .take(i)
+        .rev()
+        .take_while(|t| !(t.is_punct(';') || t.is_punct('{') || t.is_punct('}')));
+    // forward through the end of the *next* statement
+    let mut semis = 0u32;
+    let after = tokens.iter().skip(i).take_while(move |t| {
+        if t.is_punct(';') {
+            semis += 1;
+        }
+        semis < 2
+    });
+    before
+        .chain(after)
+        .filter_map(|t| t.ident())
+        .any(|s| NEUTRALIZERS.contains(&s))
+}
+
+fn det02(tokens: &[Token], flags: &[Flags], path: &str, out: &mut Vec<Diagnostic>) {
+    if !is_deterministic_module(path) {
+        return;
+    }
+    let names = hash_typed_names(tokens);
+    if names.is_empty() {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if flags.get(i).copied().unwrap_or_default().test {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        if !names.contains(name) {
+            continue;
+        }
+        // `name.iter()` and friends
+        let method_iter = tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens
+                .get(i + 2)
+                .and_then(|n| n.ident())
+                .is_some_and(|m| ITER_METHODS.contains(&m))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('('));
+        // `for … in [&|&mut|(] name {`
+        let for_iter = {
+            let mut j = i;
+            let mut saw_in = false;
+            while j > 0 {
+                j -= 1;
+                match tokens.get(j).map(|p| &p.kind) {
+                    Some(TokenKind::Punct('&' | '(')) => continue,
+                    Some(TokenKind::Ident(s)) if s == "mut" => continue,
+                    Some(TokenKind::Ident(s)) if s == "in" => {
+                        saw_in = true;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            saw_in && tokens.get(i + 1).is_some_and(|n| n.is_punct('{'))
+        };
+        if !(method_iter || for_iter) {
+            continue;
+        }
+        if statement_window_has_neutralizer(tokens, i) {
+            continue;
+        }
+        out.push(diag(
+            "DET02",
+            path,
+            t,
+            format!(
+                "iteration over hash-ordered `{name}` in a deterministic module: the visit \
+                 order can differ across processes"
+            ),
+            HELP_DET02,
+        ));
+    }
+}
+
+fn panic01(tokens: &[Token], flags: &[Flags], path: &str, out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if flags.get(i).copied().unwrap_or_default().test {
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Ident(m) if (m == "unwrap" || m == "expect") => {
+                let is_call = tokens
+                    .get(i.wrapping_sub(1))
+                    .is_some_and(|p| p.is_punct('.'))
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if is_call {
+                    out.push(diag(
+                        "PANIC01",
+                        path,
+                        t,
+                        format!("`.{m}()` can panic on the library hot path"),
+                        HELP_PANIC01,
+                    ));
+                }
+            }
+            TokenKind::Punct('[') => {
+                let indexes = match tokens.get(i.wrapping_sub(1)).map(|p| &p.kind) {
+                    Some(TokenKind::Ident(s)) => !KEYWORDS.contains(&s.as_str()),
+                    Some(TokenKind::Punct(')' | ']')) => true,
+                    _ => false,
+                };
+                if indexes {
+                    out.push(diag(
+                        "PANIC01",
+                        path,
+                        t,
+                        "direct indexing can panic on out-of-bounds access".to_string(),
+                        HELP_PANIC01,
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn unsafe01(tokens: &[Token], has_forbid: bool, path: &str, out: &mut Vec<Diagnostic>) {
+    if !is_crate_root(path) || has_forbid {
+        return;
+    }
+    let anchor = tokens.first().cloned().unwrap_or(Token {
+        kind: TokenKind::Punct('?'),
+        line: 1,
+        col: 1,
+    });
+    out.push(Diagnostic {
+        rule: "UNSAFE01",
+        file: path.to_string(),
+        line: anchor.line,
+        col: anchor.col,
+        message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        help: HELP_UNSAFE01,
+    });
+}
+
+fn api01(
+    tokens: &[Token],
+    flags: &[Flags],
+    path: &str,
+    ctx: &LintContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.legacy_fns.is_empty() {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        let f = flags.get(i).copied().unwrap_or_default();
+        if f.test || f.legacy {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        if !ctx.legacy_fns.contains(name) {
+            continue;
+        }
+        // the definition token itself (`fn name`) is exempt — the gate on
+        // the item already covers it, this guards against lexer drift
+        if tokens
+            .get(i.wrapping_sub(1))
+            .is_some_and(|p| p.is_ident("fn"))
+        {
+            continue;
+        }
+        out.push(diag(
+            "API01",
+            path,
+            t,
+            format!("`{name}` is a deprecated legacy-gated free function"),
+            HELP_API01,
+        ));
+    }
+}
+
+// ---------------------------------------------------------- entry point
+
+/// Lint one source file. `path` must be repo-relative with `/`
+/// separators — it selects which rules apply.
+pub fn lint_source(path: &str, src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let (flags, has_forbid) = compute_flags(&lexed.tokens);
+
+    let mut pragmas: Vec<Pragma> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for c in &lexed.comments {
+        match pragma::parse(c) {
+            None => {}
+            Some(Ok(p)) => pragmas.push(p),
+            Some(Err(e)) => out.push(Diagnostic {
+                rule: "LINT00",
+                file: path.to_string(),
+                line: c.line,
+                col: c.col,
+                message: e.to_string(),
+                help: HELP_LINT00,
+            }),
+        }
+    }
+    let suppressions = Suppressions::from_pragmas(&pragmas);
+
+    det01(&lexed.tokens, &flags, path, &mut out);
+    det02(&lexed.tokens, &flags, path, &mut out);
+    det03(&lexed.tokens, &flags, path, &mut out);
+    panic01(&lexed.tokens, &flags, path, &mut out);
+    unsafe01(&lexed.tokens, has_forbid, path, &mut out);
+    api01(&lexed.tokens, &flags, path, ctx, &mut out);
+
+    out.retain(|d| d.rule == "LINT00" || !suppressions.covers(d.rule, d.line));
+    out.sort_by_key(Diagnostic::sort_key);
+    out
+}

@@ -1,0 +1,131 @@
+//! End-to-end CLI coverage: build a synthetic workspace on disk, run
+//! the real binary against it, and assert the exit codes and the
+//! baseline ratchet behave as documented.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sheriff-lint")
+}
+
+fn fixture_root(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("clean fixture dir");
+    }
+    std::fs::create_dir_all(root.join("src")).expect("mkdir src");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("write manifest");
+    root
+}
+
+fn check(root: &Path, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.arg("check").arg("--root").arg(root);
+    cmd.args(extra);
+    cmd.output().expect("spawn sheriff-lint")
+}
+
+fn write_lib(root: &Path, body: &str) {
+    std::fs::write(root.join("src/lib.rs"), body).expect("write lib.rs");
+}
+
+const CLEAN_LIB: &str = "#![forbid(unsafe_code)]\n\
+    pub fn safe(v: &[u32]) -> Option<u32> { v.first().copied() }\n";
+
+const DIRTY_LIB: &str = "#![forbid(unsafe_code)]\n\
+    pub fn risky(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n";
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = fixture_root("clean_tree");
+    write_lib(&root, CLEAN_LIB);
+    let out = check(&root, &["--deny-new"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn violation_fails_with_rustc_style_diagnostic() {
+    let root = fixture_root("dirty_tree");
+    write_lib(&root, DIRTY_LIB);
+    let out = check(&root, &["--deny-new"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[PANIC01]:"), "stdout: {stdout}");
+    assert!(stdout.contains("--> src/lib.rs:2:"), "stdout: {stdout}");
+    assert!(stdout.contains("= help:"), "stdout: {stdout}");
+}
+
+#[test]
+fn json_mode_emits_machine_readable_findings() {
+    let root = fixture_root("json_tree");
+    write_lib(&root, DIRTY_LIB);
+    let out = check(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().next().unwrap_or_default();
+    assert!(
+        line.starts_with("{\"rule\":\"PANIC01\""),
+        "stdout: {stdout}"
+    );
+    assert!(line.contains("\"file\":\"src/lib.rs\""), "stdout: {stdout}");
+}
+
+#[test]
+fn baseline_ratchet_admits_old_debt_and_rejects_new() {
+    let root = fixture_root("ratchet_tree");
+    write_lib(&root, DIRTY_LIB);
+
+    // ratchet the existing debt into the baseline → clean
+    let out = check(&root, &["--update-baseline"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let baseline = std::fs::read_to_string(root.join("lint-baseline.json")).expect("baseline");
+    assert!(baseline.contains("\"PANIC01\""), "baseline: {baseline}");
+    assert_eq!(check(&root, &["--deny-new"]).status.code(), Some(0));
+
+    // a second unwrap exceeds the ratchet
+    write_lib(
+        &root,
+        "#![forbid(unsafe_code)]\n\
+         pub fn risky(v: &[u32]) -> u32 { v.first().copied().unwrap() }\n\
+         pub fn worse(v: &[u32]) -> u32 { v.last().copied().unwrap() }\n",
+    );
+    let out = check(&root, &["--deny-new"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("baseline allows 1"), "stdout: {stdout}");
+
+    // fixing *both* makes the entry stale: plain check passes, CI mode
+    // demands the ratchet move down
+    write_lib(&root, CLEAN_LIB);
+    assert_eq!(check(&root, &[]).status.code(), Some(0));
+    let out = check(&root, &["--deny-new"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stale baseline"), "stdout: {stdout}");
+
+    // re-ratcheting clears it
+    assert_eq!(check(&root, &["--update-baseline"]).status.code(), Some(0));
+    assert_eq!(check(&root, &["--deny-new"]).status.code(), Some(0));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = Command::new(bin())
+        .arg("frobnicate")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(bin()).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,49 @@
+//! Property test: `pragma::format` and `pragma::parse` are inverses for
+//! arbitrary rule codes and reason strings — including reasons full of
+//! quotes and backslashes, which the formatter must escape.
+
+use proptest::prelude::*;
+use sheriff_lint::lexer::Comment;
+use sheriff_lint::pragma;
+
+/// Alphanumeric + `_`, the rule-code alphabet.
+const RULE_CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+
+/// A hostile palette for reasons: escapes, quotes, parens, unicode.
+const REASON_CHARS: &[char] = &[
+    'a', 'b', 'z', ' ', '"', '\\', '(', ')', ',', '\'', 'é', '∞', '0', '9', '_', '-', ':',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn format_parse_round_trips(
+        rule_idx in proptest::collection::vec(0usize..RULE_CHARS.len(), 1..8),
+        reason_idx in proptest::collection::vec(0usize..REASON_CHARS.len(), 1..24),
+        line in 1u32..10_000,
+    ) {
+        let rule: String = rule_idx
+            .iter()
+            .filter_map(|&i| RULE_CHARS.get(i).map(|&b| b as char))
+            .collect();
+        let reason: String = reason_idx
+            .iter()
+            .filter_map(|&i| REASON_CHARS.get(i).copied())
+            .collect();
+        // the formatter never emits an empty reason; skip all-space ones
+        prop_assume!(!reason.trim().is_empty());
+
+        let text = pragma::format(&rule, &reason);
+        let comment = Comment { text, line, col: 1 };
+        let parsed = pragma::parse(&comment);
+        prop_assert!(
+            matches!(parsed, Some(Ok(_))),
+            "{rule:?}/{reason:?} failed to parse: {parsed:?}"
+        );
+        let Some(Ok(p)) = parsed else { unreachable!() };
+        prop_assert_eq!(&p.rule, &rule);
+        prop_assert_eq!(&p.reason, &reason);
+        prop_assert_eq!(p.line, line);
+    }
+}

@@ -1,0 +1,244 @@
+//! Fixture coverage for every rule: one offending snippet, one clean
+//! snippet, and one pragma-suppressed snippet each, linted through the
+//! public `lint_source` entry point exactly as the CLI does.
+
+use sheriff_lint::rules::{collect_legacy_fns, lint_source, LintContext};
+
+const CORE: &str = "crates/sheriff-core/src/fixture.rs";
+
+fn codes(path: &str, src: &str) -> Vec<String> {
+    let ctx = LintContext::default();
+    lint_source(path, src, &ctx)
+        .into_iter()
+        .map(|d| d.rule.to_string())
+        .collect()
+}
+
+// ------------------------------------------------------------- DET01
+
+#[test]
+fn det01_flags_ambient_wall_clock() {
+    let src = "pub fn tick() { let t = std::time::Instant::now(); let _ = t; }";
+    assert_eq!(codes(CORE, src), vec!["DET01"]);
+    let sys = "pub fn stamp() { let t = SystemTime::now(); let _ = t; }";
+    assert_eq!(codes(CORE, sys), vec!["DET01"]);
+}
+
+#[test]
+fn det01_clean_in_obs_and_under_pragma() {
+    let src = "pub fn tick() { let t = std::time::Instant::now(); let _ = t; }";
+    assert!(codes("crates/sheriff-obs/src/timer.rs", src).is_empty());
+    let suppressed = "// sheriff-lint: allow(DET01, \"wall time never enters the report\")\n\
+                      pub fn tick() { let t = std::time::Instant::now(); let _ = t; }";
+    assert!(codes(CORE, suppressed).is_empty());
+}
+
+#[test]
+fn det01_ignores_test_code() {
+    let src = "#[test]\nfn timing() { let t = Instant::now(); let _ = t; }";
+    assert!(codes(CORE, src).is_empty());
+}
+
+// ------------------------------------------------------------- DET02
+
+#[test]
+fn det02_flags_hash_iteration_in_deterministic_modules() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn fates(outstanding: HashMap<u64, u32>) {\n\
+                   for (id, fate) in &outstanding { report(*id, *fate); }\n\
+               }";
+    assert_eq!(codes(CORE, src), vec!["DET02"]);
+    let method = "pub fn drain() {\n\
+                  let mut m: HashMap<u64, u32> = HashMap::new();\n\
+                  let fates: Vec<u32> = m.drain().map(|(_, f)| f).collect();\n\
+                  let _ = fates;\n}";
+    assert_eq!(codes(CORE, method), vec!["DET02"]);
+}
+
+#[test]
+fn det02_clean_for_btree_sorts_and_other_modules() {
+    let btree = "use std::collections::BTreeMap;\n\
+                 pub fn fates(outstanding: BTreeMap<u64, u32>) {\n\
+                     for (id, fate) in &outstanding { report(*id, *fate); }\n\
+                 }";
+    assert!(codes(CORE, btree).is_empty());
+    // collect-then-sort within the next statement neutralises the visit
+    let sorted = "pub fn ranked(rates: HashMap<u64, f64>) -> Vec<(u64, f64)> {\n\
+                  let mut v: Vec<(u64, f64)> = rates.iter().map(|(k, r)| (*k, *r)).collect();\n\
+                  v.sort_by_key(|(k, _)| *k);\n  v\n}";
+    assert!(codes(CORE, sorted).is_empty());
+    // the same offending code outside a deterministic module is fine
+    let src = "pub fn fates(m: HashMap<u64, u32>) { for (i, f) in &m { report(*i, *f); } }";
+    assert!(codes("crates/bench/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn det02_pragma_suppresses_with_reason() {
+    let src = "pub fn fates(m: HashMap<u64, u32>) {\n\
+               // sheriff-lint: allow(DET02, \"order folded into a commutative sum below\")\n\
+               for (i, f) in &m { accumulate(*i, *f); }\n}";
+    assert!(codes(CORE, src).is_empty());
+}
+
+// ------------------------------------------------------------- DET03
+
+#[test]
+fn det03_flags_ambient_randomness() {
+    let src = "pub fn jitter() -> f64 { rand::random() }";
+    assert_eq!(codes(CORE, src), vec!["DET03"]);
+    let trng = "pub fn jitter() { let mut rng = thread_rng(); let _ = rng; }";
+    assert_eq!(codes(CORE, trng), vec!["DET03"]);
+}
+
+#[test]
+fn det03_clean_for_seeded_rngs_and_pragma() {
+    let seeded = "pub fn jitter(seed: u64) { let rng = StdRng::seed_from_u64(seed); let _ = rng; }";
+    assert!(codes(CORE, seeded).is_empty());
+    let suppressed = "// sheriff-lint: allow(DET03, \"demo binary, not a management loop\")\n\
+                      pub fn jitter() -> f64 { rand::random() }";
+    assert!(codes(CORE, suppressed).is_empty());
+}
+
+// ----------------------------------------------------------- PANIC01
+
+#[test]
+fn panic01_flags_unwrap_expect_and_indexing() {
+    assert_eq!(
+        codes(
+            CORE,
+            "pub fn f(v: Vec<u32>) -> u32 { v.first().copied().unwrap() }"
+        ),
+        vec!["PANIC01"]
+    );
+    assert_eq!(
+        codes(
+            CORE,
+            "pub fn f(v: Vec<u32>) -> u32 { *v.first().expect(\"nonempty\") }"
+        ),
+        vec!["PANIC01"]
+    );
+    assert_eq!(
+        codes(CORE, "pub fn f(v: &[u32]) -> u32 { v[0] }"),
+        vec!["PANIC01"]
+    );
+}
+
+#[test]
+fn panic01_clean_code_and_structural_brackets_pass() {
+    // slice patterns, array types, attributes and macro brackets are
+    // not index expressions
+    let src = "#[derive(Clone)]\n\
+               pub struct W { xs: [f64; 4] }\n\
+               pub fn f(v: &[u32]) -> Option<u32> {\n\
+                   if let [only] = v { return Some(*only); }\n\
+                   let buf = vec![0u32; 3];\n\
+                   let _ = buf;\n\
+                   v.get(0).copied()\n\
+               }";
+    assert!(codes(CORE, src).is_empty());
+}
+
+#[test]
+fn panic01_exempts_tests_and_respects_pragma() {
+    let test_code =
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(x()[0].unwrap(), 1); }\n}";
+    assert!(codes(CORE, test_code).is_empty());
+    let suppressed = "pub fn f(v: &[u32]) -> u32 {\n\
+                      // sheriff-lint: allow(PANIC01, \"index bounded by the loop above\")\n\
+                      v[0]\n}";
+    assert!(codes(CORE, suppressed).is_empty());
+}
+
+// ---------------------------------------------------------- UNSAFE01
+
+#[test]
+fn unsafe01_requires_forbid_on_crate_roots_only() {
+    let bare = "//! Crate docs.\npub fn f() {}";
+    assert_eq!(codes("crates/dcn-sim/src/lib.rs", bare), vec!["UNSAFE01"]);
+    assert_eq!(codes("src/lib.rs", bare), vec!["UNSAFE01"]);
+    // non-root modules don't need the attribute
+    assert!(codes("crates/dcn-sim/src/engine.rs", bare).is_empty());
+    let guarded = "#![forbid(unsafe_code)]\npub fn f() {}";
+    assert!(codes("crates/dcn-sim/src/lib.rs", guarded).is_empty());
+}
+
+// ------------------------------------------------------------- API01
+
+fn legacy_ctx() -> LintContext {
+    let defs = "#[cfg(feature = \"legacy\")]\n\
+                #[deprecated]\n\
+                pub fn centralized_migration(x: u32) -> u32 { x }\n\
+                pub fn modern(x: u32) -> u32 { x }";
+    let mut ctx = LintContext::default();
+    ctx.legacy_fns.extend(collect_legacy_fns(defs));
+    assert_eq!(
+        ctx.legacy_fns.iter().collect::<Vec<_>>(),
+        vec!["centralized_migration"],
+        "pre-pass should find exactly the gated function"
+    );
+    ctx
+}
+
+#[test]
+fn api01_flags_legacy_calls_outside_the_gate() {
+    let ctx = legacy_ctx();
+    let call = "pub fn run() { let _ = centralized_migration(3); }";
+    let diags = lint_source(CORE, call, &ctx);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags.first().map(|d| d.rule), Some("API01"));
+}
+
+#[test]
+fn api01_allows_gated_callers_tests_and_pragmas() {
+    let ctx = legacy_ctx();
+    let gated = "#[cfg(feature = \"legacy\")]\n\
+                 pub fn compat() { let _ = centralized_migration(3); }";
+    assert!(lint_source(CORE, gated, &ctx).is_empty());
+    let test_code = "#[test]\nfn golden() { assert_eq!(centralized_migration(3), 3); }";
+    assert!(lint_source(CORE, test_code, &ctx).is_empty());
+    let suppressed =
+        "// sheriff-lint: allow(API01, \"migration shim, removed with the legacy feature\")\n\
+                      pub fn run() { let _ = centralized_migration(3); }";
+    assert!(lint_source(CORE, suppressed, &ctx).is_empty());
+}
+
+// ------------------------------------------------------------- LINT00
+
+#[test]
+fn malformed_pragmas_are_reported_not_silent() {
+    let src = "// sheriff-lint: allow(PANIC01)\n\
+               pub fn f(v: &[u32]) -> u32 { v[0] }";
+    let got = codes(CORE, src);
+    assert_eq!(
+        got,
+        vec!["LINT00", "PANIC01"],
+        "typo'd pragma must not suppress"
+    );
+}
+
+#[test]
+fn lint00_cannot_be_pragma_suppressed() {
+    let src = "// sheriff-lint: allow(LINT00, \"quiet the meta rule\")\n\
+               // sheriff-lint: allow(PANIC01)\n\
+               pub fn f() {}";
+    let got = codes(CORE, src);
+    assert!(got.contains(&"LINT00".to_string()));
+}
+
+// ------------------------------------------------------ determinism
+
+#[test]
+fn diagnostics_are_position_sorted_and_stable() {
+    let src = "pub fn f(v: &[u32], m: HashMap<u64, u32>) -> u32 {\n\
+               for (i, x) in &m { report(*i, *x); }\n\
+               v[0] + v.last().copied().unwrap()\n}";
+    let ctx = LintContext::default();
+    let a = lint_source(CORE, src, &ctx);
+    let b = lint_source(CORE, src, &ctx);
+    assert_eq!(a, b, "linting must be deterministic");
+    let keys: Vec<_> = a.iter().map(|d| (d.line, d.col)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must be position-sorted");
+    assert_eq!(a.len(), 3, "DET02 + two PANIC01 findings: {a:?}");
+}

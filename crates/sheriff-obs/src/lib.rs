@@ -27,8 +27,8 @@
 //! streams. Wall-clock durations travel through the separate
 //! [`EventSink::timing`] channel and are excluded from stream equality.
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod counters;
 mod event;

@@ -45,8 +45,8 @@
 //! and parallel execution and across repeated runs of the same file —
 //! property-tested in `tests/scenario_determinism.rs`.
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod report;
 pub mod runner;

@@ -396,6 +396,8 @@ pub(crate) fn run_job(
     topology_index: usize,
     seed_index: usize,
 ) -> Result<SeedRun, SheriffError> {
+    #[allow(clippy::disallowed_methods)]
+    // sheriff-lint: allow(DET01, "wall clock feeds only wall_time_ms, which canonical_json excludes from the deterministic report")
     let start = std::time::Instant::now();
     let topo: &TopologySpec = &spec.topologies[topology_index];
     let seed = spec.seeds[seed_index];

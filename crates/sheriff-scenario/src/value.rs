@@ -187,7 +187,13 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), SheriffError> {
+    /// The byte slice `start..end`, clamped to the document — keeps the
+    /// cursor arithmetic free of panicking index ops (PANIC01).
+    fn slice(&self, start: usize, end: usize) -> &'a [u8] {
+        self.src.get(start..end.min(self.src.len())).unwrap_or(&[])
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), SheriffError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -203,7 +209,7 @@ impl<'a> Cursor<'a> {
 
     /// Parse a quoted string starting at the opening `"`.
     fn quoted_string(&mut self) -> Result<String, SheriffError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -246,8 +252,7 @@ impl<'a> Cursor<'a> {
                         0xE0..=0xEF => 3,
                         _ => 4,
                     };
-                    let end = (start + width).min(self.src.len());
-                    let chunk = std::str::from_utf8(&self.src[start..end])
+                    let chunk = std::str::from_utf8(self.slice(start, start + width))
                         .map_err(|_| invalid("invalid UTF-8 in string".into()))?;
                     let ch = chunk
                         .chars()
@@ -281,7 +286,7 @@ impl<'a> Cursor<'a> {
                 _ => break,
             }
         }
-        let raw: String = std::str::from_utf8(&self.src[start..self.pos])
+        let raw: String = std::str::from_utf8(self.slice(start, self.pos))
             .map_err(|_| invalid("invalid number".into()))?
             .chars()
             .filter(|&c| c != '_')
@@ -316,7 +321,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn keyword(&mut self, word: &str, v: Value) -> Result<Value, SheriffError> {
-        if self.src[self.pos..].starts_with(word.as_bytes()) {
+        if self
+            .slice(self.pos, self.src.len())
+            .starts_with(word.as_bytes())
+        {
             self.pos += word.len();
             Ok(v)
         } else {
@@ -325,7 +333,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn json_object(&mut self) -> Result<Value, SheriffError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut table = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -336,7 +344,7 @@ impl<'a> Cursor<'a> {
             self.skip_ws();
             let key = self.quoted_string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let v = self.json_value()?;
             if table.insert(key.clone(), v).is_some() {
                 return Err(invalid(format!("duplicate key {key:?}")));
@@ -351,7 +359,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn json_array(&mut self) -> Result<Value, SheriffError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -377,7 +385,7 @@ impl<'a> Cursor<'a> {
         match self.peek() {
             Some(b'"') => Ok(Value::Str(self.quoted_string()?)),
             Some(b'[') => {
-                self.expect(b'[')?;
+                self.expect_byte(b'[')?;
                 let mut items = Vec::new();
                 loop {
                     self.skip_ws_and_comments();
@@ -400,7 +408,7 @@ impl<'a> Cursor<'a> {
                 }
             }
             Some(b'{') => {
-                self.expect(b'{')?;
+                self.expect_byte(b'{')?;
                 let mut table = BTreeMap::new();
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
@@ -411,7 +419,7 @@ impl<'a> Cursor<'a> {
                     self.skip_ws();
                     let key = self.toml_key()?;
                     self.skip_ws();
-                    self.expect(b'=')?;
+                    self.expect_byte(b'=')?;
                     let v = self.toml_value()?;
                     if table.insert(key.clone(), v).is_some() {
                         return Err(invalid(format!("duplicate key {key:?}")));
@@ -447,7 +455,7 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             return Err(invalid(format!("expected a key at byte {start}")));
         }
-        Ok(std::str::from_utf8(&self.src[start..self.pos])
+        Ok(std::str::from_utf8(self.slice(start, self.pos))
             .map_err(|_| invalid("invalid key".into()))?
             .to_string())
     }
@@ -516,15 +524,15 @@ fn toml_parse(src: &str) -> Result<Value, SheriffError> {
             cursor.skip_ws();
             let path = cursor.toml_key_path()?;
             cursor.skip_ws();
-            cursor.expect(b']')?;
+            cursor.expect_byte(b']')?;
             if is_array {
-                cursor.expect(b']')?;
+                cursor.expect_byte(b']')?;
             }
             if is_array {
-                let parent = descend(&mut root, &path[..path.len() - 1])?;
-                let leaf = path
-                    .last()
-                    .ok_or_else(|| invalid("empty key path".to_string()))?;
+                let Some((leaf, parents)) = path.split_last() else {
+                    return Err(invalid("empty key path".to_string()));
+                };
+                let parent = descend(&mut root, parents)?;
                 let slot = parent
                     .entry(leaf.clone())
                     .or_insert_with(|| Value::Array(Vec::new()));
@@ -547,15 +555,15 @@ fn toml_parse(src: &str) -> Result<Value, SheriffError> {
         // key = value
         let path = cursor.toml_key_path()?;
         cursor.skip_ws();
-        cursor.expect(b'=')?;
+        cursor.expect_byte(b'=')?;
         let value = cursor.toml_value()?;
+        let Some((leaf, parents)) = path.split_last() else {
+            return Err(invalid("empty key path".to_string()));
+        };
         let mut full = open.clone();
-        full.extend_from_slice(&path[..path.len() - 1]);
+        full.extend_from_slice(parents);
         let table = descend(&mut root, &full)?;
-        let leaf = path
-            .last()
-            .ok_or_else(|| invalid("empty key path".to_string()))?
-            .clone();
+        let leaf = leaf.clone();
         if table.insert(leaf.clone(), value).is_some() {
             return Err(invalid(format!("duplicate key {leaf:?}")));
         }

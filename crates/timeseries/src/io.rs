@@ -26,6 +26,17 @@ pub enum TraceIoError {
         /// 1-based line number.
         line: usize,
     },
+    /// `write_csv` was handed no columns at all.
+    EmptyColumns,
+    /// `write_csv` was handed columns of differing lengths.
+    MisalignedColumns {
+        /// The offending column's name.
+        column: String,
+        /// Its length.
+        len: usize,
+        /// The length of the first column, which sets the row count.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -37,6 +48,12 @@ impl std::fmt::Display for TraceIoError {
             }
             TraceIoError::MissingColumn(c) => write!(f, "column {c:?} not found"),
             TraceIoError::RaggedRow { line } => write!(f, "line {line}: wrong number of cells"),
+            TraceIoError::EmptyColumns => write!(f, "need at least one column"),
+            TraceIoError::MisalignedColumns {
+                column,
+                len,
+                expected,
+            } => write!(f, "column {column:?} has {len} rows, expected {expected}"),
         }
     }
 }
@@ -50,19 +67,29 @@ impl From<std::io::Error> for TraceIoError {
 }
 
 /// Write named series as a CSV with a header row. All series must share
-/// a length.
+/// a length; mismatches surface as typed errors instead of panics.
 pub fn write_csv(path: &Path, columns: &[(&str, &[f64])]) -> Result<(), TraceIoError> {
-    assert!(!columns.is_empty(), "need at least one column");
-    let len = columns[0].1.len();
-    assert!(
-        columns.iter().all(|(_, c)| c.len() == len),
-        "columns must be aligned"
-    );
+    let Some((_, first)) = columns.first() else {
+        return Err(TraceIoError::EmptyColumns);
+    };
+    let len = first.len();
+    for (name, c) in columns {
+        if c.len() != len {
+            return Err(TraceIoError::MisalignedColumns {
+                column: name.to_string(),
+                len: c.len(),
+                expected: len,
+            });
+        }
+    }
     let mut out = BufWriter::new(File::create(path)?);
     let header: Vec<&str> = columns.iter().map(|(n, _)| *n).collect();
     writeln!(out, "{}", header.join(","))?;
     for row in 0..len {
-        let cells: Vec<String> = columns.iter().map(|(_, c)| c[row].to_string()).collect();
+        let cells: Vec<String> = columns
+            .iter()
+            .filter_map(|(_, c)| c.get(row).map(f64::to_string))
+            .collect();
         writeln!(out, "{}", cells.join(","))?;
     }
     out.flush()?;

@@ -17,6 +17,7 @@
 //! assert_eq!(forecast.len(), 12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ar;

@@ -32,6 +32,7 @@
 //! assert_eq!(system.sink().count_kind("round_start"), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use dcn_sim as sim;

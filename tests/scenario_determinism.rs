@@ -124,6 +124,65 @@ fn mid_round_crash_scenario_is_deterministic_with_clean_audit() {
 }
 
 #[test]
+fn fabric_shim_fate_settlement_order_is_not_hash_order() {
+    // regression for the DET02 conversions in sheriff-core: the fabric
+    // shim's outstanding/zombie tables and the audit journal index used
+    // to be HashMaps, whose per-instance RandomState made the drain
+    // order at crash/settlement time differ between runs *in the same
+    // process*. A lossy channel plus mid-round crashes maximises how
+    // many requests those tables hold when they are drained; five
+    // repeat runs must produce byte-identical canonical reports.
+    let src = r#"
+name = "fate_order"
+rounds = 8
+seeds = [71, 72]
+
+[topology]
+kind = "fat_tree"
+pods = 8
+
+[cluster]
+vms_per_host = 2.0
+skew = 3.0
+
+[workload]
+alert_fraction = 0.08
+
+[runtime]
+kind = "fabric"
+max_retry = 2
+
+[sim.channel]
+drop = 0.25
+delay_min = 1
+delay_max = 3
+
+[[fault]]
+round = 2
+action = "crash_shim"
+rack = 0
+crash_at = 3
+recover_at = 11
+
+[[fault]]
+round = 4
+action = "crash_shim"
+rack = 2
+crash_at = 5
+"#;
+    let spec = ScenarioSpec::parse_str(src).expect("spec parses");
+    spec.validate().expect("spec is valid");
+    let reference = canonical(&spec, false, 0);
+    for attempt in 1..5 {
+        let again = canonical(&spec, attempt % 2 == 0, 2);
+        assert_eq!(
+            reference, again,
+            "run {attempt}: shim fate settlement leaked hash iteration order"
+        );
+    }
+}
+
+#[test]
 fn every_bundled_scenario_parses_and_validates_clean() {
     let dir = std::path::Path::new("scenarios");
     let mut checked = 0;

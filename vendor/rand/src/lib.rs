@@ -161,3 +161,13 @@ pub mod rngs {
         }
     }
 }
+
+/// Stub of `rand::thread_rng`. Exists so `clippy.toml`'s
+/// `disallowed-methods` entry resolves to a real path; workspace code
+/// must never call it (sheriff-lint DET03 + clippy both fire). The stub
+/// is deliberately deterministic — even the escape hatch cannot smuggle
+/// OS entropy into a run.
+#[deprecated(note = "ambient randomness is banned (DET03); seed an StdRng explicitly")]
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::seed_from_u64(0x5EED)
+}
