@@ -9,7 +9,7 @@ use dcn_topology::placement::Placement;
 use dcn_topology::{Dcn, HostId, RackId, VmId};
 use rand::Rng;
 use sheriff_obs::{emit, Event, EventSink, FaultKind};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Kill one link: its available bandwidth drops to zero, putting it
 /// below every positive `B_t` threshold so the metric routes around it.
@@ -104,6 +104,10 @@ pub struct FaultInjector {
     down_hosts: BTreeSet<HostId>,
     down_shims: BTreeSet<RackId>,
     timed_crashes: Vec<(RackId, u64, Option<u64>)>,
+    /// Named partitions standing at round boundaries (scheduled with no
+    /// heal): they re-enter every round's schedule until healed by name.
+    standing_partitions: BTreeMap<String, Vec<RackId>>,
+    timed_partitions: Vec<(String, Vec<RackId>, u64, Option<u64>)>,
 }
 
 impl FaultInjector {
@@ -214,6 +218,78 @@ impl FaultInjector {
         schedule
     }
 
+    /// Schedule a *named* network partition in the next fabric round's
+    /// virtual time: from tick `start_at`, traffic between `racks` and
+    /// the rest of the cluster is silently swallowed. With `heal_at` of
+    /// `Some(t)` the cut heals at tick `t` of the same round; with
+    /// `None` the partition stands across round boundaries until a
+    /// [`FaultInjector::heal_partition_at`] names it.
+    ///
+    /// Partitions are pure connectivity faults: they touch no shim,
+    /// host, or epoch state, so (unlike a crash) a partitioned shim is
+    /// never declared dead by an emission-based failure detector.
+    pub fn partition_at(
+        &mut self,
+        name: &str,
+        racks: Vec<RackId>,
+        start_at: u64,
+        heal_at: Option<u64>,
+    ) {
+        self.timed_partitions
+            .push((name.to_owned(), racks, start_at, heal_at));
+    }
+
+    /// Schedule the heal of a standing partition at tick `heal_at` of
+    /// the next fabric round. No-op at drain time if no partition with
+    /// that name is standing.
+    pub fn heal_partition_at(&mut self, name: &str, heal_at: u64) {
+        self.timed_partitions
+            .push((name.to_owned(), Vec::new(), 0, Some(heal_at)));
+    }
+
+    /// Whether a partition with this name is standing (scheduled without
+    /// a heal and not yet healed).
+    pub fn partitioned(&self, name: &str) -> bool {
+        self.standing_partitions.contains_key(name)
+    }
+
+    /// Take the pending partition schedule for the next fabric round as
+    /// `(members, start_at, heal_at)` windows: every standing partition
+    /// re-enters as a whole-round window `(members, 0, None)` unless a
+    /// timed entry for that name supersedes it, followed by the timed
+    /// windows in insertion order (a heal entry resolves its members
+    /// from the standing set). Updates the standing end-state: a window
+    /// without a heal stands after the round, a healed one is gone.
+    pub fn drain_partition_schedule(&mut self) -> Vec<(Vec<RackId>, u64, Option<u64>)> {
+        let timed = std::mem::take(&mut self.timed_partitions);
+        let mut schedule: Vec<(Vec<RackId>, u64, Option<u64>)> = self
+            .standing_partitions
+            .iter()
+            .filter(|(n, _)| timed.iter().all(|(tn, ..)| tn != *n))
+            .map(|(_, racks)| (racks.clone(), 0, None))
+            .collect();
+        for (name, racks, start_at, heal_at) in timed {
+            let members = if racks.is_empty() {
+                self.standing_partitions
+                    .get(&name)
+                    .cloned()
+                    .unwrap_or_default()
+            } else {
+                racks
+            };
+            if members.is_empty() {
+                continue;
+            }
+            if heal_at.is_some() {
+                self.standing_partitions.remove(&name);
+            } else {
+                self.standing_partitions.insert(name, members.clone());
+            }
+            schedule.push((members, start_at, heal_at));
+        }
+        schedule
+    }
+
     /// Borrow the injector together with an [`EventSink`]: every fault
     /// applied through the returned handle also emits a
     /// [`Event::FaultInjected`], so
@@ -316,6 +392,33 @@ impl<S: EventSink + ?Sized> ObservedFaults<'_, S> {
                 id: rack.index() as u64,
             });
         }
+    }
+
+    /// [`FaultInjector::partition_at`], emitting `FaultInjected(Partition)`
+    /// with the member count as its id (the in-round cut and heal show up
+    /// as `PartitionHealed` in the fabric's own trace).
+    pub fn partition_at(
+        &mut self,
+        name: &str,
+        racks: Vec<RackId>,
+        start_at: u64,
+        heal_at: Option<u64>,
+    ) {
+        let members = racks.len() as u64;
+        self.injector.partition_at(name, racks, start_at, heal_at);
+        emit(self.sink, || Event::FaultInjected {
+            kind: FaultKind::Partition,
+            id: members,
+        });
+    }
+
+    /// [`FaultInjector::heal_partition_at`], emitting `FaultInjected(Heal)`.
+    pub fn heal_partition_at(&mut self, name: &str, heal_at: u64) {
+        self.injector.heal_partition_at(name, heal_at);
+        emit(self.sink, || Event::FaultInjected {
+            kind: FaultKind::Heal,
+            id: heal_at,
+        });
     }
 }
 
@@ -522,5 +625,70 @@ mod tests {
         assert_eq!(crashed, vec![RackId(0), RackId(2)]);
         inj.recover_shim(RackId(2));
         assert!(!inj.shim_down(RackId(2)));
+    }
+
+    #[test]
+    fn partition_schedule_stands_until_healed_by_name() {
+        let mut inj = FaultInjector::new();
+        // in-round window heals itself and never stands
+        inj.partition_at("blip", vec![RackId(3)], 2, Some(9));
+        // named cut with no heal stands across rounds
+        inj.partition_at("west", vec![RackId(0), RackId(1)], 4, None);
+        assert_eq!(
+            inj.drain_partition_schedule(),
+            vec![
+                (vec![RackId(3)], 2, Some(9)),
+                (vec![RackId(0), RackId(1)], 4, None),
+            ]
+        );
+        assert!(inj.partitioned("west"));
+        assert!(!inj.partitioned("blip"));
+        // the standing partition re-enters whole-round until healed
+        assert_eq!(
+            inj.drain_partition_schedule(),
+            vec![(vec![RackId(0), RackId(1)], 0, None)]
+        );
+        inj.heal_partition_at("west", 6);
+        assert_eq!(
+            inj.drain_partition_schedule(),
+            vec![(vec![RackId(0), RackId(1)], 0, Some(6))]
+        );
+        assert!(!inj.partitioned("west"));
+        assert!(inj.drain_partition_schedule().is_empty());
+        // healing an unknown name is a drain-time no-op
+        inj.heal_partition_at("east", 3);
+        assert!(inj.drain_partition_schedule().is_empty());
+    }
+
+    #[test]
+    fn restore_paths_touch_no_shim_or_partition_state() {
+        // the epoch-safety audit for the injector: host/link restore must
+        // not resurrect a shim (or tear a partition down) as a side
+        // effect — epochs live solely with the failover state, whose only
+        // writer is monotonic, so a restored fault can never roll a shim
+        // back into an old epoch
+        use crate::engine::{Cluster, ClusterConfig};
+        use crate::SimConfig;
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        let mut cluster = Cluster::build(
+            dcn.clone(),
+            &ClusterConfig {
+                seed: 5,
+                ..ClusterConfig::default()
+            },
+            SimConfig::paper(),
+        );
+        let mut inj = FaultInjector::new();
+        inj.crash_shim(RackId(1));
+        inj.partition_at("west", vec![RackId(0)], 0, None);
+        let _ = inj.drain_partition_schedule();
+        inj.fail_link(&mut dcn, 2);
+        let _ = inj.fail_host(&mut cluster.placement, HostId(0));
+        inj.restore_link(&mut dcn, 2);
+        inj.restore_host(&mut cluster.placement, HostId(0));
+        assert!(inj.shim_down(RackId(1)), "restore must not revive shims");
+        assert!(inj.partitioned("west"), "restore must not heal partitions");
+        // and the crash schedule still reports the shim down whole-round
+        assert_eq!(inj.drain_crash_schedule(), vec![(RackId(1), 0, None)]);
     }
 }

@@ -10,8 +10,8 @@
 
 use crate::journal::{IntentJournal, TxnState};
 use crate::protocol::ReqId;
-use dcn_topology::{DependencyGraph, HostId, Placement, VmId};
-use std::collections::{BTreeMap, HashMap};
+use dcn_topology::{DependencyGraph, HostId, Placement, RackId, VmId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// One invariant breach found by the auditor.
@@ -59,6 +59,17 @@ pub enum AuditViolation {
         /// The VM it holds hostage.
         vm: VmId,
     },
+    /// Two shims both claim management of the same VM — a takeover or
+    /// partition/heal cycle handed a rack to a new manager without
+    /// fencing the old one.
+    VmDoubleManaged {
+        /// The doubly-managed VM.
+        vm: VmId,
+        /// First rack claiming it.
+        a: RackId,
+        /// Second rack claiming it.
+        b: RackId,
+    },
     /// The latest committed journal record for a VM disagrees with the
     /// placement about where the VM lives.
     JournalPlacementMismatch {
@@ -89,6 +100,9 @@ impl fmt::Display for AuditViolation {
             }
             AuditViolation::UnresolvedTxn { req, vm } => {
                 write!(f, "{req} still prepared, holds {vm}")
+            }
+            AuditViolation::VmDoubleManaged { vm, a, b } => {
+                write!(f, "{vm} managed by both {a} and {b}")
             }
             AuditViolation::JournalPlacementMismatch {
                 req,
@@ -260,6 +274,44 @@ where
     report
 }
 
+/// Exclusive management: across all shims, no VM may be claimed —
+/// pending, in flight, or parked — by more than one manager at once.
+/// Takes `(rack, managed VMs)` pairs; the VM lists need not be sorted.
+/// A takeover or partition/heal cycle that leaves a VM on two managers'
+/// books would let both replan the same VM and race their 2PC
+/// transactions, so the failover machinery must keep the sets disjoint.
+pub fn audit_managers<I, V>(claims: I) -> AuditReport
+where
+    I: IntoIterator<Item = (RackId, V)>,
+    V: IntoIterator<Item = VmId>,
+{
+    let mut report = AuditReport::default();
+    let mut owner: BTreeMap<VmId, RackId> = BTreeMap::new();
+    let mut flagged: BTreeSet<(VmId, RackId)> = BTreeSet::new();
+    for (rack, vms) in claims {
+        for vm in vms {
+            match owner.get(&vm) {
+                Some(&first) if first != rack => {
+                    // one violation per conflicting (vm, claimant) pair —
+                    // a claimant listing the VM twice is not two conflicts
+                    if flagged.insert((vm, rack)) {
+                        report.violations.push(AuditViolation::VmDoubleManaged {
+                            vm,
+                            a: first,
+                            b: rack,
+                        });
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    owner.insert(vm, rack);
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,11 +375,25 @@ mod tests {
         let mut j = IntentJournal::new();
         // committed record agreeing with the placement: clean
         p.migrate(VmId(0), HostId(1)).unwrap();
-        j.prepare(ReqId::new(RackId(0), 0), VmId(0), HostId(0), HostId(1), 10);
+        j.prepare(
+            ReqId::new(RackId(0), 0),
+            VmId(0),
+            HostId(0),
+            HostId(1),
+            10,
+            0,
+        );
         j.commit(ReqId::new(RackId(0), 0));
         assert!(audit_journals(&p, [&j]).is_clean());
         // a zombie prepare is unresolved
-        j.prepare(ReqId::new(RackId(0), 1), VmId(1), HostId(0), HostId(2), 10);
+        j.prepare(
+            ReqId::new(RackId(0), 1),
+            VmId(1),
+            HostId(0),
+            HostId(2),
+            10,
+            0,
+        );
         let report = audit_journals(&p, [&j]);
         assert_eq!(report.len(), 1);
         assert!(matches!(
@@ -344,17 +410,54 @@ mod tests {
     }
 
     #[test]
+    fn double_management_is_flagged_once_per_pair() {
+        let clean = audit_managers([
+            (RackId(0), vec![VmId(0), VmId(1)]),
+            (RackId(1), vec![VmId(2)]),
+        ]);
+        assert!(clean.is_clean(), "{clean}");
+        let report = audit_managers([
+            (RackId(0), vec![VmId(0), VmId(1)]),
+            (RackId(1), vec![VmId(1)]),
+            // the same rack listing a VM twice is not double management
+            (RackId(1), vec![VmId(1)]),
+        ]);
+        assert_eq!(
+            report.violations,
+            vec![AuditViolation::VmDoubleManaged {
+                vm: VmId(1),
+                a: RackId(0),
+                b: RackId(1),
+            }]
+        );
+    }
+
+    #[test]
     fn rolled_back_retry_does_not_contradict_earlier_commit() {
         let (mut p, _) = cluster();
         let mut j = IntentJournal::new();
-        j.prepare(ReqId::new(RackId(0), 0), VmId(0), HostId(0), HostId(1), 10);
+        j.prepare(
+            ReqId::new(RackId(0), 0),
+            VmId(0),
+            HostId(0),
+            HostId(1),
+            10,
+            0,
+        );
         p.migrate(VmId(0), HostId(1)).unwrap();
         j.commit(ReqId::new(RackId(0), 0));
         // a later attempt prepared then rolled back: VM returns to host 1
         let mut j2 = IntentJournal::new();
         let (mut p2, deps) = (p.clone(), DependencyGraph::new(2));
         p2.migrate(VmId(0), HostId(2)).unwrap();
-        j2.prepare(ReqId::new(RackId(0), 1), VmId(0), HostId(1), HostId(2), 10);
+        j2.prepare(
+            ReqId::new(RackId(0), 1),
+            VmId(0),
+            HostId(1),
+            HostId(2),
+            10,
+            0,
+        );
         j2.abort(&mut p2, &deps, ReqId::new(RackId(0), 1));
         assert!(audit_journals(&p2, [&j, &j2]).is_clean());
     }

@@ -32,6 +32,8 @@ pub struct NetStats {
     pub reordered: usize,
     /// Messages swallowed because an endpoint was crashed.
     pub blackholed: usize,
+    /// Messages cut by an active network partition.
+    pub partitioned: usize,
 }
 
 /// One message in flight. Ordered by `(deliver_at, seq)` so ties on
@@ -102,6 +104,47 @@ impl CrashWindow {
     }
 }
 
+/// One named network partition in virtual time: from `start_at` until
+/// `heal_at` (exclusive, or forever when `None`) the racks in `members`
+/// can only talk to each other, and everyone else can only talk among
+/// themselves. Any message crossing the cut is swallowed — silently, like
+/// a real partition: neither side learns the other is unreachable except
+/// through silence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Racks on the inside of the cut.
+    pub members: BTreeSet<RackId>,
+    /// Virtual time the cut appears (inclusive).
+    pub start_at: u64,
+    /// Virtual time the cut heals, or `None` to last the whole round.
+    pub heal_at: Option<u64>,
+}
+
+impl PartitionWindow {
+    /// A partition isolating `members` during `[start_at, heal_at)`.
+    pub fn new<I: IntoIterator<Item = RackId>>(
+        members: I,
+        start_at: u64,
+        heal_at: Option<u64>,
+    ) -> Self {
+        Self {
+            members: members.into_iter().collect(),
+            start_at,
+            heal_at,
+        }
+    }
+
+    /// Whether the cut is in effect at virtual time `t`.
+    pub fn active(&self, t: u64) -> bool {
+        t >= self.start_at && self.heal_at.is_none_or(|h| t < h)
+    }
+
+    /// Whether a message from `a` to `b` crosses the cut at time `t`.
+    pub fn cuts(&self, t: u64, a: RackId, b: RackId) -> bool {
+        self.active(t) && (self.members.contains(&a) != self.members.contains(&b))
+    }
+}
+
 /// The simulated network fabric connecting shims.
 #[derive(Debug, Clone)]
 pub struct SimNet {
@@ -110,6 +153,7 @@ pub struct SimNet {
     queue: BinaryHeap<Reverse<InFlight>>,
     seq: u64,
     down: BTreeSet<RackId>,
+    partitions: Vec<PartitionWindow>,
     /// Counters accumulated since construction.
     pub stats: NetStats,
 }
@@ -134,8 +178,24 @@ impl SimNet {
             queue: BinaryHeap::new(),
             seq: 0,
             down: BTreeSet::new(),
+            partitions: Vec::new(),
             stats: NetStats::default(),
         })
+    }
+
+    /// Install the round's partition schedule. Replaces any previous one.
+    pub fn set_partitions(&mut self, partitions: Vec<PartitionWindow>) {
+        self.partitions = partitions;
+    }
+
+    /// Whether a message from `a` to `b` crosses any active cut at `t`.
+    pub fn cut(&self, t: u64, a: RackId, b: RackId) -> bool {
+        self.partitions.iter().any(|p| p.cuts(t, a, b))
+    }
+
+    /// The installed partition windows.
+    pub fn partitions(&self) -> &[PartitionWindow] {
+        &self.partitions
     }
 
     /// Crash an endpoint: messages to or from it vanish silently.
@@ -159,6 +219,13 @@ impl SimNet {
         self.stats.sent += 1;
         if self.down.contains(&from) || self.down.contains(&to) {
             self.stats.blackholed += 1;
+            return;
+        }
+        // partition check precedes every RNG draw: cut traffic consumes
+        // no randomness, so the fault sequence seen by the surviving
+        // traffic is independent of how much was cut
+        if self.cut(now, from, to) {
+            self.stats.partitioned += 1;
             return;
         }
         if self.faults.drop > 0.0 && self.rng.gen_bool(self.faults.drop) {
@@ -216,6 +283,12 @@ impl SimNet {
                 self.stats.blackholed += 1;
                 continue;
             }
+            // a cut that appeared while the message was in flight
+            // swallows it at delivery time
+            if self.cut(m.deliver_at, m.from, m.to) {
+                self.stats.partitioned += 1;
+                continue;
+            }
             self.stats.delivered += 1;
             out.push((m.from, m.to, m.msg));
         }
@@ -244,6 +317,7 @@ mod tests {
             req_id: ReqId::new(RackId(0), seq),
             vm: VmId(0),
             dest: HostId(0),
+            epoch: 0,
         }
     }
 
@@ -360,6 +434,44 @@ mod tests {
         net.set_down(RackId(1));
         assert!(net.poll(2).is_empty());
         assert_eq!(net.stats.blackholed, 1);
+    }
+
+    #[test]
+    fn partition_cuts_crossing_traffic_both_ways() {
+        let mut net = SimNet::new(ChannelFaults::reliable(), 1);
+        net.set_partitions(vec![PartitionWindow::new([RackId(0)], 2, Some(6))]);
+        // before the cut: crossing traffic flows
+        net.send(0, RackId(0), RackId(1), req(0));
+        assert_eq!(net.poll(1).len(), 1);
+        // during the cut: both directions across it are swallowed,
+        // intra-side traffic is not
+        net.send(3, RackId(0), RackId(1), req(1));
+        net.send(3, RackId(1), RackId(0), req(2));
+        net.send(3, RackId(1), RackId(2), req(3));
+        assert_eq!(net.poll(4).len(), 1, "only the intra-side message");
+        assert_eq!(net.stats.partitioned, 2);
+        // after the heal: traffic flows again
+        net.send(6, RackId(0), RackId(1), req(4));
+        assert_eq!(net.poll(7).len(), 1);
+        assert_eq!(net.stats.partitioned, 2);
+    }
+
+    #[test]
+    fn partition_appearing_mid_flight_swallows_at_delivery() {
+        // delay 3 puts the delivery inside the cut even though the send
+        // happened before it started
+        let mut net = SimNet::new(
+            ChannelFaults {
+                delay_min: 3,
+                delay_max: 3,
+                ..ChannelFaults::reliable()
+            },
+            1,
+        );
+        net.set_partitions(vec![PartitionWindow::new([RackId(0)], 2, None)]);
+        net.send(0, RackId(0), RackId(1), req(0));
+        assert!(net.poll(10).is_empty());
+        assert_eq!(net.stats.partitioned, 1);
     }
 
     #[test]

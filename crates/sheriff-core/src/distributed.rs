@@ -22,8 +22,9 @@
 //! issue the identical sequence of Alg. 4 requests in the identical
 //! order, so the ACK/REJECT outcomes — and therefore the plans — match.
 
-use crate::audit::{audit_journals, audit_moves, audit_placement, AuditReport};
-use crate::channel::{CrashWindow, SimNet};
+use crate::audit::{audit_journals, audit_managers, audit_moves, audit_placement, AuditReport};
+use crate::channel::{CrashWindow, PartitionWindow, SimNet};
+use crate::failure::{RegionFailover, ShimHealth};
 use crate::journal::TxnState;
 use crate::matching::{min_cost_assignment_padded, FORBIDDEN};
 use crate::priority::{priority, Budget};
@@ -45,6 +46,7 @@ fn reject_kind(reason: RejectReason) -> RejectKind {
         RejectReason::Conflict => RejectKind::Conflict,
         RejectReason::Noop => RejectKind::Noop,
         RejectReason::Expired => RejectKind::Expired,
+        RejectReason::StaleEpoch => RejectKind::Stale,
     }
 }
 
@@ -81,6 +83,17 @@ pub struct DistributedReport {
     /// Shims that crashed mid-round and replayed their journal on
     /// recovery.
     pub recoveries: usize,
+    /// Regional takeovers: a Dead shim's racks were handed to a neighbor
+    /// (each one bumps the rack's epoch).
+    pub takeovers: usize,
+    /// 2PC messages fenced for carrying a pre-takeover epoch.
+    pub fenced: usize,
+    /// Shims that planned while cut off from part of their region by an
+    /// active network partition (degraded local handling).
+    pub partition_degraded: usize,
+    /// Pending VMs dropped at partition heal because another manager
+    /// handled them during the cut.
+    pub reconciliations: usize,
     /// Post-round invariant audit (clean when no violations).
     pub audit: AuditReport,
 }
@@ -463,6 +476,11 @@ pub struct FabricConfig {
     /// optionally recovers it, at which point it replays its intent
     /// journal and rejoins heartbeating.
     pub crashed: Vec<CrashWindow>,
+    /// Named network-partition schedule in virtual time: while a window
+    /// is active, traffic crossing its cut is silently swallowed. Both
+    /// sides keep working — the minority side in degraded local mode —
+    /// and reconcile when the window heals.
+    pub partitions: Vec<PartitionWindow>,
     /// Ticks a journalled PREPARE stays valid without a COMMIT before the
     /// destination unilaterally aborts it. Must comfortably exceed one
     /// prepare → commit round trip or healthy transactions expire.
@@ -481,6 +499,7 @@ impl Default for FabricConfig {
             liveness_deadline: 24,
             max_ticks: 4096,
             crashed: Vec::new(),
+            partitions: Vec::new(),
             prepare_lease: 64,
         }
     }
@@ -549,6 +568,9 @@ struct FabricShim {
     /// recovery step).
     gave_up: bool,
     degraded: bool,
+    /// Planned at least once while an active partition cut part of the
+    /// region off (degraded local handling).
+    part_degraded: bool,
     /// Currently crashed (its schedule window is open).
     down: bool,
     /// Earliest tick at which a recovered shim may plan again — one
@@ -599,6 +621,40 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     cfg: &FabricConfig,
     sink: &mut S,
 ) -> DistributedReport {
+    // single-shot compatibility path: fresh failover state has no
+    // heartbeat history, so no takeover or fencing can fire and the
+    // round reproduces the pre-failover fabric byte for byte
+    let mut failover = RegionFailover::new(cfg.heartbeat_period.max(1), cfg.liveness_deadline);
+    fabric_round_failover_obs(
+        cluster,
+        metric,
+        alerts,
+        alert_values,
+        cfg,
+        &mut failover,
+        sink,
+    )
+}
+
+/// The fabric round with persistent partition-tolerance state threaded
+/// through: the adaptive failure detector accrues heartbeat silence
+/// across rounds, a shim it declares Dead has its racks handed to a
+/// deterministic successor under a bumped epoch, and 2PC messages
+/// carrying a superseded epoch are fenced with a `StaleEpoch` reject
+/// that teaches the zombie the current term. Partition windows from
+/// `cfg.partitions` cut the simulated network; shims plan around active
+/// cuts in degraded local mode and reconcile parked work when a window
+/// heals. [`fabric_round_obs`] is this with throwaway state.
+#[allow(clippy::too_many_arguments)]
+pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
+    cluster: &mut Cluster,
+    metric: &RackMetric,
+    alerts: &[Alert],
+    alert_values: &[f64],
+    cfg: &FabricConfig,
+    failover: &mut RegionFailover,
+    sink: &mut S,
+) -> DistributedReport {
     let mut racks: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
     racks.sort_unstable();
     racks.dedup();
@@ -617,17 +673,61 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
         .copied()
         .filter(|w| !(w.crash_at == 0 && w.recover_at.is_none()))
         .collect();
-    let crashed_alerted = racks.iter().filter(|r| whole_round.contains(r)).count();
-    for &r in racks.iter().filter(|r| whole_round.contains(r)) {
+    let crashed_alerted_racks: Vec<RackId> = racks
+        .iter()
+        .copied()
+        .filter(|r| whole_round.contains(r))
+        .collect();
+    for &r in &crashed_alerted_racks {
         emit(sink, || Event::ShimCrashed {
             rack: r.index() as u64,
         });
     }
     racks.retain(|r| !whole_round.contains(r));
     let mut report = DistributedReport {
-        crashed_shims: crashed_alerted,
+        crashed_shims: crashed_alerted_racks.len(),
         ..DistributedReport::default()
     };
+    // detector baseline: every rack is expected to beacon from the
+    // round's start, so a shim that is down from tick 0 accrues silence
+    for i in 0..cluster.dcn.rack_count() {
+        failover
+            .detector
+            .track(RackId::from_index(i), failover.clock);
+    }
+    // regional takeover: an alerted rack whose shim the detector has
+    // already declared Dead hands its alerts to a deterministic
+    // successor — the lowest-index live alerted rack in its region,
+    // else the lowest-index live alerted rack anywhere. The first
+    // handover bumps the rack's epoch so the deposed shim's 2PC traffic
+    // can be fenced when it returns.
+    let mut adopted: BTreeMap<RackId, Vec<RackId>> = BTreeMap::new();
+    for &r in &crashed_alerted_racks {
+        if failover.detector.health(r) != ShimHealth::Dead {
+            continue;
+        }
+        let region = cluster.dcn.neighbor_racks(r, cluster.sim.region_hops);
+        let succ = region
+            .iter()
+            .copied()
+            .filter(|s| racks.contains(s))
+            .min()
+            .or_else(|| racks.first().copied());
+        if let Some(s) = succ {
+            let continued = failover.taken_over(r) && failover.manager_of(r) == s;
+            let epoch = failover.take_over(r, s);
+            if !continued {
+                emit(sink, || Event::RegionTakenOver {
+                    rack: r.index() as u64,
+                    by: s.index() as u64,
+                    epoch,
+                });
+                sink.counter("region.takeovers", 1);
+                report.takeovers += 1;
+            }
+            adopted.entry(s).or_default().push(r);
+        }
+    }
     if racks.is_empty() {
         return report;
     }
@@ -636,6 +736,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     let rack_count = cluster.dcn.rack_count();
     let sim = cluster.sim.clone();
     let mut net = SimNet::new(cfg.faults.clone(), cfg.seed);
+    net.set_partitions(cfg.partitions.clone());
     // racks currently down, rebuilt incrementally from the schedule — the
     // per-tick membership test the beacon loops use
     let mut down: BTreeSet<RackId> = whole_round.clone();
@@ -651,7 +752,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     let mut shims: Vec<FabricShim> = racks
         .iter()
         .map(|&rack| {
-            let (pending, candidates) = select_victims(
+            let (mut pending, mut candidates) = select_victims(
                 &cluster.placement,
                 &cluster.dcn.inventory,
                 &sim,
@@ -659,6 +760,20 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                 alerts,
                 alert_values,
             );
+            // a takeover successor also serves the alerts of the racks
+            // it adopted, with victims selected the same way
+            for &ar in adopted.get(&rack).map(Vec::as_slice).unwrap_or_default() {
+                let (more, more_cand) = select_victims(
+                    &cluster.placement,
+                    &cluster.dcn.inventory,
+                    &sim,
+                    ar,
+                    alerts,
+                    alert_values,
+                );
+                pending.extend(more);
+                candidates += more_cand;
+            }
             emit(sink, || Event::VictimsSelected {
                 rack: rack.index() as u64,
                 candidates: candidates as u64,
@@ -687,6 +802,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                 progressed: false,
                 gave_up: false,
                 degraded: false,
+                part_degraded: false,
                 down: false,
                 resume_at: 0,
             }
@@ -742,16 +858,24 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                 });
                 report.recoveries += 1;
                 // journal replay: re-ACK committed transfers, abort
-                // orphaned prepares whose lease lapsed while down
-                let rep =
-                    endpoints[w.rack.index()].recover(&mut cluster.placement, &cluster.deps, t);
+                // orphaned prepares whose lease lapsed while down and
+                // prepares journalled under a since-superseded epoch —
+                // the restore path can never resurrect old-epoch intents
+                let rep = endpoints[w.rack.index()].recover_fenced(
+                    &mut cluster.placement,
+                    &cluster.deps,
+                    t,
+                    failover.epochs(),
+                );
                 sink.counter("journal.replayed", rep.replayed as u64);
                 sink.counter("journal.reacked", rep.reacks.len() as u64);
                 sink.counter("journal.forwarded", rep.forwarded as u64);
                 for req_id in rep.reacks {
-                    net.send(t, w.rack, req_id.source(), ShimMsg::Ack { req_id });
+                    let epoch = failover.view_of(w.rack);
+                    net.send(t, w.rack, req_id.source(), ShimMsg::Ack { req_id, epoch });
                 }
-                for (req, vm) in rep.lease_aborts {
+                for (req, vm) in rep.lease_aborts.iter().chain(rep.epoch_aborts.iter()) {
+                    let (req, vm) = (*req, *vm);
                     report.txn_aborted += 1;
                     emit(sink, || Event::TxnAborted {
                         req: req.0,
@@ -769,15 +893,58 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
             }
         }
 
+        // partition heals scheduled for this tick: reconcile parked
+        // work. A pending VM whose rack is managed by another shim was
+        // (or will be) handled by that manager — replanning it here
+        // would double-manage, so it is dropped and counted as a
+        // reconciliation conflict. Shims the cut starved into parking
+        // with work left are woken for a post-heal replan.
+        for (idx, p) in cfg.partitions.iter().enumerate() {
+            if p.heal_at != Some(t) {
+                continue;
+            }
+            emit(sink, || Event::PartitionHealed {
+                partition: idx as u64,
+                racks: p.members.len() as u64,
+            });
+            sink.counter("net.healed", 1);
+            for shim in &mut shims {
+                if !shim.st.pending.is_empty() {
+                    let before = shim.st.pending.len();
+                    let rack = shim.st.rack;
+                    shim.st
+                        .pending
+                        .retain(|&vm| failover.manager_of(cluster.placement.rack_of(vm)) == rack);
+                    report.reconciliations += before - shim.st.pending.len();
+                }
+                if shim.done && !shim.down && !shim.st.pending.is_empty() {
+                    shim.done = false;
+                    shim.gave_up = true;
+                    shim.rounds_left = shim.rounds_left.max(1);
+                }
+            }
+        }
+
         // liveness beacons: every live rack announces itself to every
-        // source shim at t = 0 and on each heartbeat period
+        // source shim at t = 0 and on each heartbeat period. The failure
+        // detector watches the *emission* (simulator ground truth): a
+        // partitioned-but-alive shim keeps emitting, so a cut never
+        // looks like a crash and takeover stays crash-only.
         if t == 0 {
             for &r in &all_racks {
                 if down.contains(&r) {
                     continue;
                 }
+                if failover.detector.observe_emission(r, failover.clock + t) == ShimHealth::Dead {
+                    // a shim the detector wrote off is beaconing again:
+                    // management reverts to it, while its stale epoch
+                    // view keeps its old 2PC traffic fenced until it
+                    // adopts the bump
+                    failover.reinstate(r);
+                }
+                let epoch = failover.view_of(r);
                 for &s in &racks {
-                    net.send(t, r, s, ShimMsg::Hello { rack: r });
+                    net.send(t, r, s, ShimMsg::Hello { rack: r, epoch });
                 }
             }
         } else if cfg.heartbeat_period > 0 && t.is_multiple_of(cfg.heartbeat_period) {
@@ -785,21 +952,99 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                 if down.contains(&r) {
                     continue;
                 }
-                for &s in &racks {
-                    net.send(t, r, s, ShimMsg::Heartbeat { rack: r, tick: t });
+                if failover.detector.observe_emission(r, failover.clock + t) == ShimHealth::Dead {
+                    failover.reinstate(r);
                 }
+                let epoch = failover.view_of(r);
+                for &s in &racks {
+                    net.send(
+                        t,
+                        r,
+                        s,
+                        ShimMsg::Heartbeat {
+                            rack: r,
+                            tick: t,
+                            epoch,
+                        },
+                    );
+                }
+            }
+        }
+
+        // adaptive failure detection: silence beyond the thresholds
+        // walks a shim Alive → Suspect → Dead. A Dead shim that still
+        // holds unplanned work mid-round hands it to the lowest-index
+        // live shim under a bumped epoch; its in-flight 2PC stays with
+        // the zombie/lease machinery, which already settles it safely.
+        for (rack, _old, new) in failover.detector.tick(failover.clock + t) {
+            match new {
+                ShimHealth::Suspect => {
+                    emit(sink, || Event::ShimSuspected {
+                        rack: rack.index() as u64,
+                    });
+                    sink.counter("detector.suspected", 1);
+                }
+                ShimHealth::Dead => {
+                    emit(sink, || Event::ShimDeclaredDead {
+                        rack: rack.index() as u64,
+                    });
+                    sink.counter("detector.declared_dead", 1);
+                    let Some(&i) = source_index.get(&rack) else {
+                        continue;
+                    };
+                    if !shims
+                        .get(i)
+                        .is_some_and(|s| s.down && !s.st.pending.is_empty())
+                    {
+                        continue;
+                    }
+                    let succ = shims
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, s)| j != i && !s.down)
+                        .map(|(j, s)| (s.st.rack, j))
+                        .min();
+                    let Some((succ_rack, j)) = succ else {
+                        continue;
+                    };
+                    let continued =
+                        failover.taken_over(rack) && failover.manager_of(rack) == succ_rack;
+                    let epoch = failover.take_over(rack, succ_rack);
+                    if !continued {
+                        emit(sink, || Event::RegionTakenOver {
+                            rack: rack.index() as u64,
+                            by: succ_rack.index() as u64,
+                            epoch,
+                        });
+                        sink.counter("region.takeovers", 1);
+                        report.takeovers += 1;
+                    }
+                    let moved = match shims.get_mut(i) {
+                        Some(s) => std::mem::take(&mut s.st.pending),
+                        None => Vec::new(),
+                    };
+                    if let Some(s) = shims.get_mut(j) {
+                        s.st.pending.extend(moved);
+                        s.done = false;
+                        s.gave_up = true;
+                        s.rounds_left = s.rounds_left.max(1);
+                    }
+                }
+                ShimHealth::Alive => {}
             }
         }
 
         // deliveries: endpoints answer requests, sources absorb replies
         for (from, to, msg) in net.poll(t) {
             match msg {
-                ShimMsg::Hello { rack } | ShimMsg::Heartbeat { rack, .. } => {
+                ShimMsg::Hello { rack, .. } | ShimMsg::Heartbeat { rack, .. } => {
                     if let Some(&i) = source_index.get(&to) {
                         shims[i].liveness.observe(rack, t);
                     }
                 }
-                ShimMsg::Request { req_id, vm, dest } => {
+                ShimMsg::Request {
+                    req_id, vm, dest, ..
+                } => {
                     let hits_before = endpoints[to.index()].dedup_hits();
                     let verdict = endpoints[to.index()].handle_request(
                         &mut cluster.placement,
@@ -811,14 +1056,45 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                     if endpoints[to.index()].dedup_hits() > hits_before {
                         emit(sink, || Event::DuplicateAbsorbed { req: req_id.0 });
                     }
-                    net.send(t, to, from, ShimEndpoint::reply_msg(req_id, verdict));
+                    let my_epoch = failover.view_of(to);
+                    net.send(
+                        t,
+                        to,
+                        from,
+                        ShimEndpoint::reply_msg(req_id, verdict, my_epoch),
+                    );
                 }
                 ShimMsg::Prepare {
                     req_id,
                     vm,
                     dest,
                     lease,
+                    epoch,
                 } => {
+                    // epoch fence: a PREPARE from a deposed manager's
+                    // term mutates nothing — the sender learns the
+                    // current epoch from the reject and must replan
+                    if let Some(current) = failover.fence(from, epoch) {
+                        report.fenced += 1;
+                        emit(sink, || Event::StaleEpochRejected {
+                            req: req_id.0,
+                            rack: to.index() as u64,
+                            stale: epoch,
+                            current,
+                        });
+                        sink.counter("txn.fenced", 1);
+                        net.send(
+                            t,
+                            to,
+                            from,
+                            ShimMsg::Reject {
+                                req_id,
+                                reason: RejectReason::StaleEpoch,
+                                epoch: current,
+                            },
+                        );
+                        continue;
+                    }
                     let ep = &mut endpoints[to.index()];
                     let hits_before = ep.dedup_hits();
                     let journalled_before = ep.journal().len();
@@ -829,6 +1105,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                         vm,
                         dest,
                         lease,
+                        epoch,
                     );
                     if ep.journal().len() > journalled_before {
                         report.txn_prepared += 1;
@@ -842,9 +1119,15 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                     if ep.dedup_hits() > hits_before {
                         emit(sink, || Event::DuplicateAbsorbed { req: req_id.0 });
                     }
-                    net.send(t, to, from, ShimEndpoint::reply_2pc_msg(req_id, reply));
+                    let my_epoch = failover.view_of(to);
+                    net.send(
+                        t,
+                        to,
+                        from,
+                        ShimEndpoint::reply_2pc_msg(req_id, reply, my_epoch),
+                    );
                 }
-                ShimMsg::PrepareOk { req_id } => {
+                ShimMsg::PrepareOk { req_id, .. } => {
                     if let Some(&i) = source_index.get(&to) {
                         let shim = &mut shims[i];
                         if let Some(o) = shim.outstanding.get_mut(&req_id) {
@@ -856,7 +1139,13 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                                 o.deadline = t + cfg.backoff.delay(0, req_id);
                                 shim.progressed = true;
                                 let dest_rack = cluster.placement.rack_of_host(o.dest);
-                                net.send(t, shim.st.rack, dest_rack, ShimMsg::Commit { req_id });
+                                let epoch = failover.view_of(shim.st.rack);
+                                net.send(
+                                    t,
+                                    shim.st.rack,
+                                    dest_rack,
+                                    ShimMsg::Commit { req_id, epoch },
+                                );
                             }
                             // duplicate vote for a committing txn: ignore
                         } else if let Some(mut o) = shim.zombies.remove(&req_id) {
@@ -871,14 +1160,41 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                             o.deadline = t + cfg.backoff.delay(0, req_id);
                             shim.outstanding.insert(req_id, o);
                             shim.progressed = true;
-                            net.send(t, shim.st.rack, dest_rack, ShimMsg::Commit { req_id });
+                            let epoch = failover.view_of(shim.st.rack);
+                            net.send(
+                                t,
+                                shim.st.rack,
+                                dest_rack,
+                                ShimMsg::Commit { req_id, epoch },
+                            );
                         }
                     }
                 }
-                ShimMsg::Commit { req_id } => {
+                ShimMsg::Commit { req_id, epoch } => {
+                    if let Some(current) = failover.fence(from, epoch) {
+                        report.fenced += 1;
+                        emit(sink, || Event::StaleEpochRejected {
+                            req: req_id.0,
+                            rack: to.index() as u64,
+                            stale: epoch,
+                            current,
+                        });
+                        sink.counter("txn.fenced", 1);
+                        net.send(
+                            t,
+                            to,
+                            from,
+                            ShimMsg::Reject {
+                                req_id,
+                                reason: RejectReason::StaleEpoch,
+                                epoch: current,
+                            },
+                        );
+                        continue;
+                    }
                     let ep = &mut endpoints[to.index()];
                     let was_prepared = ep.journal().state(req_id) == Some(TxnState::Prepared);
-                    let reply = ep.handle_commit(req_id);
+                    let reply = ep.handle_commit(req_id, epoch);
                     if was_prepared && reply == TwoPhaseReply::Ack {
                         report.txn_committed += 1;
                         if let Some(rec) = ep.journal().get(req_id) {
@@ -890,9 +1206,39 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                         }
                         sink.counter("txn.committed", 1);
                     }
-                    net.send(t, to, from, ShimEndpoint::reply_2pc_msg(req_id, reply));
+                    let my_epoch = failover.view_of(to);
+                    net.send(
+                        t,
+                        to,
+                        from,
+                        ShimEndpoint::reply_2pc_msg(req_id, reply, my_epoch),
+                    );
                 }
-                ShimMsg::Abort { req_id } => {
+                ShimMsg::Abort { req_id, epoch } => {
+                    // a stale-epoch ABORT is fenced like any other 2PC
+                    // mutation; the prepare it targeted drains via its
+                    // lease instead
+                    if let Some(current) = failover.fence(from, epoch) {
+                        report.fenced += 1;
+                        emit(sink, || Event::StaleEpochRejected {
+                            req: req_id.0,
+                            rack: to.index() as u64,
+                            stale: epoch,
+                            current,
+                        });
+                        sink.counter("txn.fenced", 1);
+                        net.send(
+                            t,
+                            to,
+                            from,
+                            ShimMsg::Reject {
+                                req_id,
+                                reason: RejectReason::StaleEpoch,
+                                epoch: current,
+                            },
+                        );
+                        continue;
+                    }
                     if let Some((vm, _)) = endpoints[to.index()].handle_abort(
                         &mut cluster.placement,
                         &cluster.deps,
@@ -907,7 +1253,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                     }
                     // fire-and-forget: the source already walked away
                 }
-                ShimMsg::Ack { req_id } => {
+                ShimMsg::Ack { req_id, .. } => {
                     if let Some(&i) = source_index.get(&to) {
                         let shim = &mut shims[i];
                         // a late ACK for a given-up request still means
@@ -945,8 +1291,19 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                         // duplicate ACK: already resolved, ignore
                     }
                 }
-                ShimMsg::Reject { req_id, reason } => {
+                ShimMsg::Reject {
+                    req_id,
+                    reason,
+                    epoch,
+                } => {
                     if let Some(&i) = source_index.get(&to) {
+                        if reason == RejectReason::StaleEpoch {
+                            // the fencing rack told us our term moved on
+                            // (a neighbor took over while we were away):
+                            // adopt it so the replan goes out under the
+                            // current epoch
+                            failover.adopt(to, epoch);
+                        }
                         let shim = &mut shims[i];
                         if let Some(o) = shim.outstanding.remove(&req_id) {
                             emit(sink, || Event::RejectReceived {
@@ -957,7 +1314,13 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                             sink.counter("migrations.rejected", 1);
                             shim.st.plan.rejected += 1;
                             shim.st.retries += 1;
-                            shim.st.excluded.push((o.vm, o.dest));
+                            if reason == RejectReason::StaleEpoch {
+                                // the pairing was fine — only the term
+                                // was stale; replan without excluding it
+                                shim.gave_up = true;
+                            } else {
+                                shim.st.excluded.push((o.vm, o.dest));
+                            }
                             shim.st.pending.push(o.vm);
                         } else if let Some(o) = shim.zombies.remove(&req_id) {
                             // late REJECT resolves the zombie: the VM
@@ -1015,6 +1378,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                             &mut net,
                             t,
                             cfg,
+                            failover,
                             &mut report,
                             sink,
                         );
@@ -1053,14 +1417,19 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                         attempt: o.attempt as u64 + 1,
                     });
                     sink.counter("net.resends", 1);
+                    let my_epoch = failover.view_of(shim.st.rack);
                     let msg = match o.phase {
                         TxnPhase::Preparing => ShimMsg::Prepare {
                             req_id,
                             vm: o.vm,
                             dest: o.dest,
                             lease: o.lease,
+                            epoch: my_epoch,
                         },
-                        TxnPhase::Committing => ShimMsg::Commit { req_id },
+                        TxnPhase::Committing => ShimMsg::Commit {
+                            req_id,
+                            epoch: my_epoch,
+                        },
                     };
                     let dest_rack = cluster.placement.rack_of_host(o.dest);
                     net.send(t, shim.st.rack, dest_rack, msg);
@@ -1098,7 +1467,13 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
             for id in expired {
                 let o = shim.zombies.remove(&id).expect("collected above");
                 let dest_rack = cluster.placement.rack_of_host(o.dest);
-                net.send(t, shim.st.rack, dest_rack, ShimMsg::Abort { req_id: id });
+                let epoch = failover.view_of(shim.st.rack);
+                net.send(
+                    t,
+                    shim.st.rack,
+                    dest_rack,
+                    ShimMsg::Abort { req_id: id, epoch },
+                );
                 shim.unresolved.push(o);
             }
 
@@ -1122,6 +1497,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
                         &mut net,
                         t,
                         cfg,
+                        failover,
                         &mut report,
                         sink,
                     );
@@ -1132,14 +1508,23 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
         }
 
         // the round ends when every source shim settled; a crashed shim
-        // only holds the round open while a recovery is still scheduled
+        // only holds the round open while a recovery is still scheduled,
+        // and a scheduled heal holds it open while any parked shim still
+        // has work the heal would wake it for
+        let heal_pending = cfg
+            .partitions
+            .iter()
+            .any(|p| p.start_at <= t && p.heal_at.is_some_and(|h| h > t));
         let all_settled = shims.iter().all(|s| {
             s.done
                 || (s.down
                     && !schedule
                         .iter()
                         .any(|w| w.rack == s.st.rack && w.recover_at.is_some_and(|r| r > t)))
-        });
+        }) && !(heal_pending
+            && shims
+                .iter()
+                .any(|s| s.done && !s.down && !s.st.pending.is_empty()));
         if all_settled {
             break;
         }
@@ -1161,6 +1546,23 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
             sink.counter("txn.aborted", 1);
         }
     }
+
+    // no VM may be managed by two shims at once: across takeovers,
+    // partitions, and heals the pending / in-flight / unknown-fate sets
+    // of different shims must stay disjoint (audited before settlement
+    // collapses them against ground truth)
+    let manager_audit = audit_managers(shims.iter().map(|s| {
+        (
+            s.st.rack,
+            s.st.pending
+                .iter()
+                .copied()
+                .chain(s.outstanding.values().map(|o| o.vm))
+                .chain(s.zombies.values().map(|o| o.vm))
+                .chain(s.unresolved.iter().map(|o| o.vm))
+                .collect::<Vec<_>>(),
+        )
+    }));
 
     // settle unknown fates against ground truth: the simulator (unlike
     // the shims) can see whether an unacknowledged request actually
@@ -1196,6 +1598,10 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     }
 
     report.ticks = t.min(cfg.max_ticks);
+    // the detector's clock spans rounds: silence keeps accruing across
+    // round boundaries, so a crashed shim is eventually declared Dead
+    // even when every individual round is short
+    failover.clock += report.ticks + 1;
     report.drops = net.stats.dropped;
     report.dedup_hits = endpoints.iter().map(|e| e.dedup_hits()).sum();
     sink.counter("net.sent", net.stats.sent as u64);
@@ -1204,6 +1610,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
     sink.counter("net.duplicated", net.stats.duplicated as u64);
     sink.counter("net.reordered", net.stats.reordered as u64);
     sink.counter("net.blackholed", net.stats.blackholed as u64);
+    sink.counter("net.partitioned", net.stats.partitioned as u64);
     sink.counter("net.dedup_hits", report.dedup_hits as u64);
     for shim in shims {
         let mut plan = shim.st.plan;
@@ -1218,6 +1625,7 @@ pub fn fabric_round_obs<S: EventSink + ?Sized>(
         }
     }
     report.audit = audit_placement(&cluster.placement, &cluster.deps);
+    report.audit.merge(manager_audit);
     report.audit.merge(audit_moves(
         &cluster.placement,
         report.plan.moves.iter().map(|m| (m.vm, m.to)),
@@ -1241,6 +1649,7 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
     net: &mut SimNet,
     now: u64,
     cfg: &FabricConfig,
+    failover: &RegionFailover,
     report: &mut DistributedReport,
     sink: &mut S,
 ) {
@@ -1254,7 +1663,25 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
         .copied()
         .filter(|&r| shim.liveness.alive(r, now))
         .collect();
-    if live_region.len() < shim.region.len() {
+    // an active partition cuts part of the region off *right now*: plan
+    // around it immediately (degraded local handling, own rack always
+    // kept) instead of waiting for the liveness deadline to notice
+    let reachable: Vec<RackId> = live_region
+        .iter()
+        .copied()
+        .filter(|&r| !net.cut(now, shim.st.rack, r))
+        .collect();
+    // degraded-mode accounting keys off the ground-truth cut over the
+    // whole region: liveness may have aged the far side out already (its
+    // beacons stopped arriving the moment the cut opened), but the shim
+    // is still planning around a partition, not a crash
+    let cut_off = shim.region.iter().any(|&r| net.cut(now, shim.st.rack, r));
+    if cut_off && !shim.part_degraded {
+        shim.part_degraded = true;
+        report.partition_degraded += 1;
+        sink.counter("region.partition_degraded", 1);
+    }
+    if reachable.len() < shim.region.len() {
         if !shim.degraded {
             emit(sink, || Event::ShimDegraded {
                 rack: shim.st.rack.index() as u64,
@@ -1262,7 +1689,7 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
         }
         shim.degraded = true;
     }
-    shim.st.slots = region_slots(&cluster.dcn.inventory, &live_region, shim.st.rack);
+    shim.st.slots = region_slots(&cluster.dcn.inventory, &reachable, shim.st.rack);
 
     let pending = std::mem::take(&mut shim.st.pending);
     let (proposals, unassigned, space) = plan_proposals(
@@ -1317,10 +1744,10 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
                 vm: p.vm,
                 dest: p.dest,
                 lease,
+                epoch: failover.view_of(shim.st.rack),
             },
         );
     }
-    let _ = report; // counters for planning itself live on the shim state
 }
 
 #[cfg(test)]
@@ -1659,5 +2086,202 @@ mod tests {
         assert!(report.audit.is_clean(), "{}", report.audit);
         assert_capacity_ok(&c);
         assert_deps_ok(&c);
+    }
+
+    #[test]
+    fn sustained_crash_takeover_then_zombie_is_fenced() {
+        let mut c = cluster(33);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let victim = alerts[0].rack;
+        let mut failover = RegionFailover::default();
+        let crash_cfg = FabricConfig {
+            crashed: vec![CrashWindow::whole_round(victim)],
+            ..FabricConfig::default()
+        };
+        // the victim stays dark across rounds: the detector walks it to
+        // Dead and exactly one takeover (epoch bump) follows, however
+        // many further rounds it stays dead
+        let mut takeovers = 0;
+        for _ in 0..6 {
+            let vals = alert_values(&c);
+            let r = fabric_round_failover_obs(
+                &mut c,
+                &metric,
+                &alerts,
+                &vals,
+                &crash_cfg,
+                &mut failover,
+                &mut NullSink,
+            );
+            assert!(r.audit.is_clean(), "{}", r.audit);
+            takeovers += r.takeovers;
+        }
+        assert_eq!(takeovers, 1, "one manager change, one epoch bump");
+        assert_eq!(failover.epoch_of(victim), 1);
+        assert!(failover.taken_over(victim));
+        assert_eq!(
+            failover.view_of(victim),
+            0,
+            "the deposed shim never heard the bump"
+        );
+
+        // the shim returns: its first PREPARE burst still carries epoch
+        // 0, gets fenced, and the reject teaches it the current epoch
+        let cfg = FabricConfig::default();
+        let vals = alert_values(&c);
+        let r = fabric_round_failover_obs(
+            &mut c,
+            &metric,
+            &alerts,
+            &vals,
+            &cfg,
+            &mut failover,
+            &mut NullSink,
+        );
+        assert!(r.fenced > 0, "zombie PREPAREs must be fenced");
+        assert_eq!(failover.view_of(victim), 1, "reject taught the epoch");
+        assert!(
+            !failover.taken_over(victim),
+            "beaconing again reinstates management"
+        );
+        assert!(r.audit.is_clean(), "{}", r.audit);
+        assert_capacity_ok(&c);
+        assert_deps_ok(&c);
+    }
+
+    #[test]
+    fn crash_recover_with_concurrent_takeover_never_double_manages() {
+        let mut c = cluster(36);
+        let initial = c.placement.clone();
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let victim = alerts[0].rack;
+        // an aggressive detector (dead after ~6 ticks of silence)
+        // declares the crashed shim Dead mid-round; its unplanned work
+        // moves to a successor under a bumped epoch, and the shim then
+        // recovers into the takeover — the regression this guards is two
+        // shims both claiming the victim's VMs
+        let mut failover = RegionFailover::new(2, 4);
+        let cfg = FabricConfig {
+            crashed: vec![CrashWindow::during(victim, 1, 20)],
+            ..FabricConfig::default()
+        };
+        let report = fabric_round_failover_obs(
+            &mut c,
+            &metric,
+            &alerts,
+            &vals,
+            &cfg,
+            &mut failover,
+            &mut NullSink,
+        );
+        assert!(report.ticks < cfg.max_ticks, "round wedged");
+        assert_eq!(report.takeovers, 1, "mid-round takeover must fire");
+        assert_eq!(failover.epoch_of(victim), 1);
+        assert_eq!(report.recoveries, 1);
+        // the manager audit (merged into report.audit) proves no VM was
+        // pending/outstanding at two shims at once
+        assert!(report.audit.is_clean(), "{}", report.audit);
+        assert_capacity_ok(&c);
+        assert_deps_ok(&c);
+        // exactly-once despite crash + takeover: replaying the recorded
+        // moves from the initial placement reproduces the final one
+        let mut loc: std::collections::HashMap<VmId, HostId> = c
+            .placement
+            .vm_ids()
+            .map(|vm| (vm, initial.host_of(vm)))
+            .collect();
+        for m in &report.plan.moves {
+            assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
+            loc.insert(m.vm, m.to);
+        }
+        for vm in c.placement.vm_ids() {
+            assert_eq!(loc[&vm], c.placement.host_of(vm));
+        }
+    }
+
+    #[test]
+    fn partition_degrades_minority_without_takeover_or_fencing() {
+        let mut c = cluster(34);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let isolated = alerts[0].rack;
+        let cfg = FabricConfig {
+            partitions: vec![PartitionWindow::new(vec![isolated], 0, Some(24))],
+            ..FabricConfig::default()
+        };
+        let mut failover = RegionFailover::default();
+        let report = fabric_round_failover_obs(
+            &mut c,
+            &metric,
+            &alerts,
+            &vals,
+            &cfg,
+            &mut failover,
+            &mut NullSink,
+        );
+        assert!(
+            report.partition_degraded > 0,
+            "the cut shim must notice its shrunken region"
+        );
+        // emission-based detection: a partitioned-but-alive shim keeps
+        // beaconing, so the cut never looks like a crash
+        assert_eq!(report.takeovers, 0, "a partition is not a crash");
+        assert_eq!(report.fenced, 0, "no epoch bumped, nothing to fence");
+        assert_eq!(report.crashed_shims, 0);
+        for r in 0..c.dcn.rack_count() {
+            assert_eq!(failover.epoch_of(RackId::from_index(r)), 0);
+        }
+        assert!(report.audit.is_clean(), "{}", report.audit);
+        assert_capacity_ok(&c);
+        assert_deps_ok(&c);
+    }
+
+    #[test]
+    fn partitioned_lossy_fabric_is_deterministic() {
+        let run = || {
+            let mut c = cluster(35);
+            let metric = RackMetric::build(&c.dcn, &c.sim);
+            let alerts = c.fraction_alerts(0.10, 0);
+            let vals = alert_values(&c);
+            let cfg = FabricConfig {
+                faults: ChannelFaults::lossy(0.05),
+                seed: 41,
+                partitions: vec![PartitionWindow::new(vec![alerts[0].rack], 2, Some(20))],
+                ..FabricConfig::default()
+            };
+            let mut failover = RegionFailover::default();
+            let report = fabric_round_failover_obs(
+                &mut c,
+                &metric,
+                &alerts,
+                &vals,
+                &cfg,
+                &mut failover,
+                &mut NullSink,
+            );
+            let placement: Vec<HostId> = c
+                .placement
+                .vm_ids()
+                .map(|vm| c.placement.host_of(vm))
+                .collect();
+            (report, placement)
+        };
+        let (r1, p1) = run();
+        let (r2, p2) = run();
+        assert_eq!(p1, p2, "same seed, same placement");
+        assert!(!p1.is_empty());
+        assert_eq!(r1.plan.moves.len(), r2.plan.moves.len());
+        for (a, b) in r1.plan.moves.iter().zip(&r2.plan.moves) {
+            assert_eq!((a.vm, a.from, a.to), (b.vm, b.from, b.to));
+        }
+        assert_eq!(
+            (r1.drops, r1.resends, r1.ticks, r1.partition_degraded),
+            (r2.drops, r2.resends, r2.ticks, r2.partition_degraded)
+        );
+        assert_eq!(r1.reconciliations, r2.reconciliations);
     }
 }

@@ -36,6 +36,10 @@ pub struct TxnRecord {
     pub dst: HostId,
     /// Virtual time past which an un-committed prepare is orphaned.
     pub lease: u64,
+    /// Source rack's epoch the PREPARE was journalled under; a COMMIT
+    /// carrying an older epoch is fenced, and re-integration aborts
+    /// prepares whose source rack's epoch has since advanced.
+    pub epoch: u64,
     /// Where the transaction is in its lifecycle.
     pub state: TxnState,
 }
@@ -63,7 +67,10 @@ pub struct RecoveryReport {
     pub reacks: Vec<ReqId>,
     /// Prepares aborted because their lease lapsed while down.
     pub lease_aborts: Vec<(ReqId, VmId)>,
-    /// Lease-aborts that had to commit forward instead of rolling back.
+    /// Prepares aborted because their source rack's epoch advanced while
+    /// the shim was down (the source was taken over).
+    pub epoch_aborts: Vec<(ReqId, VmId)>,
+    /// Aborts that had to commit forward instead of rolling back.
     pub forwarded: usize,
 }
 
@@ -81,8 +88,17 @@ impl IntentJournal {
     }
 
     /// Record the intent of an accepted PREPARE. The placement mutation
-    /// has already happened; this makes it survivable.
-    pub fn prepare(&mut self, id: ReqId, vm: VmId, src: HostId, dst: HostId, lease: u64) {
+    /// has already happened; this makes it survivable. `epoch` is the
+    /// source rack's epoch the PREPARE was sent under.
+    pub fn prepare(
+        &mut self,
+        id: ReqId,
+        vm: VmId,
+        src: HostId,
+        dst: HostId,
+        lease: u64,
+        epoch: u64,
+    ) {
         self.entries.insert(
             id,
             TxnRecord {
@@ -90,6 +106,7 @@ impl IntentJournal {
                 src,
                 dst,
                 lease,
+                epoch,
                 state: TxnState::Prepared,
             },
         );
@@ -182,6 +199,24 @@ impl IntentJournal {
         deps: &DependencyGraph,
         now: u64,
     ) -> RecoveryReport {
+        self.recover_with_epochs(placement, deps, now, &BTreeMap::new())
+    }
+
+    /// Epoch-aware [`IntentJournal::recover`]: in addition to the lease
+    /// sweep, every prepare journalled under an epoch older than its
+    /// source rack's current epoch (per `epochs`; racks absent from the
+    /// map are at epoch 0) is aborted even while its lease is live — the
+    /// source shim was taken over, so the COMMIT it owed will never
+    /// legitimately arrive. Rollback when possible, commit-forward when
+    /// not: the re-integration choice is made per entry, never losing or
+    /// duplicating a VM.
+    pub fn recover_with_epochs(
+        &mut self,
+        placement: &mut Placement,
+        deps: &DependencyGraph,
+        now: u64,
+        epochs: &BTreeMap<dcn_topology::RackId, u64>,
+    ) -> RecoveryReport {
         let mut report = RecoveryReport {
             replayed: self.entries.len(),
             ..RecoveryReport::default()
@@ -193,6 +228,19 @@ impl IntentJournal {
             .filter(|(_, e)| e.state == TxnState::Committed)
             .map(|(&id, _)| id)
             .collect();
+        let stale: Vec<(ReqId, VmId)> = self
+            .entries
+            .iter()
+            .filter(|(id, e)| {
+                e.state == TxnState::Prepared
+                    && e.epoch < epochs.get(&id.source()).copied().unwrap_or(0)
+            })
+            .map(|(&id, e)| (id, e.vm))
+            .collect();
+        for &(id, _) in &stale {
+            self.abort(placement, deps, id);
+        }
+        report.epoch_aborts = stale;
         report.lease_aborts = self.expire_leases(placement, deps, now);
         report.forwarded = self.forwarded - forwarded_before;
         report
@@ -269,7 +317,7 @@ mod tests {
     #[test]
     fn prepare_commit_lifecycle() {
         let mut j = IntentJournal::new();
-        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 10);
+        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 10, 0);
         assert_eq!(j.state(id(0)), Some(TxnState::Prepared));
         assert_eq!(j.pending(), 1);
         assert!(j.commit(id(0)));
@@ -284,7 +332,7 @@ mod tests {
         let (mut p, deps) = small();
         p.migrate(VmId(0), HostId(1)).unwrap(); // the PREPARE's mutation
         let mut j = IntentJournal::new();
-        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 10);
+        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 10, 0);
         assert_eq!(j.abort(&mut p, &deps, id(0)), AbortOutcome::RolledBack);
         assert_eq!(p.host_of(VmId(0)), HostId(0));
         assert_eq!(j.state(id(0)), Some(TxnState::Aborted));
@@ -297,7 +345,7 @@ mod tests {
         p.migrate(VmId(0), HostId(1)).unwrap();
         p.set_host_online(HostId(0), false); // rollback target dies
         let mut j = IntentJournal::new();
-        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 10);
+        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 10, 0);
         assert_eq!(j.abort(&mut p, &deps, id(0)), AbortOutcome::Forwarded);
         assert_eq!(p.host_of(VmId(0)), HostId(1), "VM stays put, never lost");
         assert_eq!(j.state(id(0)), Some(TxnState::Committed));
@@ -310,11 +358,11 @@ mod tests {
         p.migrate(VmId(0), HostId(1)).unwrap();
         let mut j = IntentJournal::new();
         // committed transfer whose ACK may have been lost
-        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 5);
+        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 5, 0);
         j.commit(id(0));
         // orphaned prepare: lease 8 lapsed while the shim was down
         p.migrate(VmId(0), HostId(2)).unwrap();
-        j.prepare(id(1), VmId(0), HostId(1), HostId(2), 8);
+        j.prepare(id(1), VmId(0), HostId(1), HostId(2), 8, 0);
         let rep = j.recover(&mut p, &deps, 20);
         assert_eq!(rep.replayed, 2);
         assert_eq!(rep.reacks, vec![id(0)]);
@@ -325,11 +373,32 @@ mod tests {
     }
 
     #[test]
+    fn reintegration_aborts_prepares_from_a_superseded_epoch() {
+        let (mut p, deps) = small();
+        p.migrate(VmId(0), HostId(1)).unwrap();
+        let mut j = IntentJournal::new();
+        // prepared under epoch 0, lease far in the future
+        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 100, 0);
+        // rack 0 was taken over: its epoch is now 1
+        let epochs = BTreeMap::from([(RackId(0), 1u64)]);
+        let rep = j.recover_with_epochs(&mut p, &deps, 10, &epochs);
+        assert_eq!(rep.epoch_aborts, vec![(id(0), VmId(0))]);
+        assert_eq!(p.host_of(VmId(0)), HostId(0), "stale prepare rolled back");
+        assert_eq!(j.state(id(0)), Some(TxnState::Aborted));
+        // same-epoch prepares are untouched
+        p.migrate(VmId(0), HostId(1)).unwrap();
+        j.prepare(id(1), VmId(0), HostId(0), HostId(1), 100, 1);
+        let rep = j.recover_with_epochs(&mut p, &deps, 10, &epochs);
+        assert!(rep.epoch_aborts.is_empty());
+        assert_eq!(j.state(id(1)), Some(TxnState::Prepared));
+    }
+
+    #[test]
     fn in_lease_prepare_survives_recovery() {
         let (mut p, deps) = small();
         p.migrate(VmId(0), HostId(1)).unwrap();
         let mut j = IntentJournal::new();
-        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 100);
+        j.prepare(id(0), VmId(0), HostId(0), HostId(1), 100, 0);
         let rep = j.recover(&mut p, &deps, 20);
         assert!(rep.lease_aborts.is_empty());
         assert_eq!(j.state(id(0)), Some(TxnState::Prepared));

@@ -28,6 +28,7 @@ pub mod centralized;
 pub mod channel;
 pub mod distributed;
 pub mod evacuation;
+pub mod failure;
 pub mod journal;
 pub mod kmedian;
 pub mod matching;
@@ -44,7 +45,9 @@ pub mod system;
 pub mod vmmigration;
 
 pub use alert_mgmt::{pre_alert_management, pre_alert_management_obs, ShimOutcome};
-pub use audit::{audit_journals, audit_moves, audit_placement, AuditReport, AuditViolation};
+pub use audit::{
+    audit_journals, audit_managers, audit_moves, audit_placement, AuditReport, AuditViolation,
+};
 pub use builder::SystemBuilder;
 #[allow(deprecated)]
 #[cfg(feature = "legacy")]
@@ -53,12 +56,16 @@ pub use centralized::{
     centralized_migration_chunked, centralized_migration_chunked_obs, centralized_migration_obs,
     destination_tors, destination_tors_obs, kmedian_migration, kmedian_migration_obs,
 };
-pub use channel::{CrashWindow, NetStats, SimNet};
+pub use channel::{CrashWindow, NetStats, PartitionWindow, SimNet};
 #[allow(deprecated)]
 #[cfg(feature = "legacy")]
 pub use distributed::{distributed_round, fabric_round};
-pub use distributed::{distributed_round_obs, fabric_round_obs, DistributedReport, FabricConfig};
+pub use distributed::{
+    distributed_round_obs, fabric_round_failover_obs, fabric_round_obs, DistributedReport,
+    FabricConfig,
+};
 pub use evacuation::{drain_rack, evacuate_host, try_drain_rack, try_evacuate_host};
+pub use failure::{FailureDetector, RegionFailover, ShimHealth};
 pub use journal::{AbortOutcome, IntentJournal, RecoveryReport, TxnRecord, TxnState};
 pub use kmedian::{
     exact_optimal, local_search, local_search_from, local_search_from_obs, KMedianInstance,

@@ -53,6 +53,10 @@ pub enum RejectReason {
     /// The transaction was aborted (lease lapsed or ABORT arrived) before
     /// this message; the source must replan from scratch.
     Expired,
+    /// The message carried an epoch older than the rack's current epoch:
+    /// the sender missed a takeover and is fenced. The `Reject` carrying
+    /// this reason reports the current epoch so the sender can adopt it.
+    StaleEpoch,
 }
 
 /// A destination's verdict on one REQUEST — what the dedup log replays.
@@ -83,12 +87,20 @@ impl From<RequestOutcome> for Verdict {
 }
 
 /// One message on the shim control plane.
+///
+/// Every variant carries the sender's view of its own rack's epoch so a
+/// receiver can fence messages minted before a takeover; `Reject` with
+/// [`RejectReason::StaleEpoch`] instead carries the *receiver's* current
+/// epoch so the fenced sender can adopt it. Pre-failover traffic carries
+/// epoch 0 everywhere, which compares equal and changes nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ShimMsg {
     /// A shim announcing itself when a round starts.
     Hello {
         /// The announcing shim's rack.
         rack: RackId,
+        /// The announcing shim's view of its own rack's epoch.
+        epoch: u64,
     },
     /// Periodic liveness beacon.
     Heartbeat {
@@ -96,6 +108,8 @@ pub enum ShimMsg {
         rack: RackId,
         /// Virtual time at which it was sent.
         tick: u64,
+        /// The beating shim's view of its own rack's epoch.
+        epoch: u64,
     },
     /// Ask the destination's delegation node to accept a migration
     /// (Alg. 4). Retransmissions reuse the same `req_id`.
@@ -106,11 +120,15 @@ pub enum ShimMsg {
         vm: VmId,
         /// The host it should land on.
         dest: HostId,
+        /// The sender's view of its own rack's epoch.
+        epoch: u64,
     },
     /// The destination committed the migration.
     Ack {
         /// Id of the accepted request.
         req_id: ReqId,
+        /// The sender's view of its own rack's epoch.
+        epoch: u64,
     },
     /// The destination refused the migration; the source must replan.
     Reject {
@@ -118,6 +136,9 @@ pub enum ShimMsg {
         req_id: ReqId,
         /// Why it was refused.
         reason: RejectReason,
+        /// The sender's epoch — for `StaleEpoch` this is the fencing
+        /// rack's *current* epoch, which the fenced sender must adopt.
+        epoch: u64,
     },
     /// Phase 1 of a crash-consistent migration: ask the destination to
     /// reserve the move and journal the intent. Supersedes `Request` for
@@ -131,22 +152,47 @@ pub enum ShimMsg {
         dest: HostId,
         /// Virtual time after which an orphaned prepare self-aborts.
         lease: u64,
+        /// The sender's view of its own rack's epoch.
+        epoch: u64,
     },
     /// The destination journalled the intent and voted yes.
     PrepareOk {
         /// Id of the prepared transaction.
         req_id: ReqId,
+        /// The sender's view of its own rack's epoch.
+        epoch: u64,
     },
     /// Phase 2: finalize a prepared transaction. Answered with `Ack`.
     Commit {
         /// Id of the transaction to finish.
         req_id: ReqId,
+        /// The sender's view of its own rack's epoch.
+        epoch: u64,
     },
     /// The source walked away; undo the prepared transaction.
     Abort {
         /// Id of the transaction to undo.
         req_id: ReqId,
+        /// The sender's view of its own rack's epoch.
+        epoch: u64,
     },
+}
+
+impl ShimMsg {
+    /// The epoch the message carries, whatever the variant.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            ShimMsg::Hello { epoch, .. }
+            | ShimMsg::Heartbeat { epoch, .. }
+            | ShimMsg::Request { epoch, .. }
+            | ShimMsg::Ack { epoch, .. }
+            | ShimMsg::Reject { epoch, .. }
+            | ShimMsg::Prepare { epoch, .. }
+            | ShimMsg::PrepareOk { epoch, .. }
+            | ShimMsg::Commit { epoch, .. }
+            | ShimMsg::Abort { epoch, .. } => *epoch,
+        }
+    }
 }
 
 /// The destination's answer to one delivered 2PC message.
@@ -295,10 +341,11 @@ impl ShimEndpoint {
     }
 
     /// Decide one delivered PREPARE copy. A fresh prepare runs Alg. 4,
-    /// reserves the move in the placement and journals the intent before
-    /// voting yes; duplicates replay the journalled decision, and
-    /// prepares for an already aborted transaction are refused with
-    /// `Expired` (presumed abort).
+    /// reserves the move in the placement and journals the intent (with
+    /// the sender's epoch) before voting yes; duplicates replay the
+    /// journalled decision, and prepares for an already aborted
+    /// transaction are refused with `Expired` (presumed abort).
+    #[allow(clippy::too_many_arguments)] // the 2PC wire fields + epoch fence
     pub fn handle_prepare(
         &mut self,
         placement: &mut Placement,
@@ -307,6 +354,7 @@ impl ShimEndpoint {
         vm: VmId,
         dest: HostId,
         lease: u64,
+        epoch: u64,
     ) -> TwoPhaseReply {
         match self.journal.state(req_id) {
             Some(TxnState::Prepared) => {
@@ -329,7 +377,7 @@ impl ShimEndpoint {
         let src = placement.host_of(vm);
         match Verdict::from(request_migration(placement, deps, vm, dest)) {
             Verdict::Ack => {
-                self.journal.prepare(req_id, vm, src, dest, lease);
+                self.journal.prepare(req_id, vm, src, dest, lease, epoch);
                 TwoPhaseReply::PrepareOk
             }
             Verdict::Reject(reason) => {
@@ -341,10 +389,16 @@ impl ShimEndpoint {
 
     /// Decide one delivered COMMIT copy: finalize a prepared transaction
     /// (idempotently re-ACK a committed one); a commit for an aborted or
-    /// unknown transaction is refused with `Expired`.
-    pub fn handle_commit(&mut self, req_id: ReqId) -> TwoPhaseReply {
+    /// unknown transaction is refused with `Expired`, and a commit
+    /// carrying an epoch *older* than the one its own prepare was
+    /// journalled under is refused with `StaleEpoch` — the journal-level
+    /// backstop behind the loop-level fence.
+    pub fn handle_commit(&mut self, req_id: ReqId, epoch: u64) -> TwoPhaseReply {
         match self.journal.state(req_id) {
             Some(TxnState::Prepared) => {
+                if self.journal.get(req_id).is_some_and(|r| epoch < r.epoch) {
+                    return TwoPhaseReply::Reject(RejectReason::StaleEpoch);
+                }
                 self.journal.commit(req_id);
                 TwoPhaseReply::Ack
             }
@@ -406,25 +460,51 @@ impl ShimEndpoint {
         self.journal.recover(placement, deps, now)
     }
 
+    /// Epoch-aware crash recovery: like [`ShimEndpoint::recover`], but
+    /// prepares journalled under an epoch older than their source rack's
+    /// current epoch are aborted even when their lease is still live —
+    /// the source was taken over, so its COMMIT will never legitimately
+    /// arrive. Rollback when possible, commit-forward otherwise.
+    pub fn recover_fenced(
+        &mut self,
+        placement: &mut Placement,
+        deps: &DependencyGraph,
+        now: u64,
+        epochs: &std::collections::BTreeMap<RackId, u64>,
+    ) -> RecoveryReport {
+        self.journal
+            .recover_with_epochs(placement, deps, now, epochs)
+    }
+
     /// Read access to the intent journal (the auditor's input).
     pub fn journal(&self) -> &IntentJournal {
         &self.journal
     }
 
-    /// Build the reply message for a verdict.
-    pub fn reply_msg(req_id: ReqId, verdict: Verdict) -> ShimMsg {
+    /// Build the reply message for a verdict, stamped with the replying
+    /// shim's epoch.
+    pub fn reply_msg(req_id: ReqId, verdict: Verdict, epoch: u64) -> ShimMsg {
         match verdict {
-            Verdict::Ack => ShimMsg::Ack { req_id },
-            Verdict::Reject(reason) => ShimMsg::Reject { req_id, reason },
+            Verdict::Ack => ShimMsg::Ack { req_id, epoch },
+            Verdict::Reject(reason) => ShimMsg::Reject {
+                req_id,
+                reason,
+                epoch,
+            },
         }
     }
 
-    /// Build the reply message for a 2PC reply.
-    pub fn reply_2pc_msg(req_id: ReqId, reply: TwoPhaseReply) -> ShimMsg {
+    /// Build the reply message for a 2PC reply, stamped with the replying
+    /// shim's epoch.
+    pub fn reply_2pc_msg(req_id: ReqId, reply: TwoPhaseReply, epoch: u64) -> ShimMsg {
         match reply {
-            TwoPhaseReply::PrepareOk => ShimMsg::PrepareOk { req_id },
-            TwoPhaseReply::Ack => ShimMsg::Ack { req_id },
-            TwoPhaseReply::Reject(reason) => ShimMsg::Reject { req_id, reason },
+            TwoPhaseReply::PrepareOk => ShimMsg::PrepareOk { req_id, epoch },
+            TwoPhaseReply::Ack => ShimMsg::Ack { req_id, epoch },
+            TwoPhaseReply::Reject(reason) => ShimMsg::Reject {
+                req_id,
+                reason,
+                epoch,
+            },
         }
     }
 
@@ -558,22 +638,22 @@ mod tests {
         let (mut p, deps) = small();
         let mut ep = ShimEndpoint::new(RackId(0));
         let id = ReqId::new(RackId(0), 0);
-        let v = ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50);
+        let v = ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50, 0);
         assert_eq!(v, TwoPhaseReply::PrepareOk);
         assert_eq!(p.host_of(VmId(0)), HostId(1), "prepare reserves the move");
         // duplicate prepare replays the vote without re-running Alg. 4
         assert_eq!(
-            ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50),
+            ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50, 0),
             TwoPhaseReply::PrepareOk
         );
         assert_eq!(ep.dedup_hits(), 1);
-        assert_eq!(ep.handle_commit(id), TwoPhaseReply::Ack);
+        assert_eq!(ep.handle_commit(id, 0), TwoPhaseReply::Ack);
         // duplicate commit re-ACKs idempotently
-        assert_eq!(ep.handle_commit(id), TwoPhaseReply::Ack);
+        assert_eq!(ep.handle_commit(id, 0), TwoPhaseReply::Ack);
         assert_eq!(ep.journal().committed(), 1);
         // a prepare retransmitted after the commit still answers Ack
         assert_eq!(
-            ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50),
+            ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50, 0),
             TwoPhaseReply::Ack
         );
     }
@@ -583,7 +663,7 @@ mod tests {
         let (mut p, deps) = small();
         let mut ep = ShimEndpoint::new(RackId(0));
         let id = ReqId::new(RackId(0), 0);
-        ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50);
+        ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50, 0);
         let (vm, outcome) = ep.handle_abort(&mut p, &deps, id).unwrap();
         assert_eq!(
             (vm, outcome),
@@ -592,7 +672,7 @@ mod tests {
         assert_eq!(p.host_of(VmId(0)), HostId(0));
         // a late commit for the aborted txn is refused
         assert_eq!(
-            ep.handle_commit(id),
+            ep.handle_commit(id, 0),
             TwoPhaseReply::Reject(RejectReason::Expired)
         );
         // an abort for an id never prepared leaves a tombstone ...
@@ -600,7 +680,7 @@ mod tests {
         assert!(ep.handle_abort(&mut p, &deps, stale).is_none());
         // ... that refuses the late-arriving prepare
         assert_eq!(
-            ep.handle_prepare(&mut p, &deps, stale, VmId(0), HostId(1), 50),
+            ep.handle_prepare(&mut p, &deps, stale, VmId(0), HostId(1), 50, 0),
             TwoPhaseReply::Reject(RejectReason::Expired)
         );
     }
@@ -610,14 +690,88 @@ mod tests {
         let (mut p, deps) = small();
         let mut ep = ShimEndpoint::new(RackId(0));
         let id = ReqId::new(RackId(0), 0);
-        ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 10);
+        ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 10, 0);
         assert!(ep.expire_leases(&mut p, &deps, 9).is_empty(), "in lease");
         assert_eq!(ep.expire_leases(&mut p, &deps, 10), vec![(id, VmId(0))]);
         assert_eq!(p.host_of(VmId(0)), HostId(0), "rolled back");
         assert_eq!(
-            ep.handle_commit(id),
+            ep.handle_commit(id, 0),
             TwoPhaseReply::Reject(RejectReason::Expired)
         );
+    }
+
+    #[test]
+    fn stale_epoch_commit_is_fenced_at_the_journal() {
+        let (mut p, deps) = small();
+        let mut ep = ShimEndpoint::new(RackId(0));
+        let id = ReqId::new(RackId(0), 0);
+        // prepared under epoch 2 (post-takeover sender)
+        assert_eq!(
+            ep.handle_prepare(&mut p, &deps, id, VmId(0), HostId(1), 50, 2),
+            TwoPhaseReply::PrepareOk
+        );
+        // a zombie's commit from epoch 1 is fenced, placement untouched
+        assert_eq!(
+            ep.handle_commit(id, 1),
+            TwoPhaseReply::Reject(RejectReason::StaleEpoch)
+        );
+        assert_eq!(p.host_of(VmId(0)), HostId(1), "reservation still held");
+        // the legitimate commit (same or newer epoch) still lands
+        assert_eq!(ep.handle_commit(id, 2), TwoPhaseReply::Ack);
+        assert_eq!(ep.journal().committed(), 1);
+    }
+
+    #[test]
+    fn shim_msg_epoch_accessor_covers_every_variant() {
+        let id = ReqId::new(RackId(0), 0);
+        let msgs = [
+            ShimMsg::Hello {
+                rack: RackId(0),
+                epoch: 3,
+            },
+            ShimMsg::Heartbeat {
+                rack: RackId(0),
+                tick: 5,
+                epoch: 3,
+            },
+            ShimMsg::Request {
+                req_id: id,
+                vm: VmId(0),
+                dest: HostId(0),
+                epoch: 3,
+            },
+            ShimMsg::Ack {
+                req_id: id,
+                epoch: 3,
+            },
+            ShimMsg::Reject {
+                req_id: id,
+                reason: RejectReason::StaleEpoch,
+                epoch: 3,
+            },
+            ShimMsg::Prepare {
+                req_id: id,
+                vm: VmId(0),
+                dest: HostId(0),
+                lease: 9,
+                epoch: 3,
+            },
+            ShimMsg::PrepareOk {
+                req_id: id,
+                epoch: 3,
+            },
+            ShimMsg::Commit {
+                req_id: id,
+                epoch: 3,
+            },
+            ShimMsg::Abort {
+                req_id: id,
+                epoch: 3,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.epoch(), 3, "{m:?}");
+        }
     }
 
     #[test]

@@ -17,8 +17,10 @@
 use crate::audit::{audit_moves, audit_placement, AuditReport};
 use crate::centralized::centralized_migration_obs;
 use crate::distributed::{
-    distributed_round_obs, fabric_round_obs, select_victims, DistributedReport, FabricConfig,
+    distributed_round_obs, fabric_round_failover_obs, select_victims, DistributedReport,
+    FabricConfig,
 };
+use crate::failure::RegionFailover;
 use crate::sharded::{sharded_round_obs, ShardedReport};
 use crate::vmmigration::{MigrationContext, MigrationPlan};
 use dcn_sim::engine::Cluster;
@@ -79,6 +81,16 @@ pub struct RoundOutcome {
     pub txn_aborted: usize,
     /// Shims that crashed mid-round and came back (fabric only).
     pub recoveries: usize,
+    /// Regional takeovers of Dead shims' racks, each bumping an epoch
+    /// (fabric only).
+    pub takeovers: usize,
+    /// 2PC messages fenced for carrying a superseded epoch (fabric only).
+    pub fenced: usize,
+    /// Shims that planned in partition-degraded local mode (fabric only).
+    pub partition_degraded: usize,
+    /// Pending VMs dropped at partition heal because another manager
+    /// handled them during the cut (fabric only).
+    pub reconciliations: usize,
     /// Post-round invariant audit — clean unless a bug corrupted state.
     pub audit: AuditReport,
 }
@@ -100,6 +112,10 @@ impl From<DistributedReport> for RoundOutcome {
             txn_committed: r.txn_committed,
             txn_aborted: r.txn_aborted,
             recoveries: r.recoveries,
+            takeovers: r.takeovers,
+            fenced: r.fenced,
+            partition_degraded: r.partition_degraded,
+            reconciliations: r.reconciliations,
             audit: r.audit,
         }
     }
@@ -258,11 +274,26 @@ impl Runtime for ShardedRuntime {
 
 /// The virtual-time fabric runtime behind the [`Runtime`] trait:
 /// REQUEST/ACK/REJECT over a seeded faulty channel with timeouts,
-/// backoff, dedup and heartbeat liveness.
+/// backoff, dedup and heartbeat liveness, plus persistent
+/// partition-tolerance state — the failure detector's silence clock,
+/// regional epochs, and manager table all survive across rounds, so a
+/// shim that stays dark is eventually declared Dead and taken over even
+/// when each individual round is short.
 #[derive(Debug, Clone, Default)]
 pub struct FabricRuntime {
     /// Channel fault model, seed, backoff and liveness configuration.
     pub cfg: FabricConfig,
+    /// Cross-round failover state (detector, epochs, managers).
+    pub failover: RegionFailover,
+}
+
+impl FabricRuntime {
+    /// Runtime for `cfg`, with the failure detector's thresholds derived
+    /// from the config's heartbeat period and liveness deadline.
+    pub fn with_config(cfg: FabricConfig) -> Self {
+        let failover = RegionFailover::new(cfg.heartbeat_period.max(1), cfg.liveness_deadline);
+        Self { cfg, failover }
+    }
 }
 
 impl Runtime for FabricRuntime {
@@ -271,12 +302,13 @@ impl Runtime for FabricRuntime {
     }
 
     fn step(&mut self, ctx: &mut RunCtx<'_>) -> RoundOutcome {
-        fabric_round_obs(
+        fabric_round_failover_obs(
             ctx.cluster,
             ctx.metric,
             ctx.alerts,
             ctx.alert_values,
             &self.cfg,
+            &mut self.failover,
             &mut *ctx.sink,
         )
         .into()

@@ -81,7 +81,7 @@ proptest! {
             crashed,
             ..FabricConfig::default()
         };
-        let report = FabricRuntime { cfg: cfg.clone() }.step(&mut RunCtx {
+        let report = FabricRuntime::with_config(cfg.clone()).step(&mut RunCtx {
             cluster: &mut c,
             metric: &metric,
             alerts: &alerts,

@@ -225,6 +225,50 @@ fn lint00_cannot_be_pragma_suppressed() {
     assert!(got.contains(&"LINT00".to_string()));
 }
 
+// ------------------------------------------- failure/epoch fencing
+
+const FAILURE: &str = "crates/sheriff-core/src/failure.rs";
+
+#[test]
+fn failure_detector_module_is_det_scoped() {
+    // the failure detector lives under sheriff-core: wall clock and
+    // hash-ordered iteration are flagged there like everywhere else in
+    // the deterministic core
+    let clock = "pub fn now() -> u64 { let t = std::time::Instant::now(); drop(t); 0 }";
+    assert_eq!(codes(FAILURE, clock), vec!["DET01"]);
+    let hash = "use std::collections::HashMap;\n\
+                pub fn sweep(h: HashMap<u64, u64>) { for (r, e) in &h { fence(*r, *e); } }";
+    assert_eq!(codes(FAILURE, hash), vec!["DET02"]);
+}
+
+#[test]
+fn epoch_comparison_pattern_lints_clean() {
+    // the blessed epoch-fencing idiom: epochs live in a BTreeMap, the
+    // fence reads with `.get()` and a 0 default (a rack never taken
+    // over is implicitly at epoch 0), comparison is forward-only, and
+    // sweeps iterate in rack order
+    let src = "use std::collections::BTreeMap;\n\
+        pub fn fence(epochs: &BTreeMap<u64, u64>, from: u64, msg_epoch: u64) -> Option<u64> {\n\
+            let current = epochs.get(&from).copied().unwrap_or(0);\n\
+            (msg_epoch < current).then_some(current)\n\
+        }\n\
+        pub fn sweep(epochs: &BTreeMap<u64, u64>) {\n\
+            for (rack, epoch) in epochs { observe(*rack, *epoch); }\n\
+        }";
+    assert!(codes(FAILURE, src).is_empty());
+}
+
+#[test]
+fn epoch_table_indexing_is_flagged() {
+    // reaching into the epoch table with `[]` panics on a rack that was
+    // never taken over; the fence must use `.get()` with a 0 default
+    let src = "use std::collections::BTreeMap;\n\
+        pub fn fence(epochs: &BTreeMap<u64, u64>, from: u64, e: u64) -> bool {\n\
+            e < epochs[&from]\n\
+        }";
+    assert_eq!(codes(FAILURE, src), vec!["PANIC01"]);
+}
+
 // ------------------------------------------------------ determinism
 
 #[test]

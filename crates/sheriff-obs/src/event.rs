@@ -48,6 +48,9 @@ pub enum RejectKind {
     /// The transaction's prepare lease expired (or was aborted) before
     /// the COMMIT arrived.
     Expired,
+    /// The message carried an epoch older than the target rack's current
+    /// epoch: the sender is a fenced zombie from before a takeover.
+    Stale,
 }
 
 impl RejectKind {
@@ -58,6 +61,7 @@ impl RejectKind {
             RejectKind::Conflict => "conflict",
             RejectKind::Noop => "noop",
             RejectKind::Expired => "expired",
+            RejectKind::Stale => "stale_epoch",
         }
     }
 }
@@ -83,6 +87,10 @@ pub enum FaultKind {
     ShimDown,
     /// A crashed shim controller recovered.
     ShimUp,
+    /// A named partition cut the network into disjoint rack sets.
+    Partition,
+    /// A named partition healed; both sides can talk again.
+    Heal,
 }
 
 impl FaultKind {
@@ -95,6 +103,8 @@ impl FaultKind {
             FaultKind::HostUp => "host_up",
             FaultKind::ShimDown => "shim_down",
             FaultKind::ShimUp => "shim_up",
+            FaultKind::Partition => "partition",
+            FaultKind::Heal => "heal",
         }
     }
 }
@@ -287,6 +297,47 @@ pub enum Event {
         /// VM whose move was undone.
         vm: u64,
     },
+    /// The failure detector moved a shim from Alive to Suspect: its
+    /// heartbeat silence exceeded the adaptive suspect threshold.
+    ShimSuspected {
+        /// Rack of the suspected shim.
+        rack: u64,
+    },
+    /// The failure detector declared a shim Dead: silence exceeded the
+    /// dead threshold and its racks are eligible for takeover.
+    ShimDeclaredDead {
+        /// Rack of the dead shim.
+        rack: u64,
+    },
+    /// A neighbor shim took over a dead shim's rack; the rack's epoch
+    /// was bumped so the old manager's stale messages can be fenced.
+    RegionTakenOver {
+        /// Rack whose management changed hands.
+        rack: u64,
+        /// Rack of the shim that took over.
+        by: u64,
+        /// The rack's epoch after the bump.
+        epoch: u64,
+    },
+    /// A named network partition healed; the cut rack sets rejoined.
+    PartitionHealed {
+        /// Index of the healed partition window.
+        partition: u64,
+        /// Racks that were inside the partition set.
+        racks: u64,
+    },
+    /// A 2PC message carrying a pre-takeover epoch was fenced and
+    /// rejected instead of being applied.
+    StaleEpochRejected {
+        /// Request id of the fenced message.
+        req: u64,
+        /// Rack that fenced the message.
+        rack: u64,
+        /// Epoch the stale message carried.
+        stale: u64,
+        /// The rack's current epoch.
+        current: u64,
+    },
 }
 
 impl Event {
@@ -316,6 +367,11 @@ impl Event {
             Event::TxnPrepared { .. } => "txn_prepared",
             Event::TxnCommitted { .. } => "txn_committed",
             Event::TxnAborted { .. } => "txn_aborted",
+            Event::ShimSuspected { .. } => "shim_suspected",
+            Event::ShimDeclaredDead { .. } => "shim_declared_dead",
+            Event::RegionTakenOver { .. } => "region_taken_over",
+            Event::PartitionHealed { .. } => "partition_healed",
+            Event::StaleEpochRejected { .. } => "stale_epoch_rejected",
         }
     }
 
@@ -452,6 +508,32 @@ impl Event {
                 w.u64("req", *req);
                 w.u64("vm", *vm);
             }
+            Event::ShimSuspected { rack } => {
+                w.u64("rack", *rack);
+            }
+            Event::ShimDeclaredDead { rack } => {
+                w.u64("rack", *rack);
+            }
+            Event::RegionTakenOver { rack, by, epoch } => {
+                w.u64("rack", *rack);
+                w.u64("by", *by);
+                w.u64("epoch", *epoch);
+            }
+            Event::PartitionHealed { partition, racks } => {
+                w.u64("partition", *partition);
+                w.u64("racks", *racks);
+            }
+            Event::StaleEpochRejected {
+                req,
+                rack,
+                stale,
+                current,
+            } => {
+                w.u64("req", *req);
+                w.u64("rack", *rack);
+                w.u64("stale", *stale);
+                w.u64("current", *current);
+            }
         }
         w.finish()
     }
@@ -487,6 +569,45 @@ mod tests {
             ev.to_json(),
             r#"{"ev":"alert_raised","time":7,"rack":2,"kind":"outer_switch","severity":0.5}"#
         );
+    }
+
+    #[test]
+    fn failover_events_have_stable_shape() {
+        assert_eq!(
+            Event::RegionTakenOver {
+                rack: 3,
+                by: 1,
+                epoch: 2
+            }
+            .to_json(),
+            r#"{"ev":"region_taken_over","rack":3,"by":1,"epoch":2}"#
+        );
+        assert_eq!(
+            Event::StaleEpochRejected {
+                req: 9,
+                rack: 3,
+                stale: 0,
+                current: 2
+            }
+            .to_json(),
+            r#"{"ev":"stale_epoch_rejected","req":9,"rack":3,"stale":0,"current":2}"#
+        );
+        assert_eq!(
+            Event::PartitionHealed {
+                partition: 0,
+                racks: 4
+            }
+            .kind(),
+            "partition_healed"
+        );
+        assert_eq!(Event::ShimSuspected { rack: 1 }.kind(), "shim_suspected");
+        assert_eq!(
+            Event::ShimDeclaredDead { rack: 1 }.kind(),
+            "shim_declared_dead"
+        );
+        assert_eq!(RejectKind::Stale.label(), "stale_epoch");
+        assert_eq!(FaultKind::Partition.label(), "partition");
+        assert_eq!(FaultKind::Heal.label(), "heal");
     }
 
     #[test]

@@ -189,6 +189,22 @@ pub fn aggregate(spec: &ScenarioSpec, runs: &[SeedRun]) -> ScenarioReport {
             "shim_recoveries_total".into(),
             sum_rounds(&|s| s.recoveries as f64),
         ),
+        (
+            "takeovers_total".into(),
+            sum_rounds(&|s| s.takeovers as f64),
+        ),
+        (
+            "fenced_messages_total".into(),
+            sum_rounds(&|s| s.fenced as f64),
+        ),
+        (
+            "partition_degraded_rounds".into(),
+            stat(&|r| r.rounds.iter().filter(|s| s.partition_degraded > 0).count() as f64),
+        ),
+        (
+            "reconciliation_conflicts_total".into(),
+            sum_rounds(&|s| s.reconciliations as f64),
+        ),
     ];
 
     let mut counters = Counters::new();

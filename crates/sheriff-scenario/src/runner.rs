@@ -19,8 +19,8 @@ use dcn_sim::{
 use dcn_topology::{HostId, RackId, VmId};
 use sheriff_core::{
     try_drain_rack, try_evacuate_host, CentralizedRuntime, CrashWindow, DistributedRuntime,
-    FabricConfig, FabricRuntime, MigrationContext, MigrationPlan, RoundOutcome, RunCtx, Runtime,
-    ShardedRuntime,
+    FabricConfig, FabricRuntime, MigrationContext, MigrationPlan, PartitionWindow, RoundOutcome,
+    RunCtx, Runtime, ShardedRuntime,
 };
 use sheriff_obs::{Counters, Event, EventSink};
 
@@ -92,6 +92,15 @@ pub struct RoundStat {
     pub txn_aborted: usize,
     /// Shims that crashed mid-round and replayed their journal (fabric).
     pub recoveries: usize,
+    /// Regions whose management moved to a successor shim (fabric).
+    pub takeovers: usize,
+    /// Protocol messages rejected for carrying a stale epoch (fabric).
+    pub fenced: usize,
+    /// Shims that planned against a partition-reduced region (fabric).
+    pub partition_degraded: usize,
+    /// Pending alerts dropped at heal because another shim now manages
+    /// the VM's rack (fabric).
+    pub reconciliations: usize,
 }
 
 /// The full deterministic record of one (topology, seed) job.
@@ -190,6 +199,7 @@ impl ScenarioRunner {
 /// The four management loops behind one dispatch point. A plain enum
 /// (not `Box<dyn Runtime>`) so the fabric arm's [`FabricConfig`] stays
 /// reachable for per-round channel-phase and crash-list updates.
+#[allow(clippy::large_enum_variant)] // one Loop per job; the fabric arm carries its failover state
 enum Loop {
     Centralized(CentralizedRuntime),
     Distributed(DistributedRuntime),
@@ -210,7 +220,7 @@ impl Loop {
             RuntimeSpec::Fabric { max_retry } => {
                 let mut cfg = FabricConfig::from_sim(sim, seed);
                 cfg.max_retry = max_retry;
-                Loop::Fabric(FabricRuntime { cfg })
+                Loop::Fabric(FabricRuntime::with_config(cfg))
             }
         }
     }
@@ -293,27 +303,27 @@ fn apply_faults(
     let mut links_changed = false;
     for ev in spec.faults.iter().filter(|e| e.round == t) {
         let mut obs = injector.observed(sink);
-        match ev.action {
+        match &ev.action {
             FaultAction::FailLink { link } => {
-                obs.fail_link(&mut cluster.dcn, link);
+                obs.fail_link(&mut cluster.dcn, *link);
                 links_changed = true;
             }
             FaultAction::RestoreLink { link } => {
-                obs.restore_link(&mut cluster.dcn, link);
+                obs.restore_link(&mut cluster.dcn, *link);
                 links_changed = true;
             }
             FaultAction::FailHost { host } => {
-                let host = HostId::from_index(host);
+                let host = HostId::from_index(*host);
                 let vms = obs.fail_host(&mut cluster.placement, host);
                 if !vms.is_empty() {
                     stranded.push((host, vms));
                 }
             }
             FaultAction::RestoreHost { host } => {
-                obs.restore_host(&mut cluster.placement, HostId::from_index(host));
+                obs.restore_host(&mut cluster.placement, HostId::from_index(*host));
             }
             FaultAction::FailRack { rack } => {
-                let rack = RackId::from_index(rack);
+                let rack = RackId::from_index(*rack);
                 let hosts: Vec<HostId> = cluster.dcn.inventory.hosts_in(rack).to_vec();
                 let mut any = false;
                 for h in hosts {
@@ -325,7 +335,7 @@ fn apply_faults(
                 }
             }
             FaultAction::RestoreRack { rack } => {
-                let rack = RackId::from_index(rack);
+                let rack = RackId::from_index(*rack);
                 let hosts: Vec<HostId> = cluster.dcn.inventory.hosts_in(rack).to_vec();
                 for h in hosts {
                     obs.restore_host(&mut cluster.placement, h);
@@ -337,14 +347,26 @@ fn apply_faults(
                 crash_at,
                 recover_at,
             } => {
-                let rack = RackId::from_index(rack);
+                let rack = RackId::from_index(*rack);
                 if crash_at.is_none() && recover_at.is_none() {
                     obs.crash_shim(rack);
                 } else {
-                    obs.crash_shim_at(rack, crash_at.unwrap_or(0), recover_at);
+                    obs.crash_shim_at(rack, crash_at.unwrap_or(0), *recover_at);
                 }
             }
-            FaultAction::RecoverShim { rack } => obs.recover_shim(RackId::from_index(rack)),
+            FaultAction::RecoverShim { rack } => obs.recover_shim(RackId::from_index(*rack)),
+            FaultAction::Partition {
+                name,
+                racks,
+                start_at,
+                heal_at,
+            } => {
+                let members: Vec<RackId> = racks.iter().map(|&r| RackId::from_index(r)).collect();
+                obs.partition_at(name, members, *start_at, *heal_at);
+            }
+            FaultAction::HealPartition { name, heal_at } => {
+                obs.heal_partition_at(name, *heal_at);
+            }
         }
     }
     (stranded, drained, links_changed)
@@ -454,6 +476,11 @@ pub(crate) fn run_job(
                     recover_at,
                 })
                 .collect();
+            rt.cfg.partitions = injector
+                .drain_partition_schedule()
+                .into_iter()
+                .map(|(racks, start_at, heal_at)| PartitionWindow::new(racks, start_at, heal_at))
+                .collect();
         }
 
         // 4. raise this round's pre-alerts
@@ -544,6 +571,10 @@ pub(crate) fn run_job(
             txn_committed: out.txn_committed,
             txn_aborted: out.txn_aborted,
             recoveries: out.recoveries,
+            takeovers: out.takeovers,
+            fenced: out.fenced,
+            partition_degraded: out.partition_degraded,
+            reconciliations: out.reconciliations,
         });
     }
 

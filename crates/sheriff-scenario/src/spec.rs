@@ -223,7 +223,7 @@ impl RuntimeSpec {
 }
 
 /// A scheduled fault action (applied at the *start* of its round).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FaultAction {
     /// Kill one link by edge index.
     FailLink {
@@ -275,10 +275,32 @@ pub enum FaultAction {
         /// Rack index.
         rack: usize,
     },
+    /// Cut a named set of racks off from the rest of the cluster in the
+    /// fabric round's virtual time: traffic crossing the cut is silently
+    /// swallowed from tick `start_at`. With `heal_at` set the cut heals
+    /// within the same round; without it the partition stands across
+    /// rounds until a `heal` action names it.
+    Partition {
+        /// Name the partition is later healed by.
+        name: String,
+        /// Rack indices on the minority side of the cut.
+        racks: Vec<usize>,
+        /// Virtual tick (within the round) the cut starts.
+        start_at: u64,
+        /// Virtual tick the cut heals, if within this round.
+        heal_at: Option<u64>,
+    },
+    /// Heal a standing named partition at tick `heal_at` of the round.
+    HealPartition {
+        /// Name given to the earlier `partition` action.
+        name: String,
+        /// Virtual tick (within the round) the cut heals.
+        heal_at: u64,
+    },
 }
 
 /// One entry of the fault schedule.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
     /// Round at whose start the action fires.
     pub round: usize,
@@ -407,6 +429,31 @@ fn get_str<'t>(
             .as_str()
             .map(Some)
             .ok_or_else(|| invalid(format!("{section}.{key} must be a string"))),
+    }
+}
+
+fn get_usize_list(
+    t: &BTreeMap<String, Value>,
+    key: &str,
+    section: &str,
+) -> Result<Option<Vec<usize>>, SheriffError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(Value::Array(a)) => a
+            .iter()
+            .map(|v| {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| invalid(format!("{section}.{key} must be integers")))?;
+                usize::try_from(i)
+                    .map_err(|_| invalid(format!("{section}.{key} entries must be >= 0, got {i}")))
+            })
+            .collect::<Result<Vec<usize>, SheriffError>>()
+            .map(Some),
+        Some(v) => Err(invalid(format!(
+            "{section}.{key} must be an array, got {}",
+            v.type_name()
+        ))),
     }
 }
 
@@ -716,6 +763,10 @@ fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
             "rack",
             "crash_at",
             "recover_at",
+            "name",
+            "racks",
+            "start_at",
+            "heal_at",
         ],
         "fault",
     )?;
@@ -754,10 +805,35 @@ fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
         "recover_shim" => FaultAction::RecoverShim {
             rack: need("rack")?,
         },
+        "partition" => {
+            let name = get_str(t, "name", "fault")?
+                .ok_or_else(|| invalid("fault.name is required for action \"partition\"".into()))?
+                .to_owned();
+            let racks = get_usize_list(t, "racks", "fault")?.ok_or_else(|| {
+                invalid("fault.racks is required for action \"partition\"".into())
+            })?;
+            if racks.is_empty() {
+                return Err(invalid("fault.racks must not be empty".into()));
+            }
+            FaultAction::Partition {
+                name,
+                racks,
+                start_at: get_u64(t, "start_at", "fault")?.unwrap_or(0),
+                heal_at: get_u64(t, "heal_at", "fault")?,
+            }
+        }
+        "heal" => FaultAction::HealPartition {
+            name: get_str(t, "name", "fault")?
+                .ok_or_else(|| invalid("fault.name is required for action \"heal\"".into()))?
+                .to_owned(),
+            heal_at: get_u64(t, "heal_at", "fault")?
+                .ok_or_else(|| invalid("fault.heal_at is required for action \"heal\"".into()))?,
+        },
         other => {
             return Err(invalid(format!(
                 "unknown fault.action {other:?} (fail_link, restore_link, fail_host, \
-                 restore_host, fail_rack, restore_rack, crash_shim, recover_shim)"
+                 restore_host, fail_rack, restore_rack, crash_shim, recover_shim, \
+                 partition, heal)"
             )))
         }
     };
@@ -767,6 +843,32 @@ fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
         return Err(invalid(
             "fault.crash_at / fault.recover_at only apply to action \"crash_shim\"".into(),
         ));
+    }
+    if !matches!(
+        action,
+        FaultAction::Partition { .. } | FaultAction::HealPartition { .. }
+    ) && (t.contains_key("name")
+        || t.contains_key("racks")
+        || t.contains_key("start_at")
+        || t.contains_key("heal_at"))
+    {
+        return Err(invalid(
+            "fault.name / fault.racks / fault.start_at / fault.heal_at only apply to \
+             actions \"partition\" and \"heal\""
+                .into(),
+        ));
+    }
+    if let FaultAction::Partition {
+        start_at,
+        heal_at: Some(h),
+        ..
+    } = &action
+    {
+        if *h <= *start_at {
+            return Err(invalid(format!(
+                "fault.heal_at {h} must be after start_at {start_at}"
+            )));
+        }
     }
     Ok(FaultEvent { round, action })
 }
@@ -983,17 +1085,24 @@ impl ScenarioSpec {
                     dcn.inventory.rack_count(),
                 );
                 for f in &self.faults {
-                    let (kind, id, bound) = match f.action {
+                    let (kind, id, bound) = match &f.action {
                         FaultAction::FailLink { link } | FaultAction::RestoreLink { link } => {
-                            ("link", link, links)
+                            ("link", *link, links)
                         }
                         FaultAction::FailHost { host } | FaultAction::RestoreHost { host } => {
-                            ("host", host, hosts)
+                            ("host", *host, hosts)
                         }
                         FaultAction::FailRack { rack }
                         | FaultAction::RestoreRack { rack }
                         | FaultAction::CrashShim { rack, .. }
-                        | FaultAction::RecoverShim { rack } => ("rack", rack, racks),
+                        | FaultAction::RecoverShim { rack } => ("rack", *rack, racks),
+                        FaultAction::Partition { racks: members, .. } => {
+                            match members.iter().find(|&&r| r >= racks) {
+                                Some(&bad) => ("rack", bad, racks),
+                                None => continue,
+                            }
+                        }
+                        FaultAction::HealPartition { .. } => continue,
                     };
                     if id >= bound {
                         return Err(invalid(format!(
@@ -1019,6 +1128,35 @@ impl ScenarioSpec {
                     "fault at round {} never fires (rounds = {})",
                     fevent.round, self.rounds
                 ));
+            }
+            if let FaultAction::Partition { name, heal_at, .. } = &fevent.action {
+                if heal_at.is_none()
+                    && !self.faults.iter().any(|g| {
+                        matches!(&g.action, FaultAction::HealPartition { name: n, .. } if n == name)
+                    })
+                {
+                    warnings.push(format!(
+                        "partition {name:?} is never healed: it stands for the rest of the run"
+                    ));
+                }
+                if !matches!(self.runtime, RuntimeSpec::Fabric { .. }) {
+                    warnings.push(format!(
+                        "partitions need virtual time: the {} runtime ignores them",
+                        self.runtime.name()
+                    ));
+                }
+            }
+            if let FaultAction::HealPartition { name, .. } = &fevent.action {
+                if !self.faults.iter().any(|g| {
+                    matches!(&g.action, FaultAction::Partition { name: n, heal_at: None, .. }
+                        if n == name)
+                        && g.round < fevent.round
+                }) {
+                    warnings.push(format!(
+                        "heal of partition {name:?} has no standing partition of that name \
+                         in an earlier round"
+                    ));
+                }
             }
             if let FaultAction::CrashShim {
                 crash_at,

@@ -44,7 +44,7 @@ fn main() {
             seed: 7,
             ..FabricConfig::default()
         };
-        let out = FabricRuntime { cfg }.step(&mut RunCtx {
+        let out = FabricRuntime::with_config(cfg).step(&mut RunCtx {
             cluster: &mut probe,
             metric: &metric,
             alerts: &alerts,
@@ -90,7 +90,7 @@ fn main() {
         ..FabricConfig::default()
     };
     let mut rec = RingRecorder::new(1 << 14);
-    let report = FabricRuntime { cfg }.step(&mut RunCtx {
+    let report = FabricRuntime::with_config(cfg).step(&mut RunCtx {
         cluster: &mut cluster,
         metric: &metric,
         alerts: &alerts,

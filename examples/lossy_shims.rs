@@ -49,7 +49,7 @@ fn main() {
         crashed: vec![CrashWindow::whole_round(crashed)],
         ..FabricConfig::default()
     };
-    let report = FabricRuntime { cfg }.step(&mut RunCtx {
+    let report = FabricRuntime::with_config(cfg).step(&mut RunCtx {
         cluster: &mut cluster,
         metric: &metric,
         alerts: &alerts,

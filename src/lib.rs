@@ -64,8 +64,9 @@ pub mod prelude {
     pub use sheriff_core::{
         audit_placement, drain_rack, evacuate_host, priority, vmmigration, AuditReport, Budget,
         CentralizedRuntime, CrashWindow, DistributedReport, DistributedRuntime, FabricConfig,
-        FabricRuntime, IntentJournal, MigrationContext, MigrationPlan, RoundOutcome, RoundReport,
-        RunCtx, Runtime, ShardedRuntime, Sheriff, StepReport, System, SystemBuilder,
+        FabricRuntime, FailureDetector, IntentJournal, MigrationContext, MigrationPlan,
+        PartitionWindow, RegionFailover, RoundOutcome, RoundReport, RunCtx, Runtime,
+        ShardedRuntime, Sheriff, ShimHealth, StepReport, System, SystemBuilder,
     };
 
     // --- forecasting: the Sec. III-B predictors ----------------------

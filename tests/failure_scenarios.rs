@@ -275,7 +275,7 @@ proptest! {
             crashed,
             ..FabricConfig::default()
         };
-        let report = FabricRuntime { cfg: cfg.clone() }.step(&mut RunCtx {
+        let report = FabricRuntime::with_config(cfg.clone()).step(&mut RunCtx {
             cluster: &mut c,
             metric: &metric,
             alerts: &alerts,
@@ -304,6 +304,126 @@ proptest! {
         }
         for vm in c.placement.vm_ids() {
             prop_assert_eq!(loc[&vm], c.placement.host_of(vm));
+        }
+    }
+
+    /// Partition tolerance: under any schedule of named partition cuts
+    /// and heals — minority cuts, overlapping sets, cuts that never heal
+    /// — the fabric's audit stays clean, every prepared transaction
+    /// resolves, a partition alone never triggers a takeover or an epoch
+    /// bump (the detector watches heartbeat *emission*, and a cut shim
+    /// keeps emitting), and five repeat runs are byte-identical.
+    #[test]
+    fn fabric_survives_random_partition_heal_schedules(
+        cluster_seed in 0u64..8,
+        net_seed in 0u64..10_000,
+        drop in 0.0f64..0.15,
+        parts in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..16, 1..4),
+                0u64..16,
+                0u64..24,
+            ),
+            1..3,
+        ),
+    ) {
+        let racks = fabric_cluster(cluster_seed).dcn.rack_count();
+        let partitions: Vec<PartitionWindow> = parts
+            .iter()
+            .map(|(members, start_at, heal_delay)| {
+                let members: Vec<RackId> =
+                    members.iter().map(|&r| RackId::from_index(r % racks)).collect();
+                PartitionWindow::new(
+                    members,
+                    *start_at,
+                    (*heal_delay > 0).then(|| start_at + heal_delay),
+                )
+            })
+            .collect();
+        let cfg = FabricConfig {
+            faults: ChannelFaults {
+                drop,
+                delay_min: 1,
+                delay_max: 2,
+                ..ChannelFaults::reliable()
+            },
+            seed: net_seed,
+            partitions,
+            ..FabricConfig::default()
+        };
+
+        let mut reference: Option<String> = None;
+        for attempt in 0..5 {
+            let mut c = fabric_cluster(cluster_seed);
+            let initial = c.placement.clone();
+            let metric = RackMetric::build(&c.dcn, &c.sim);
+            let alerts = c.fraction_alerts(0.15, 0);
+            prop_assume!(!alerts.is_empty());
+            let vals: Vec<f64> = c
+                .placement
+                .vm_ids()
+                .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
+                .collect();
+            let report = FabricRuntime::with_config(cfg.clone()).step(&mut RunCtx {
+                cluster: &mut c,
+                metric: &metric,
+                alerts: &alerts,
+                alert_values: &vals,
+                sink: &mut NullSink,
+            });
+
+            prop_assert!(report.ticks <= cfg.max_ticks, "round wedged");
+            prop_assert!(report.audit.is_clean(), "{}", report.audit);
+            prop_assert_eq!(
+                report.txn_committed + report.txn_aborted,
+                report.txn_prepared,
+                "a prepared transaction neither committed nor aborted"
+            );
+            prop_assert_eq!(report.takeovers, 0, "a partition is not a crash");
+            prop_assert_eq!(report.fenced, 0, "no epoch bumped, nothing to fence");
+
+            // exactly-once under the cut: the recorded moves replayed
+            // from the initial placement land on the final one
+            let mut loc: std::collections::HashMap<VmId, HostId> = c
+                .placement
+                .vm_ids()
+                .map(|vm| (vm, initial.host_of(vm)))
+                .collect();
+            for m in &report.plan.moves {
+                prop_assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
+                loc.insert(m.vm, m.to);
+            }
+            for vm in c.placement.vm_ids() {
+                prop_assert_eq!(loc[&vm], c.placement.host_of(vm));
+            }
+
+            let digest = format!(
+                "{:?}|{:?}|{}|{}|{}|{}|{}",
+                report
+                    .plan
+                    .moves
+                    .iter()
+                    .map(|m| (m.vm, m.from, m.to))
+                    .collect::<Vec<_>>(),
+                c.placement
+                    .vm_ids()
+                    .map(|vm| c.placement.host_of(vm))
+                    .collect::<Vec<_>>(),
+                report.ticks,
+                report.drops,
+                report.partition_degraded,
+                report.reconciliations,
+                report.txn_committed,
+            );
+            match &reference {
+                None => reference = Some(digest),
+                Some(r) => prop_assert_eq!(
+                    r,
+                    &digest,
+                    "run {} diverged under the same partition schedule",
+                    attempt
+                ),
+            }
         }
     }
 }

@@ -112,7 +112,7 @@ fn fabric_runtime_event_stream_is_reproducible() {
             ..FabricConfig::default()
         };
         let mut rec = RingRecorder::new(1 << 14);
-        let outcome = FabricRuntime { cfg }.step(&mut RunCtx {
+        let outcome = FabricRuntime::with_config(cfg).step(&mut RunCtx {
             cluster: &mut cluster,
             metric: &metric,
             alerts: &alerts,

@@ -183,6 +183,85 @@ crash_at = 5
 }
 
 #[test]
+fn zombie_shim_scenario_takes_over_and_fences_the_returner() {
+    // the bundled zombie scenario is the epoch-fencing acceptance test:
+    // the detector must declare rack 0 dead, a neighbour must take its
+    // region over, and the returning shim's stale 2PC burst must be
+    // rejected — for every seed in the file
+    let spec = ScenarioSpec::load(std::path::Path::new("scenarios/zombie_shim.toml"))
+        .expect("bundled scenario parses");
+    let mut runner = ScenarioRunner::new(spec.clone());
+    runner.parallel = false;
+    let runs = runner.run().expect("scenario runs");
+    for run in &runs {
+        assert!(
+            run.counters.get("shim_declared_dead") >= 1,
+            "seed {}: the detector never declared rack 0 dead",
+            run.seed
+        );
+        assert!(
+            run.rounds.iter().map(|s| s.takeovers).sum::<usize>() >= 1,
+            "seed {}: nobody took the dead region over",
+            run.seed
+        );
+        assert!(
+            run.counters.get("stale_epoch_rejected") >= 1,
+            "seed {}: the returning zombie was never fenced",
+            run.seed
+        );
+        for s in &run.rounds {
+            assert_eq!(
+                s.audit_violations, 0,
+                "seed {} round {}: auditor found violations",
+                run.seed, s.round
+            );
+        }
+    }
+    // determinism holds with the failover machinery engaged
+    let serial = canonical(&spec, false, 0);
+    let parallel = canonical(&spec, true, 2);
+    assert_eq!(serial, parallel, "takeover/fencing broke determinism");
+}
+
+#[test]
+fn region_partition_scenario_degrades_and_heals_clean() {
+    let spec = ScenarioSpec::load(std::path::Path::new("scenarios/region_partition.toml"))
+        .expect("bundled scenario parses");
+    let mut runner = ScenarioRunner::new(spec.clone());
+    runner.parallel = false;
+    let runs = runner.run().expect("scenario runs");
+    for run in &runs {
+        assert!(
+            run.rounds
+                .iter()
+                .map(|s| s.partition_degraded)
+                .sum::<usize>()
+                > 0,
+            "seed {}: the cut never degraded anyone",
+            run.seed
+        );
+        // a partition is not a crash: emission-based detection must not
+        // let the cut trigger a takeover or any fencing
+        assert_eq!(
+            run.rounds.iter().map(|s| s.takeovers).sum::<usize>(),
+            0,
+            "seed {}: a partition masqueraded as a crash",
+            run.seed
+        );
+        for s in &run.rounds {
+            assert_eq!(
+                s.audit_violations, 0,
+                "seed {} round {}: auditor found violations",
+                run.seed, s.round
+            );
+        }
+    }
+    let serial = canonical(&spec, false, 0);
+    let parallel = canonical(&spec, true, 2);
+    assert_eq!(serial, parallel, "partitions broke determinism");
+}
+
+#[test]
 fn every_bundled_scenario_parses_and_validates_clean() {
     let dir = std::path::Path::new("scenarios");
     let mut checked = 0;
