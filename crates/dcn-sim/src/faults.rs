@@ -290,6 +290,32 @@ impl FaultInjector {
         schedule
     }
 
+    /// The virtual ticks at which the *pending* schedules change fault
+    /// state — every crash, recovery, partition cut, and heal tick from
+    /// the windows queued for the next round — sorted and deduplicated.
+    ///
+    /// A non-draining peek: event-driven runtimes use it to seed their
+    /// agenda with exactly the activation times the schedule will need,
+    /// while the schedules themselves stay queued for the later
+    /// [`FaultInjector::drain_crash_schedule`] /
+    /// [`FaultInjector::drain_partition_schedule`].
+    pub fn pending_event_times(&self) -> Vec<u64> {
+        let mut ticks = BTreeSet::new();
+        for &(_, crash_at, recover_at) in &self.timed_crashes {
+            ticks.insert(crash_at);
+            if let Some(r) = recover_at {
+                ticks.insert(r);
+            }
+        }
+        for (_, _, start_at, heal_at) in &self.timed_partitions {
+            ticks.insert(*start_at);
+            if let Some(h) = heal_at {
+                ticks.insert(*h);
+            }
+        }
+        ticks.into_iter().collect()
+    }
+
     /// Borrow the injector together with an [`EventSink`]: every fault
     /// applied through the returned handle also emits a
     /// [`Event::FaultInjected`], so
@@ -612,6 +638,21 @@ mod tests {
             inj.drain_crash_schedule(),
             vec![(RackId(0), 0, None), (RackId(2), 0, None)]
         );
+    }
+
+    #[test]
+    fn pending_event_times_peek_sorted_without_draining() {
+        let mut inj = FaultInjector::new();
+        assert!(inj.pending_event_times().is_empty());
+        inj.crash_shim_at(RackId(1), 9, Some(20));
+        inj.crash_shim_at(RackId(2), 4, None);
+        inj.partition_at("west", vec![RackId(0)], 9, Some(15));
+        assert_eq!(inj.pending_event_times(), vec![4, 9, 15, 20]);
+        // peeking drains nothing: the schedules still hand out every window
+        assert_eq!(inj.drain_crash_schedule().len(), 2);
+        assert_eq!(inj.drain_partition_schedule().len(), 1);
+        // whole-round state (already-down shims) has no in-round tick
+        assert!(inj.pending_event_times().is_empty());
     }
 
     #[test]

@@ -15,11 +15,13 @@
 //! assert_eq!(system.time(), 0);
 //! ```
 
+use crate::fabric::FabricConfig;
+use crate::runtime::FabricRuntime;
 use crate::system::System;
 use dcn_sim::engine::{Cluster, ClusterConfig};
 use dcn_sim::flows::{Flow, FlowNetwork};
 use dcn_sim::{ChannelFaults, SheriffError, SimConfig};
-use dcn_topology::Dcn;
+use dcn_topology::{Dcn, RackId};
 use sheriff_obs::EventSink;
 
 /// Builder for the assembled [`System`]: topology in, validated system
@@ -31,6 +33,10 @@ pub struct SystemBuilder {
     cluster: ClusterConfig,
     sim: SimConfig,
     flows: Vec<Flow>,
+    heartbeat_every: Option<u64>,
+    liveness_deadline: Option<u64>,
+    beacon_intervals: Vec<(RackId, u64)>,
+    alert_checks: Vec<(RackId, u64)>,
 }
 
 impl SystemBuilder {
@@ -43,6 +49,10 @@ impl SystemBuilder {
             cluster: ClusterConfig::default(),
             sim: SimConfig::paper(),
             flows: Vec::new(),
+            heartbeat_every: None,
+            liveness_deadline: None,
+            beacon_intervals: Vec::new(),
+            alert_checks: Vec::new(),
         }
     }
 
@@ -83,11 +93,65 @@ impl SystemBuilder {
         self
     }
 
-    /// Fault model for the shim control channel (used by the fabric
-    /// runtime via [`FabricConfig::from_sim`](crate::FabricConfig::from_sim)).
+    /// Fault model for the shim control channel (adopted by
+    /// [`fabric_runtime`](Self::fabric_runtime) and by
+    /// [`FabricConfig::for_channel`](crate::FabricConfig::for_channel)).
     pub fn channel_faults(mut self, faults: ChannelFaults) -> Self {
         self.sim.channel = faults;
         self
+    }
+
+    /// Global liveness-beacon interval for the fabric runtime, in virtual
+    /// ticks (the event-scheduled replacement for the old
+    /// `heartbeat_period` queue knob).
+    pub fn heartbeat_every(mut self, ticks: u64) -> Self {
+        self.heartbeat_every = Some(ticks);
+        self
+    }
+
+    /// Silence (in virtual ticks) after which the fabric runtime's
+    /// liveness view presumes a rack dead.
+    pub fn liveness_deadline(mut self, ticks: u64) -> Self {
+        self.liveness_deadline = Some(ticks);
+        self
+    }
+
+    /// Beacon `rack` every `every` virtual ticks instead of the global
+    /// heartbeat interval — a per-rack event cadence for racks that need
+    /// tighter failure detection.
+    pub fn beacon_interval(mut self, rack: RackId, every: u64) -> Self {
+        self.beacon_intervals.retain(|(r, _)| *r != rack);
+        self.beacon_intervals.push((rack, every));
+        self
+    }
+
+    /// Rescan `rack` for fresh pre-alerts every `every` virtual ticks
+    /// within each fabric round (see
+    /// [`FabricConfig::with_alert_check`](crate::FabricConfig::with_alert_check)).
+    pub fn alert_check(mut self, rack: RackId, every: u64) -> Self {
+        self.alert_checks.retain(|(r, _)| *r != rack);
+        self.alert_checks.push((rack, every));
+        self
+    }
+
+    /// A [`FabricRuntime`] matching this builder's channel faults and
+    /// event intervals: the channel-aware replacement for constructing a
+    /// `FabricConfig` by hand and writing its deprecated queue knobs.
+    pub fn fabric_runtime(&self, seed: u64) -> FabricRuntime {
+        let mut cfg = FabricConfig::for_channel(self.sim.channel.clone(), seed);
+        if let Some(h) = self.heartbeat_every {
+            cfg = cfg.with_heartbeat_every(h);
+        }
+        if let Some(d) = self.liveness_deadline {
+            cfg = cfg.with_liveness_deadline(d);
+        }
+        for &(rack, every) in &self.beacon_intervals {
+            cfg = cfg.with_beacon_interval(rack, every);
+        }
+        for &(rack, every) in &self.alert_checks {
+            cfg = cfg.with_alert_check(rack, every);
+        }
+        FabricRuntime::with_config(cfg)
     }
 
     /// Initial flows between VMs; routed at build time. Without flows the
@@ -148,6 +212,30 @@ mod tests {
             panic!("alpha outside [0, 1] must be rejected");
         };
         assert!(matches!(err, SheriffError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    fn fabric_runtime_carries_channel_and_event_intervals() {
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let rack = dcn_topology::RackId::from_index(0);
+        let rt = SystemBuilder::new(dcn)
+            .channel_faults(ChannelFaults::lossy(0.05))
+            .heartbeat_every(4)
+            .liveness_deadline(16)
+            .beacon_interval(rack, 2)
+            .alert_check(rack, 3)
+            .fabric_runtime(11);
+        assert_eq!(rt.cfg.seed, 11);
+        assert!(!rt.cfg.faults.is_reliable());
+        assert_eq!(rt.cfg.heartbeat_every(), 4);
+        assert_eq!(rt.cfg.liveness_deadline, 16);
+        assert_eq!(rt.cfg.beacon_every(rack), 2);
+        assert_eq!(
+            rt.cfg.beacon_every(dcn_topology::RackId::from_index(1)),
+            4,
+            "unlisted racks stay on the global interval"
+        );
+        assert_eq!(rt.cfg.alert_check_every(rack), 3);
     }
 
     #[test]

@@ -1,46 +1,35 @@
-//! The distributed shim runtimes: threaded planning with protocol-checked
-//! commits, and a message-passing fabric that survives a faulty channel.
+//! The threaded distributed runtime: optimistic per-shim planning with
+//! protocol-checked FCFS commits.
 //!
-//! Two runtimes share one planning core (PRIORITY victim selection +
-//! min-cost matching on a snapshot, Algs. 1–3):
+//! [`distributed_round_obs`] — each shim plans on its own thread, then all
+//! commits funnel through the destination racks' [`ShimEndpoint`]s in
+//! deterministic rack order (Alg. 4 FCFS, Sec. II-B/V-B — "each local
+//! manager adjusts network traffic locally, they need to communicate
+//! between each other to avoid conflictions"). The shared mutex guards
+//! only the placement snapshot/commit; the protocol layer decides.
 //!
-//! * [`distributed_round_obs`] — each shim plans on its own thread, then all
-//!   commits funnel through the destination racks' [`ShimEndpoint`]s in
-//!   deterministic rack order (Alg. 4 FCFS, Sec. II-B/V-B — "each local
-//!   manager adjusts network traffic locally, they need to communicate
-//!   between each other to avoid conflictions"). The shared mutex guards
-//!   only the placement snapshot/commit; the protocol layer decides.
-//! * [`fabric_round_obs`] — the same negotiation as explicit
-//!   REQUEST/ACK/REJECT messages over a seeded, faulty [`SimNet`]
-//!   channel, with per-request deadlines, exponential backoff with
-//!   jitter, idempotent commits via request-id dedup, heartbeat liveness,
-//!   and a degradation ladder (exclude dead racks → fall back to
-//!   rack-local evacuation → report unplaced).
-//!
-//! With a [`ChannelFaults::reliable`] channel and no crashed shims,
-//! the fabric reproduces the threaded runtime move for move: both
-//! issue the identical sequence of Alg. 4 requests in the identical
-//! order, so the ACK/REJECT outcomes — and therefore the plans — match.
+//! The planning core it is built on (PRIORITY victim selection + min-cost
+//! matching on a snapshot, Algs. 1–3) is shared with the message-passing
+//! fabric runtime in [`fabric`](crate::fabric), which re-expresses the
+//! same negotiation as explicit REQUEST/ACK/REJECT messages over a
+//! seeded, faulty channel. With a reliable channel and no crashed shims
+//! the fabric reproduces this runtime move for move: both issue the
+//! identical sequence of Alg. 4 requests in the identical order, so the
+//! ACK/REJECT outcomes — and therefore the plans — match.
 
-use crate::audit::{audit_journals, audit_managers, audit_moves, audit_placement, AuditReport};
-use crate::channel::{CrashWindow, PartitionWindow, SimNet};
-use crate::failure::{RegionFailover, ShimHealth};
-use crate::journal::TxnState;
+use crate::audit::{audit_moves, audit_placement, AuditReport};
 use crate::matching::{min_cost_assignment_padded, FORBIDDEN};
 use crate::priority::{priority, Budget};
-use crate::protocol::{
-    BackoffPolicy, Liveness, RejectReason, ReqId, ShimEndpoint, ShimMsg, TwoPhaseReply, Verdict,
-};
+use crate::protocol::{RejectReason, ReqId, ShimEndpoint, Verdict};
 use crate::vmmigration::{MigrationPlan, Move};
 use dcn_sim::engine::Cluster;
-use dcn_sim::{Alert, AlertSource, ChannelFaults, RackMetric, SimConfig};
+use dcn_sim::{Alert, AlertSource, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
 use parking_lot::Mutex;
 use sheriff_obs::{emit, Event, EventSink, RejectKind};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Map a protocol-level REJECT payload to its observability label.
-fn reject_kind(reason: RejectReason) -> RejectKind {
+pub(crate) fn reject_kind(reason: RejectReason) -> RejectKind {
     match reason {
         RejectReason::Capacity => RejectKind::Capacity,
         RejectReason::Conflict => RejectKind::Conflict,
@@ -100,10 +89,10 @@ pub struct DistributedReport {
 
 /// One planned assignment awaiting the destination's verdict.
 #[derive(Debug, Clone, Copy)]
-struct Proposal {
-    vm: VmId,
-    dest: HostId,
-    cost: f64,
+pub(crate) struct Proposal {
+    pub(crate) vm: VmId,
+    pub(crate) dest: HostId,
+    pub(crate) cost: f64,
 }
 
 /// Alg. 1/2: pick migration victims for one rack's alerts on a snapshot.
@@ -157,7 +146,11 @@ pub(crate) fn select_victims(
 
 /// Destination slots for a shim: every host of the given racks, plus its
 /// own rack's hosts (the rack-local fallback of the degradation ladder).
-fn region_slots(inventory: &Inventory, region_racks: &[RackId], rack: RackId) -> Vec<HostId> {
+pub(crate) fn region_slots(
+    inventory: &Inventory,
+    region_racks: &[RackId],
+    rack: RackId,
+) -> Vec<HostId> {
     let mut slots: Vec<HostId> = Vec::new();
     for &r in region_racks.iter().chain(std::iter::once(&rack)) {
         slots.extend_from_slice(inventory.hosts_in(r));
@@ -168,7 +161,7 @@ fn region_slots(inventory: &Inventory, region_racks: &[RackId], rack: RackId) ->
 /// Alg. 3's matching on a snapshot: returns the accepted proposals in
 /// victim order, the victims left unassigned, and the explored search
 /// space.
-fn plan_proposals(
+pub(crate) fn plan_proposals(
     snapshot: &Placement,
     deps: &DependencyGraph,
     metric: &RackMetric,
@@ -224,15 +217,15 @@ fn plan_proposals(
 }
 
 /// Per-shim negotiation state shared by both runtimes' bookkeeping.
-struct ShimState {
-    rack: RackId,
-    pending: Vec<VmId>,
-    slots: Vec<HostId>,
-    excluded: Vec<(VmId, HostId)>,
-    plan: MigrationPlan,
-    retries: usize,
-    seq: u32,
-    active: bool,
+pub(crate) struct ShimState {
+    pub(crate) rack: RackId,
+    pub(crate) pending: Vec<VmId>,
+    pub(crate) slots: Vec<HostId>,
+    pub(crate) excluded: Vec<(VmId, HostId)>,
+    pub(crate) plan: MigrationPlan,
+    pub(crate) retries: usize,
+    pub(crate) seq: u32,
+    pub(crate) active: bool,
 }
 
 /// Run one management round with every alerted shim planning on its own
@@ -447,1309 +440,6 @@ pub fn distributed_round_obs<S: EventSink + ?Sized>(
     report
 }
 
-/// Configuration of the message-passing fabric runtime.
-#[derive(Debug, Clone)]
-pub struct FabricConfig {
-    /// Channel fault model (drop/duplicate/reorder/delay).
-    pub faults: ChannelFaults,
-    /// Seed for the channel's fault RNG.
-    pub seed: u64,
-    /// Replan rounds per shim after the first, mirroring
-    /// [`distributed_round_obs`]'s `max_retry`.
-    pub max_retry: usize,
-    /// Timeout/retransmission policy per request.
-    pub backoff: BackoffPolicy,
-    /// Ticks to collect `Hello`s before the first planning round; must
-    /// exceed the channel's maximum delay or live racks look dead.
-    pub hello_window: u64,
-    /// Interval between liveness beacons.
-    pub heartbeat_period: u64,
-    /// Silence (in ticks) after which a rack is presumed dead.
-    pub liveness_deadline: u64,
-    /// Hard cap on virtual time — a deadlock backstop; unresolved
-    /// requests at the cap are abandoned and their VMs reported unplaced.
-    pub max_ticks: u64,
-    /// Shim crash schedule in virtual time. A window with `crash_at == 0`
-    /// and no `recover_at` reproduces the old whole-round semantics (the
-    /// shim answers no requests, sends no heartbeats and serves none of
-    /// its own alerts); any other window crashes the shim mid-round and
-    /// optionally recovers it, at which point it replays its intent
-    /// journal and rejoins heartbeating.
-    pub crashed: Vec<CrashWindow>,
-    /// Named network-partition schedule in virtual time: while a window
-    /// is active, traffic crossing its cut is silently swallowed. Both
-    /// sides keep working — the minority side in degraded local mode —
-    /// and reconcile when the window heals.
-    pub partitions: Vec<PartitionWindow>,
-    /// Ticks a journalled PREPARE stays valid without a COMMIT before the
-    /// destination unilaterally aborts it. Must comfortably exceed one
-    /// prepare → commit round trip or healthy transactions expire.
-    pub prepare_lease: u64,
-}
-
-impl Default for FabricConfig {
-    fn default() -> Self {
-        Self {
-            faults: ChannelFaults::reliable(),
-            seed: 0x5EED,
-            max_retry: 3,
-            backoff: BackoffPolicy::default(),
-            hello_window: 2,
-            heartbeat_period: 8,
-            liveness_deadline: 24,
-            max_ticks: 4096,
-            crashed: Vec::new(),
-            partitions: Vec::new(),
-            prepare_lease: 64,
-        }
-    }
-}
-
-impl FabricConfig {
-    /// Adopt the cluster's configured channel fault model.
-    pub fn from_sim(sim: &SimConfig, seed: u64) -> Self {
-        let mut cfg = Self {
-            faults: sim.channel.clone(),
-            seed,
-            ..Self::default()
-        };
-        // keep the hello window ahead of the worst base delay so a
-        // healthy, slow channel is not mistaken for dead shims
-        cfg.hello_window = cfg.hello_window.max(sim.channel.delay_max + 1);
-        cfg
-    }
-}
-
-/// Which phase of the two-phase commit a transaction is waiting on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TxnPhase {
-    /// PREPARE sent; waiting for the destination's vote.
-    Preparing,
-    /// PREPARE-OK received and COMMIT sent; waiting for the final ACK.
-    Committing,
-}
-
-/// A transaction awaiting its next reply at the source shim.
-struct Outstanding {
-    vm: VmId,
-    from: HostId,
-    dest: HostId,
-    cost: f64,
-    attempt: u32,
-    deadline: u64,
-    phase: TxnPhase,
-    /// Absolute lease carried by the PREPARE (stable across resends).
-    lease: u64,
-}
-
-/// Source-shim actor state for the fabric runtime.
-struct FabricShim {
-    st: ShimState,
-    liveness: Liveness,
-    region: Vec<RackId>,
-    /// `BTreeMap`, not `HashMap`: these maps are drained/iterated when
-    /// settling fates, so their order feeds report ordering (DET02).
-    outstanding: BTreeMap<ReqId, Outstanding>,
-    /// Given-up requests whose fate is unknown: a stale copy may still
-    /// commit at the destination, so the VM must not be replanned. The
-    /// entry's `deadline` becomes the patience cutoff for late verdicts.
-    zombies: BTreeMap<ReqId, Outstanding>,
-    /// Zombies whose patience expired with no verdict; resolved against
-    /// ground truth when the simulator assembles the report.
-    unresolved: Vec<Outstanding>,
-    /// Planning rounds still allowed (first plan included).
-    rounds_left: usize,
-    started: bool,
-    done: bool,
-    /// ACKs received for the current batch.
-    progressed: bool,
-    /// A timeout give-up resolved to a late REJECT since the last plan:
-    /// allows one replan even without progress (the degradation ladder's
-    /// recovery step).
-    gave_up: bool,
-    degraded: bool,
-    /// Planned at least once while an active partition cut part of the
-    /// region off (degraded local handling).
-    part_degraded: bool,
-    /// Currently crashed (its schedule window is open).
-    down: bool,
-    /// Earliest tick at which a recovered shim may plan again — one
-    /// heartbeat period after recovery, so its liveness view is fresh.
-    resume_at: u64,
-}
-
-/// Run one management round entirely over the simulated shim channel:
-/// REQUEST/ACK/REJECT with deadlines, backoff, idempotent retransmission,
-/// heartbeat liveness, and graceful degradation around crashed shims.
-///
-/// Single-threaded and deterministic in virtual time; with
-/// [`ChannelFaults::reliable`] and no crashes it produces the same plan
-/// as [`distributed_round_obs`] with `max_retry = cfg.max_retry`.
-#[cfg(feature = "legacy")]
-#[deprecated(
-    since = "0.1.0",
-    note = "use `FabricRuntime` via the `Runtime` trait, or `fabric_round_obs`"
-)]
-pub fn fabric_round(
-    cluster: &mut Cluster,
-    metric: &RackMetric,
-    alerts: &[Alert],
-    alert_values: &[f64],
-    cfg: &FabricConfig,
-) -> DistributedReport {
-    fabric_round_obs(
-        cluster,
-        metric,
-        alerts,
-        alert_values,
-        cfg,
-        &mut sheriff_obs::NullSink,
-    )
-}
-
-/// The fabric round with an [`EventSink`] observing the message exchange:
-/// every REQUEST/ACK/REJECT, timeout, retransmission, absorbed duplicate,
-/// degradation step, and crashed shim becomes a structured event, and the
-/// channel's [`NetStats`](crate::channel::NetStats) land in counters
-/// (`net.sent`, `net.dropped`, ...). The runtime is single-threaded in
-/// virtual time, so the event stream is deterministic for a fixed seed.
-pub fn fabric_round_obs<S: EventSink + ?Sized>(
-    cluster: &mut Cluster,
-    metric: &RackMetric,
-    alerts: &[Alert],
-    alert_values: &[f64],
-    cfg: &FabricConfig,
-    sink: &mut S,
-) -> DistributedReport {
-    // single-shot compatibility path: fresh failover state has no
-    // heartbeat history, so no takeover or fencing can fire and the
-    // round reproduces the pre-failover fabric byte for byte
-    let mut failover = RegionFailover::new(cfg.heartbeat_period.max(1), cfg.liveness_deadline);
-    fabric_round_failover_obs(
-        cluster,
-        metric,
-        alerts,
-        alert_values,
-        cfg,
-        &mut failover,
-        sink,
-    )
-}
-
-/// The fabric round with persistent partition-tolerance state threaded
-/// through: the adaptive failure detector accrues heartbeat silence
-/// across rounds, a shim it declares Dead has its racks handed to a
-/// deterministic successor under a bumped epoch, and 2PC messages
-/// carrying a superseded epoch are fenced with a `StaleEpoch` reject
-/// that teaches the zombie the current term. Partition windows from
-/// `cfg.partitions` cut the simulated network; shims plan around active
-/// cuts in degraded local mode and reconcile parked work when a window
-/// heals. [`fabric_round_obs`] is this with throwaway state.
-#[allow(clippy::too_many_arguments)]
-pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
-    cluster: &mut Cluster,
-    metric: &RackMetric,
-    alerts: &[Alert],
-    alert_values: &[f64],
-    cfg: &FabricConfig,
-    failover: &mut RegionFailover,
-    sink: &mut S,
-) -> DistributedReport {
-    let mut racks: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
-    racks.sort_unstable();
-    racks.dedup();
-    // a window with crash_at == 0 and no recovery is the old whole-round
-    // crash: the rack is excluded from the round entirely. Every other
-    // window is a mid-round transition handled inside the tick loop.
-    let whole_round: BTreeSet<RackId> = cfg
-        .crashed
-        .iter()
-        .filter(|w| w.crash_at == 0 && w.recover_at.is_none())
-        .map(|w| w.rack)
-        .collect();
-    let schedule: Vec<CrashWindow> = cfg
-        .crashed
-        .iter()
-        .copied()
-        .filter(|w| !(w.crash_at == 0 && w.recover_at.is_none()))
-        .collect();
-    let crashed_alerted_racks: Vec<RackId> = racks
-        .iter()
-        .copied()
-        .filter(|r| whole_round.contains(r))
-        .collect();
-    for &r in &crashed_alerted_racks {
-        emit(sink, || Event::ShimCrashed {
-            rack: r.index() as u64,
-        });
-    }
-    racks.retain(|r| !whole_round.contains(r));
-    let mut report = DistributedReport {
-        crashed_shims: crashed_alerted_racks.len(),
-        ..DistributedReport::default()
-    };
-    // detector baseline: every rack is expected to beacon from the
-    // round's start, so a shim that is down from tick 0 accrues silence
-    for i in 0..cluster.dcn.rack_count() {
-        failover
-            .detector
-            .track(RackId::from_index(i), failover.clock);
-    }
-    // regional takeover: an alerted rack whose shim the detector has
-    // already declared Dead hands its alerts to a deterministic
-    // successor — the lowest-index live alerted rack in its region,
-    // else the lowest-index live alerted rack anywhere. The first
-    // handover bumps the rack's epoch so the deposed shim's 2PC traffic
-    // can be fenced when it returns.
-    let mut adopted: BTreeMap<RackId, Vec<RackId>> = BTreeMap::new();
-    for &r in &crashed_alerted_racks {
-        if failover.detector.health(r) != ShimHealth::Dead {
-            continue;
-        }
-        let region = cluster.dcn.neighbor_racks(r, cluster.sim.region_hops);
-        let succ = region
-            .iter()
-            .copied()
-            .filter(|s| racks.contains(s))
-            .min()
-            .or_else(|| racks.first().copied());
-        if let Some(s) = succ {
-            let continued = failover.taken_over(r) && failover.manager_of(r) == s;
-            let epoch = failover.take_over(r, s);
-            if !continued {
-                emit(sink, || Event::RegionTakenOver {
-                    rack: r.index() as u64,
-                    by: s.index() as u64,
-                    epoch,
-                });
-                sink.counter("region.takeovers", 1);
-                report.takeovers += 1;
-            }
-            adopted.entry(s).or_default().push(r);
-        }
-    }
-    if racks.is_empty() {
-        return report;
-    }
-    report.shims = racks.len();
-
-    let rack_count = cluster.dcn.rack_count();
-    let sim = cluster.sim.clone();
-    let mut net = SimNet::new(cfg.faults.clone(), cfg.seed);
-    net.set_partitions(cfg.partitions.clone());
-    // racks currently down, rebuilt incrementally from the schedule — the
-    // per-tick membership test the beacon loops use
-    let mut down: BTreeSet<RackId> = whole_round.clone();
-    for &r in &whole_round {
-        net.set_down(r);
-    }
-    let mut endpoints: Vec<ShimEndpoint> = (0..rack_count)
-        .map(|r| ShimEndpoint::new(RackId::from_index(r)))
-        .collect();
-
-    // victim selection on the initial placement (Alg. 1), as in the
-    // threaded runtime
-    let mut shims: Vec<FabricShim> = racks
-        .iter()
-        .map(|&rack| {
-            let (mut pending, mut candidates) = select_victims(
-                &cluster.placement,
-                &cluster.dcn.inventory,
-                &sim,
-                rack,
-                alerts,
-                alert_values,
-            );
-            // a takeover successor also serves the alerts of the racks
-            // it adopted, with victims selected the same way
-            for &ar in adopted.get(&rack).map(Vec::as_slice).unwrap_or_default() {
-                let (more, more_cand) = select_victims(
-                    &cluster.placement,
-                    &cluster.dcn.inventory,
-                    &sim,
-                    ar,
-                    alerts,
-                    alert_values,
-                );
-                pending.extend(more);
-                candidates += more_cand;
-            }
-            emit(sink, || Event::VictimsSelected {
-                rack: rack.index() as u64,
-                candidates: candidates as u64,
-                selected: pending.len() as u64,
-            });
-            let region = cluster.dcn.neighbor_racks(rack, sim.region_hops);
-            FabricShim {
-                st: ShimState {
-                    rack,
-                    active: !pending.is_empty(),
-                    pending,
-                    slots: Vec::new(),
-                    excluded: Vec::new(),
-                    plan: MigrationPlan::default(),
-                    retries: 0,
-                    seq: 0,
-                },
-                liveness: Liveness::new(cfg.liveness_deadline),
-                region,
-                outstanding: BTreeMap::new(),
-                zombies: BTreeMap::new(),
-                unresolved: Vec::new(),
-                rounds_left: cfg.max_retry + 1,
-                started: false,
-                done: false,
-                progressed: false,
-                gave_up: false,
-                degraded: false,
-                part_degraded: false,
-                down: false,
-                resume_at: 0,
-            }
-        })
-        .collect();
-    // shims with nothing to do are immediately done
-    for s in &mut shims {
-        if !s.st.active {
-            s.done = true;
-        }
-    }
-
-    let source_index: HashMap<RackId, usize> = shims
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.st.rack, i))
-        .collect();
-    let all_racks: Vec<RackId> = (0..rack_count).map(RackId::from_index).collect();
-    // longest possible request + reply round trip: base delay plus the
-    // reorder fault's extra hold-back (up to 3 ticks) each way, with slack
-    let patience = 2 * (cfg.faults.delay_max + 3) + 2;
-
-    let mut t: u64 = 0;
-    while t <= cfg.max_ticks {
-        // crash/recover transitions scheduled for this tick. A crashing
-        // source shim loses its volatile negotiation state (outstanding
-        // requests become unresolved — their fate settles against ground
-        // truth); its durable intent journal survives and is replayed on
-        // recovery.
-        for w in &schedule {
-            if w.crash_at == t {
-                net.set_down(w.rack);
-                down.insert(w.rack);
-                emit(sink, || Event::ShimCrashed {
-                    rack: w.rack.index() as u64,
-                });
-                if let Some(&i) = source_index.get(&w.rack) {
-                    let shim = &mut shims[i];
-                    shim.down = true;
-                    shim.started = false;
-                    let lost: Vec<Outstanding> = std::mem::take(&mut shim.outstanding)
-                        .into_values()
-                        .chain(std::mem::take(&mut shim.zombies).into_values())
-                        .collect();
-                    shim.unresolved.extend(lost);
-                }
-            }
-            if w.recover_at == Some(t) {
-                net.set_up(w.rack);
-                down.remove(&w.rack);
-                emit(sink, || Event::ShimRecovered {
-                    rack: w.rack.index() as u64,
-                });
-                report.recoveries += 1;
-                // journal replay: re-ACK committed transfers, abort
-                // orphaned prepares whose lease lapsed while down and
-                // prepares journalled under a since-superseded epoch —
-                // the restore path can never resurrect old-epoch intents
-                let rep = endpoints[w.rack.index()].recover_fenced(
-                    &mut cluster.placement,
-                    &cluster.deps,
-                    t,
-                    failover.epochs(),
-                );
-                sink.counter("journal.replayed", rep.replayed as u64);
-                sink.counter("journal.reacked", rep.reacks.len() as u64);
-                sink.counter("journal.forwarded", rep.forwarded as u64);
-                for req_id in rep.reacks {
-                    let epoch = failover.view_of(w.rack);
-                    net.send(t, w.rack, req_id.source(), ShimMsg::Ack { req_id, epoch });
-                }
-                for (req, vm) in rep.lease_aborts.iter().chain(rep.epoch_aborts.iter()) {
-                    let (req, vm) = (*req, *vm);
-                    report.txn_aborted += 1;
-                    emit(sink, || Event::TxnAborted {
-                        req: req.0,
-                        vm: vm.index() as u64,
-                    });
-                    sink.counter("txn.aborted", 1);
-                }
-                if let Some(&i) = source_index.get(&w.rack) {
-                    let shim = &mut shims[i];
-                    shim.down = false;
-                    // rejoin heartbeating first; plan once the liveness
-                    // view has had a full beacon period to repopulate
-                    shim.resume_at = t + cfg.heartbeat_period + 1;
-                }
-            }
-        }
-
-        // partition heals scheduled for this tick: reconcile parked
-        // work. A pending VM whose rack is managed by another shim was
-        // (or will be) handled by that manager — replanning it here
-        // would double-manage, so it is dropped and counted as a
-        // reconciliation conflict. Shims the cut starved into parking
-        // with work left are woken for a post-heal replan.
-        for (idx, p) in cfg.partitions.iter().enumerate() {
-            if p.heal_at != Some(t) {
-                continue;
-            }
-            emit(sink, || Event::PartitionHealed {
-                partition: idx as u64,
-                racks: p.members.len() as u64,
-            });
-            sink.counter("net.healed", 1);
-            for shim in &mut shims {
-                if !shim.st.pending.is_empty() {
-                    let before = shim.st.pending.len();
-                    let rack = shim.st.rack;
-                    shim.st
-                        .pending
-                        .retain(|&vm| failover.manager_of(cluster.placement.rack_of(vm)) == rack);
-                    report.reconciliations += before - shim.st.pending.len();
-                }
-                if shim.done && !shim.down && !shim.st.pending.is_empty() {
-                    shim.done = false;
-                    shim.gave_up = true;
-                    shim.rounds_left = shim.rounds_left.max(1);
-                }
-            }
-        }
-
-        // liveness beacons: every live rack announces itself to every
-        // source shim at t = 0 and on each heartbeat period. The failure
-        // detector watches the *emission* (simulator ground truth): a
-        // partitioned-but-alive shim keeps emitting, so a cut never
-        // looks like a crash and takeover stays crash-only.
-        if t == 0 {
-            for &r in &all_racks {
-                if down.contains(&r) {
-                    continue;
-                }
-                if failover.detector.observe_emission(r, failover.clock + t) == ShimHealth::Dead {
-                    // a shim the detector wrote off is beaconing again:
-                    // management reverts to it, while its stale epoch
-                    // view keeps its old 2PC traffic fenced until it
-                    // adopts the bump
-                    failover.reinstate(r);
-                }
-                let epoch = failover.view_of(r);
-                for &s in &racks {
-                    net.send(t, r, s, ShimMsg::Hello { rack: r, epoch });
-                }
-            }
-        } else if cfg.heartbeat_period > 0 && t.is_multiple_of(cfg.heartbeat_period) {
-            for &r in &all_racks {
-                if down.contains(&r) {
-                    continue;
-                }
-                if failover.detector.observe_emission(r, failover.clock + t) == ShimHealth::Dead {
-                    failover.reinstate(r);
-                }
-                let epoch = failover.view_of(r);
-                for &s in &racks {
-                    net.send(
-                        t,
-                        r,
-                        s,
-                        ShimMsg::Heartbeat {
-                            rack: r,
-                            tick: t,
-                            epoch,
-                        },
-                    );
-                }
-            }
-        }
-
-        // adaptive failure detection: silence beyond the thresholds
-        // walks a shim Alive → Suspect → Dead. A Dead shim that still
-        // holds unplanned work mid-round hands it to the lowest-index
-        // live shim under a bumped epoch; its in-flight 2PC stays with
-        // the zombie/lease machinery, which already settles it safely.
-        for (rack, _old, new) in failover.detector.tick(failover.clock + t) {
-            match new {
-                ShimHealth::Suspect => {
-                    emit(sink, || Event::ShimSuspected {
-                        rack: rack.index() as u64,
-                    });
-                    sink.counter("detector.suspected", 1);
-                }
-                ShimHealth::Dead => {
-                    emit(sink, || Event::ShimDeclaredDead {
-                        rack: rack.index() as u64,
-                    });
-                    sink.counter("detector.declared_dead", 1);
-                    let Some(&i) = source_index.get(&rack) else {
-                        continue;
-                    };
-                    if !shims
-                        .get(i)
-                        .is_some_and(|s| s.down && !s.st.pending.is_empty())
-                    {
-                        continue;
-                    }
-                    let succ = shims
-                        .iter()
-                        .enumerate()
-                        .filter(|&(j, s)| j != i && !s.down)
-                        .map(|(j, s)| (s.st.rack, j))
-                        .min();
-                    let Some((succ_rack, j)) = succ else {
-                        continue;
-                    };
-                    let continued =
-                        failover.taken_over(rack) && failover.manager_of(rack) == succ_rack;
-                    let epoch = failover.take_over(rack, succ_rack);
-                    if !continued {
-                        emit(sink, || Event::RegionTakenOver {
-                            rack: rack.index() as u64,
-                            by: succ_rack.index() as u64,
-                            epoch,
-                        });
-                        sink.counter("region.takeovers", 1);
-                        report.takeovers += 1;
-                    }
-                    let moved = match shims.get_mut(i) {
-                        Some(s) => std::mem::take(&mut s.st.pending),
-                        None => Vec::new(),
-                    };
-                    if let Some(s) = shims.get_mut(j) {
-                        s.st.pending.extend(moved);
-                        s.done = false;
-                        s.gave_up = true;
-                        s.rounds_left = s.rounds_left.max(1);
-                    }
-                }
-                ShimHealth::Alive => {}
-            }
-        }
-
-        // deliveries: endpoints answer requests, sources absorb replies
-        for (from, to, msg) in net.poll(t) {
-            match msg {
-                ShimMsg::Hello { rack, .. } | ShimMsg::Heartbeat { rack, .. } => {
-                    if let Some(&i) = source_index.get(&to) {
-                        shims[i].liveness.observe(rack, t);
-                    }
-                }
-                ShimMsg::Request {
-                    req_id, vm, dest, ..
-                } => {
-                    let hits_before = endpoints[to.index()].dedup_hits();
-                    let verdict = endpoints[to.index()].handle_request(
-                        &mut cluster.placement,
-                        &cluster.deps,
-                        req_id,
-                        vm,
-                        dest,
-                    );
-                    if endpoints[to.index()].dedup_hits() > hits_before {
-                        emit(sink, || Event::DuplicateAbsorbed { req: req_id.0 });
-                    }
-                    let my_epoch = failover.view_of(to);
-                    net.send(
-                        t,
-                        to,
-                        from,
-                        ShimEndpoint::reply_msg(req_id, verdict, my_epoch),
-                    );
-                }
-                ShimMsg::Prepare {
-                    req_id,
-                    vm,
-                    dest,
-                    lease,
-                    epoch,
-                } => {
-                    // epoch fence: a PREPARE from a deposed manager's
-                    // term mutates nothing — the sender learns the
-                    // current epoch from the reject and must replan
-                    if let Some(current) = failover.fence(from, epoch) {
-                        report.fenced += 1;
-                        emit(sink, || Event::StaleEpochRejected {
-                            req: req_id.0,
-                            rack: to.index() as u64,
-                            stale: epoch,
-                            current,
-                        });
-                        sink.counter("txn.fenced", 1);
-                        net.send(
-                            t,
-                            to,
-                            from,
-                            ShimMsg::Reject {
-                                req_id,
-                                reason: RejectReason::StaleEpoch,
-                                epoch: current,
-                            },
-                        );
-                        continue;
-                    }
-                    let ep = &mut endpoints[to.index()];
-                    let hits_before = ep.dedup_hits();
-                    let journalled_before = ep.journal().len();
-                    let reply = ep.handle_prepare(
-                        &mut cluster.placement,
-                        &cluster.deps,
-                        req_id,
-                        vm,
-                        dest,
-                        lease,
-                        epoch,
-                    );
-                    if ep.journal().len() > journalled_before {
-                        report.txn_prepared += 1;
-                        emit(sink, || Event::TxnPrepared {
-                            req: req_id.0,
-                            vm: vm.index() as u64,
-                            dest_host: dest.index() as u64,
-                        });
-                        sink.counter("txn.prepared", 1);
-                    }
-                    if ep.dedup_hits() > hits_before {
-                        emit(sink, || Event::DuplicateAbsorbed { req: req_id.0 });
-                    }
-                    let my_epoch = failover.view_of(to);
-                    net.send(
-                        t,
-                        to,
-                        from,
-                        ShimEndpoint::reply_2pc_msg(req_id, reply, my_epoch),
-                    );
-                }
-                ShimMsg::PrepareOk { req_id, .. } => {
-                    if let Some(&i) = source_index.get(&to) {
-                        let shim = &mut shims[i];
-                        if let Some(o) = shim.outstanding.get_mut(&req_id) {
-                            if o.phase == TxnPhase::Preparing {
-                                // vote is in: the transaction will commit,
-                                // so the batch made progress
-                                o.phase = TxnPhase::Committing;
-                                o.attempt = 0;
-                                o.deadline = t + cfg.backoff.delay(0, req_id);
-                                shim.progressed = true;
-                                let dest_rack = cluster.placement.rack_of_host(o.dest);
-                                let epoch = failover.view_of(shim.st.rack);
-                                net.send(
-                                    t,
-                                    shim.st.rack,
-                                    dest_rack,
-                                    ShimMsg::Commit { req_id, epoch },
-                                );
-                            }
-                            // duplicate vote for a committing txn: ignore
-                        } else if let Some(mut o) = shim.zombies.remove(&req_id) {
-                            // late vote resolves the zombie: the
-                            // destination is alive and holds the prepare,
-                            // so drive the commit home instead of letting
-                            // the lease strand it
-                            let dest_rack = cluster.placement.rack_of_host(o.dest);
-                            shim.liveness.observe(dest_rack, t);
-                            o.phase = TxnPhase::Committing;
-                            o.attempt = 0;
-                            o.deadline = t + cfg.backoff.delay(0, req_id);
-                            shim.outstanding.insert(req_id, o);
-                            shim.progressed = true;
-                            let epoch = failover.view_of(shim.st.rack);
-                            net.send(
-                                t,
-                                shim.st.rack,
-                                dest_rack,
-                                ShimMsg::Commit { req_id, epoch },
-                            );
-                        }
-                    }
-                }
-                ShimMsg::Commit { req_id, epoch } => {
-                    if let Some(current) = failover.fence(from, epoch) {
-                        report.fenced += 1;
-                        emit(sink, || Event::StaleEpochRejected {
-                            req: req_id.0,
-                            rack: to.index() as u64,
-                            stale: epoch,
-                            current,
-                        });
-                        sink.counter("txn.fenced", 1);
-                        net.send(
-                            t,
-                            to,
-                            from,
-                            ShimMsg::Reject {
-                                req_id,
-                                reason: RejectReason::StaleEpoch,
-                                epoch: current,
-                            },
-                        );
-                        continue;
-                    }
-                    let ep = &mut endpoints[to.index()];
-                    let was_prepared = ep.journal().state(req_id) == Some(TxnState::Prepared);
-                    let reply = ep.handle_commit(req_id, epoch);
-                    if was_prepared && reply == TwoPhaseReply::Ack {
-                        report.txn_committed += 1;
-                        if let Some(rec) = ep.journal().get(req_id) {
-                            let vm = rec.vm;
-                            emit(sink, || Event::TxnCommitted {
-                                req: req_id.0,
-                                vm: vm.index() as u64,
-                            });
-                        }
-                        sink.counter("txn.committed", 1);
-                    }
-                    let my_epoch = failover.view_of(to);
-                    net.send(
-                        t,
-                        to,
-                        from,
-                        ShimEndpoint::reply_2pc_msg(req_id, reply, my_epoch),
-                    );
-                }
-                ShimMsg::Abort { req_id, epoch } => {
-                    // a stale-epoch ABORT is fenced like any other 2PC
-                    // mutation; the prepare it targeted drains via its
-                    // lease instead
-                    if let Some(current) = failover.fence(from, epoch) {
-                        report.fenced += 1;
-                        emit(sink, || Event::StaleEpochRejected {
-                            req: req_id.0,
-                            rack: to.index() as u64,
-                            stale: epoch,
-                            current,
-                        });
-                        sink.counter("txn.fenced", 1);
-                        net.send(
-                            t,
-                            to,
-                            from,
-                            ShimMsg::Reject {
-                                req_id,
-                                reason: RejectReason::StaleEpoch,
-                                epoch: current,
-                            },
-                        );
-                        continue;
-                    }
-                    if let Some((vm, _)) = endpoints[to.index()].handle_abort(
-                        &mut cluster.placement,
-                        &cluster.deps,
-                        req_id,
-                    ) {
-                        report.txn_aborted += 1;
-                        emit(sink, || Event::TxnAborted {
-                            req: req_id.0,
-                            vm: vm.index() as u64,
-                        });
-                        sink.counter("txn.aborted", 1);
-                    }
-                    // fire-and-forget: the source already walked away
-                }
-                ShimMsg::Ack { req_id, .. } => {
-                    if let Some(&i) = source_index.get(&to) {
-                        let shim = &mut shims[i];
-                        // a late ACK for a given-up request still means
-                        // the destination committed: record it. Only the
-                        // zombie case counts as batch progress — for a
-                        // live transaction the PREPARE-OK already did.
-                        let was_zombie = shim.zombies.contains_key(&req_id);
-                        if let Some(o) = shim
-                            .outstanding
-                            .remove(&req_id)
-                            .or_else(|| shim.zombies.remove(&req_id))
-                        {
-                            emit(sink, || Event::AckReceived {
-                                req: req_id.0,
-                                vm: o.vm.index() as u64,
-                            });
-                            emit(sink, || Event::MigrationCommitted {
-                                vm: o.vm.index() as u64,
-                                from_host: o.from.index() as u64,
-                                to_host: o.dest.index() as u64,
-                                cost: o.cost,
-                            });
-                            sink.counter("migrations.committed", 1);
-                            shim.st.plan.moves.push(Move {
-                                vm: o.vm,
-                                from: o.from,
-                                to: o.dest,
-                                cost: o.cost,
-                            });
-                            shim.st.plan.total_cost += o.cost;
-                            if was_zombie {
-                                shim.progressed = true;
-                            }
-                        }
-                        // duplicate ACK: already resolved, ignore
-                    }
-                }
-                ShimMsg::Reject {
-                    req_id,
-                    reason,
-                    epoch,
-                } => {
-                    if let Some(&i) = source_index.get(&to) {
-                        if reason == RejectReason::StaleEpoch {
-                            // the fencing rack told us our term moved on
-                            // (a neighbor took over while we were away):
-                            // adopt it so the replan goes out under the
-                            // current epoch
-                            failover.adopt(to, epoch);
-                        }
-                        let shim = &mut shims[i];
-                        if let Some(o) = shim.outstanding.remove(&req_id) {
-                            emit(sink, || Event::RejectReceived {
-                                req: req_id.0,
-                                vm: o.vm.index() as u64,
-                                reason: reject_kind(reason),
-                            });
-                            sink.counter("migrations.rejected", 1);
-                            shim.st.plan.rejected += 1;
-                            shim.st.retries += 1;
-                            if reason == RejectReason::StaleEpoch {
-                                // the pairing was fine — only the term
-                                // was stale; replan without excluding it
-                                shim.gave_up = true;
-                            } else {
-                                shim.st.excluded.push((o.vm, o.dest));
-                            }
-                            shim.st.pending.push(o.vm);
-                        } else if let Some(o) = shim.zombies.remove(&req_id) {
-                            // late REJECT resolves the zombie: the VM
-                            // definitively did not move, so it is safe to
-                            // replan it elsewhere
-                            emit(sink, || Event::RejectReceived {
-                                req: req_id.0,
-                                vm: o.vm.index() as u64,
-                                reason: reject_kind(reason),
-                            });
-                            sink.counter("migrations.rejected", 1);
-                            shim.st.plan.rejected += 1;
-                            shim.st.retries += 1;
-                            shim.st.pending.push(o.vm);
-                            shim.gave_up = true;
-                        }
-                    }
-                }
-            }
-        }
-
-        // lease expiry: a live destination unilaterally aborts prepares
-        // whose COMMIT never arrived (a commit delivered this same tick
-        // wins — deliveries were processed above). Crashed endpoints
-        // expire theirs during journal replay on recovery instead.
-        for (r, endpoint) in endpoints.iter_mut().enumerate() {
-            let rack = RackId::from_index(r);
-            if down.contains(&rack) {
-                continue;
-            }
-            for (req, vm) in endpoint.expire_leases(&mut cluster.placement, &cluster.deps, t) {
-                report.txn_aborted += 1;
-                emit(sink, || Event::TxnAborted {
-                    req: req.0,
-                    vm: vm.index() as u64,
-                });
-                sink.counter("txn.aborted", 1);
-            }
-        }
-
-        // source-shim actions, in rack order for determinism
-        for shim in &mut shims {
-            if shim.done || shim.down {
-                continue;
-            }
-            if !shim.started {
-                if t >= cfg.hello_window && t >= shim.resume_at {
-                    if shim.rounds_left > 0 {
-                        shim.started = true;
-                        fabric_plan_and_send(
-                            shim,
-                            cluster,
-                            metric,
-                            &sim,
-                            &mut net,
-                            t,
-                            cfg,
-                            failover,
-                            &mut report,
-                            sink,
-                        );
-                    } else if shim.zombies.is_empty() {
-                        shim.done = true;
-                    } else {
-                        // out of planning rounds but still owed verdicts
-                        shim.started = true;
-                    }
-                }
-                continue;
-            }
-
-            // expire deadlines: retransmit with backoff, then give up and
-            // presume the destination dead
-            let expired: Vec<ReqId> = shim
-                .outstanding
-                .iter()
-                .filter(|(_, o)| o.deadline <= t)
-                .map(|(&id, _)| id)
-                .collect();
-            for req_id in expired {
-                report.timeouts += 1;
-                let o = shim.outstanding.get_mut(&req_id).expect("collected above");
-                emit(sink, || Event::RequestTimeout {
-                    req: req_id.0,
-                    attempt: o.attempt as u64 + 1,
-                });
-                sink.counter("net.timeouts", 1);
-                if o.attempt + 1 < cfg.backoff.max_attempts {
-                    o.attempt += 1;
-                    o.deadline = t + cfg.backoff.delay(o.attempt, req_id);
-                    report.resends += 1;
-                    emit(sink, || Event::RequestResent {
-                        req: req_id.0,
-                        attempt: o.attempt as u64 + 1,
-                    });
-                    sink.counter("net.resends", 1);
-                    let my_epoch = failover.view_of(shim.st.rack);
-                    let msg = match o.phase {
-                        TxnPhase::Preparing => ShimMsg::Prepare {
-                            req_id,
-                            vm: o.vm,
-                            dest: o.dest,
-                            lease: o.lease,
-                            epoch: my_epoch,
-                        },
-                        TxnPhase::Committing => ShimMsg::Commit {
-                            req_id,
-                            epoch: my_epoch,
-                        },
-                    };
-                    let dest_rack = cluster.placement.rack_of_host(o.dest);
-                    net.send(t, shim.st.rack, dest_rack, msg);
-                } else {
-                    // give up: presume the destination dead — but a stale
-                    // copy of the request may still commit there, so the
-                    // VM's fate is unknown. Park it as a zombie and keep
-                    // listening for a late verdict within the patience
-                    // window; never replan a VM of unknown fate.
-                    let mut o = shim.outstanding.remove(&req_id).expect("collected above");
-                    let dest_rack = cluster.placement.rack_of_host(o.dest);
-                    shim.liveness.presume_dead(dest_rack);
-                    if !shim.degraded {
-                        emit(sink, || Event::ShimDegraded {
-                            rack: shim.st.rack.index() as u64,
-                        });
-                    }
-                    shim.degraded = true;
-                    shim.st.excluded.push((o.vm, o.dest));
-                    o.deadline = t + patience;
-                    shim.zombies.insert(req_id, o);
-                }
-            }
-
-            // zombies past their patience window stay unresolved; the
-            // report assembly settles them against ground truth. A
-            // best-effort ABORT lets the destination release a prepare
-            // early instead of waiting out its lease.
-            let expired: Vec<ReqId> = shim
-                .zombies
-                .iter()
-                .filter(|(_, o)| o.deadline <= t)
-                .map(|(&id, _)| id)
-                .collect();
-            for id in expired {
-                let o = shim.zombies.remove(&id).expect("collected above");
-                let dest_rack = cluster.placement.rack_of_host(o.dest);
-                let epoch = failover.view_of(shim.st.rack);
-                net.send(
-                    t,
-                    shim.st.rack,
-                    dest_rack,
-                    ShimMsg::Abort { req_id: id, epoch },
-                );
-                shim.unresolved.push(o);
-            }
-
-            // batch resolved once every PREPARE has its vote: replan while
-            // the commits drain (their placement effect is already
-            // visible), or finish when truly idle
-            let preparing = shim
-                .outstanding
-                .values()
-                .any(|o| o.phase == TxnPhase::Preparing);
-            if !preparing {
-                let replan = !shim.st.pending.is_empty()
-                    && shim.rounds_left > 0
-                    && (shim.progressed || shim.gave_up);
-                if replan {
-                    fabric_plan_and_send(
-                        shim,
-                        cluster,
-                        metric,
-                        &sim,
-                        &mut net,
-                        t,
-                        cfg,
-                        failover,
-                        &mut report,
-                        sink,
-                    );
-                } else if shim.outstanding.is_empty() && shim.zombies.is_empty() {
-                    shim.done = true;
-                }
-            }
-        }
-
-        // the round ends when every source shim settled; a crashed shim
-        // only holds the round open while a recovery is still scheduled,
-        // and a scheduled heal holds it open while any parked shim still
-        // has work the heal would wake it for
-        let heal_pending = cfg
-            .partitions
-            .iter()
-            .any(|p| p.start_at <= t && p.heal_at.is_some_and(|h| h > t));
-        let all_settled = shims.iter().all(|s| {
-            s.done
-                || (s.down
-                    && !schedule
-                        .iter()
-                        .any(|w| w.rack == s.st.rack && w.recover_at.is_some_and(|r| r > t)))
-        }) && !(heal_pending
-            && shims
-                .iter()
-                .any(|s| s.done && !s.down && !s.st.pending.is_empty()));
-        if all_settled {
-            break;
-        }
-        t += 1;
-    }
-
-    // no transaction outlives the round: sweep every journal and abort
-    // whatever is still `Prepared` (sources that walked away, schedules
-    // that never recovered, the tick cap). Must happen before the
-    // ground-truth settlement below so a half-done prepare can't be
-    // mistaken for a committed move.
-    for ep in &mut endpoints {
-        for (req, vm) in ep.expire_leases(&mut cluster.placement, &cluster.deps, u64::MAX) {
-            report.txn_aborted += 1;
-            emit(sink, || Event::TxnAborted {
-                req: req.0,
-                vm: vm.index() as u64,
-            });
-            sink.counter("txn.aborted", 1);
-        }
-    }
-
-    // no VM may be managed by two shims at once: across takeovers,
-    // partitions, and heals the pending / in-flight / unknown-fate sets
-    // of different shims must stay disjoint (audited before settlement
-    // collapses them against ground truth)
-    let manager_audit = audit_managers(shims.iter().map(|s| {
-        (
-            s.st.rack,
-            s.st.pending
-                .iter()
-                .copied()
-                .chain(s.outstanding.values().map(|o| o.vm))
-                .chain(s.zombies.values().map(|o| o.vm))
-                .chain(s.unresolved.iter().map(|o| o.vm))
-                .collect::<Vec<_>>(),
-        )
-    }));
-
-    // settle unknown fates against ground truth: the simulator (unlike
-    // the shims) can see whether an unacknowledged request actually
-    // committed at its destination. Requests cut off by the tick cap are
-    // settled the same way.
-    for shim in &mut shims {
-        let leftovers: Vec<Outstanding> = shim
-            .unresolved
-            .drain(..)
-            .chain(std::mem::take(&mut shim.outstanding).into_values())
-            .chain(std::mem::take(&mut shim.zombies).into_values())
-            .collect();
-        for o in leftovers {
-            if cluster.placement.host_of(o.vm) == o.dest {
-                emit(sink, || Event::MigrationCommitted {
-                    vm: o.vm.index() as u64,
-                    from_host: o.from.index() as u64,
-                    to_host: o.dest.index() as u64,
-                    cost: o.cost,
-                });
-                sink.counter("migrations.committed", 1);
-                shim.st.plan.moves.push(Move {
-                    vm: o.vm,
-                    from: o.from,
-                    to: o.dest,
-                    cost: o.cost,
-                });
-                shim.st.plan.total_cost += o.cost;
-            } else {
-                shim.st.pending.push(o.vm);
-            }
-        }
-    }
-
-    report.ticks = t.min(cfg.max_ticks);
-    // the detector's clock spans rounds: silence keeps accruing across
-    // round boundaries, so a crashed shim is eventually declared Dead
-    // even when every individual round is short
-    failover.clock += report.ticks + 1;
-    report.drops = net.stats.dropped;
-    report.dedup_hits = endpoints.iter().map(|e| e.dedup_hits()).sum();
-    sink.counter("net.sent", net.stats.sent as u64);
-    sink.counter("net.delivered", net.stats.delivered as u64);
-    sink.counter("net.dropped", net.stats.dropped as u64);
-    sink.counter("net.duplicated", net.stats.duplicated as u64);
-    sink.counter("net.reordered", net.stats.reordered as u64);
-    sink.counter("net.blackholed", net.stats.blackholed as u64);
-    sink.counter("net.partitioned", net.stats.partitioned as u64);
-    sink.counter("net.dedup_hits", report.dedup_hits as u64);
-    for shim in shims {
-        let mut plan = shim.st.plan;
-        let mut pending = shim.st.pending;
-        pending.sort_unstable();
-        pending.dedup();
-        plan.unplaced.extend(pending);
-        report.plan.absorb(plan);
-        report.retries += shim.st.retries;
-        if shim.degraded {
-            report.degraded_shims += 1;
-        }
-    }
-    report.audit = audit_placement(&cluster.placement, &cluster.deps);
-    report.audit.merge(manager_audit);
-    report.audit.merge(audit_moves(
-        &cluster.placement,
-        report.plan.moves.iter().map(|m| (m.vm, m.to)),
-    ));
-    report.audit.merge(audit_journals(
-        &cluster.placement,
-        endpoints.iter().map(|e| e.journal()),
-    ));
-    report
-}
-
-/// One fabric planning round: rebuild the slot list from live racks
-/// (degradation ladder step 1; the own rack is always kept — step 2),
-/// run the matching, and send a REQUEST per assignment.
-#[allow(clippy::too_many_arguments)]
-fn fabric_plan_and_send<S: EventSink + ?Sized>(
-    shim: &mut FabricShim,
-    cluster: &Cluster,
-    metric: &RackMetric,
-    sim: &SimConfig,
-    net: &mut SimNet,
-    now: u64,
-    cfg: &FabricConfig,
-    failover: &RegionFailover,
-    report: &mut DistributedReport,
-    sink: &mut S,
-) {
-    shim.rounds_left -= 1;
-    shim.progressed = false;
-    shim.gave_up = false;
-
-    let live_region: Vec<RackId> = shim
-        .region
-        .iter()
-        .copied()
-        .filter(|&r| shim.liveness.alive(r, now))
-        .collect();
-    // an active partition cuts part of the region off *right now*: plan
-    // around it immediately (degraded local handling, own rack always
-    // kept) instead of waiting for the liveness deadline to notice
-    let reachable: Vec<RackId> = live_region
-        .iter()
-        .copied()
-        .filter(|&r| !net.cut(now, shim.st.rack, r))
-        .collect();
-    // degraded-mode accounting keys off the ground-truth cut over the
-    // whole region: liveness may have aged the far side out already (its
-    // beacons stopped arriving the moment the cut opened), but the shim
-    // is still planning around a partition, not a crash
-    let cut_off = shim.region.iter().any(|&r| net.cut(now, shim.st.rack, r));
-    if cut_off && !shim.part_degraded {
-        shim.part_degraded = true;
-        report.partition_degraded += 1;
-        sink.counter("region.partition_degraded", 1);
-    }
-    if reachable.len() < shim.region.len() {
-        if !shim.degraded {
-            emit(sink, || Event::ShimDegraded {
-                rack: shim.st.rack.index() as u64,
-            });
-        }
-        shim.degraded = true;
-    }
-    shim.st.slots = region_slots(&cluster.dcn.inventory, &reachable, shim.st.rack);
-
-    let pending = std::mem::take(&mut shim.st.pending);
-    let (proposals, unassigned, space) = plan_proposals(
-        &cluster.placement,
-        &cluster.deps,
-        metric,
-        sim,
-        &pending,
-        &shim.st.slots,
-        &shim.st.excluded,
-    );
-    shim.st.plan.search_space += space;
-    shim.st.pending = unassigned;
-    emit(sink, || Event::PlanComputed {
-        rack: shim.st.rack.index() as u64,
-        proposals: proposals.len() as u64,
-        unassigned: shim.st.pending.len() as u64,
-        search_space: space as u64,
-    });
-
-    for p in proposals {
-        let req_id = ReqId::new(shim.st.rack, shim.st.seq);
-        shim.st.seq += 1;
-        emit(sink, || Event::RequestSent {
-            req: req_id.0,
-            vm: p.vm.index() as u64,
-            dest_host: p.dest.index() as u64,
-            attempt: 1,
-        });
-        let from = cluster.placement.host_of(p.vm);
-        let dest_rack = cluster.placement.rack_of_host(p.dest);
-        let lease = now + cfg.prepare_lease;
-        shim.outstanding.insert(
-            req_id,
-            Outstanding {
-                vm: p.vm,
-                from,
-                dest: p.dest,
-                cost: p.cost,
-                attempt: 0,
-                deadline: now + cfg.backoff.delay(0, req_id),
-                phase: TxnPhase::Preparing,
-                lease,
-            },
-        );
-        net.send(
-            now,
-            shim.st.rack,
-            dest_rack,
-            ShimMsg::Prepare {
-                req_id,
-                vm: p.vm,
-                dest: p.dest,
-                lease,
-                epoch: failover.view_of(shim.st.rack),
-            },
-        );
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1866,422 +556,5 @@ mod tests {
         assert_eq!(report.shims, 0);
         assert!(report.plan.moves.is_empty());
         assert_eq!(c.utilization_stddev(), before);
-    }
-
-    #[test]
-    fn reliable_fabric_reproduces_threaded_plan_exactly() {
-        let mut threaded = cluster(26);
-        let mut fabric = cluster(26);
-        let metric = RackMetric::build(&threaded.dcn, &threaded.sim);
-        let alerts = threaded.fraction_alerts(0.10, 0);
-        let vals = alert_values(&threaded);
-
-        let cfg = FabricConfig::default();
-        assert!(cfg.faults.is_reliable());
-        let rt = distributed_round_obs(
-            &mut threaded,
-            &metric,
-            &alerts,
-            &vals,
-            cfg.max_retry,
-            &mut NullSink,
-        );
-        let rf = fabric_round_obs(&mut fabric, &metric, &alerts, &vals, &cfg, &mut NullSink);
-
-        assert_eq!(rt.plan.moves.len(), rf.plan.moves.len());
-        for (a, b) in rt.plan.moves.iter().zip(&rf.plan.moves) {
-            assert_eq!((a.vm, a.from, a.to), (b.vm, b.from, b.to));
-            assert!((a.cost - b.cost).abs() < 1e-12);
-        }
-        assert!((rt.plan.total_cost - rf.plan.total_cost).abs() < 1e-9);
-        assert_eq!(rt.plan.rejected, rf.plan.rejected);
-        assert_eq!(rt.plan.unplaced, rf.plan.unplaced);
-        for vm in threaded.placement.vm_ids() {
-            assert_eq!(threaded.placement.host_of(vm), fabric.placement.host_of(vm));
-        }
-        // a perfect channel exercises none of the robustness machinery
-        assert_eq!(rf.drops, 0);
-        assert_eq!(rf.timeouts, 0);
-        assert_eq!(rf.resends, 0);
-        assert_eq!(rf.dedup_hits, 0);
-        assert_eq!(rf.degraded_shims, 0);
-        assert!(!rt.plan.moves.is_empty(), "vacuous equivalence");
-        // every move travelled the full PREPARE -> COMMIT -> ACK path and
-        // nothing was left half-done
-        assert_eq!(rf.txn_committed, rf.plan.moves.len());
-        assert_eq!(rf.txn_aborted, 0);
-        assert_eq!(rf.recoveries, 0);
-        assert!(rf.audit.is_clean(), "{}", rf.audit);
-        assert!(rt.audit.is_clean(), "{}", rt.audit);
-    }
-
-    #[test]
-    fn lossy_fabric_with_crash_completes_and_degrades_gracefully() {
-        let mut c = cluster(27);
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let vals = alert_values(&c);
-        // crash the shim of the first alerted rack: its own alert goes
-        // unserved and every other shim must route around it
-        let crashed = alerts[0].rack;
-        let cfg = FabricConfig {
-            faults: ChannelFaults {
-                drop: 0.10,
-                ..ChannelFaults::lossy(0.10)
-            },
-            seed: 99,
-            crashed: vec![CrashWindow::whole_round(crashed)],
-            ..FabricConfig::default()
-        };
-        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
-
-        assert!(
-            report.ticks < cfg.max_ticks,
-            "round wedged until the tick cap"
-        );
-        assert!(
-            !report.plan.moves.is_empty(),
-            "lossy fabric still made progress"
-        );
-        assert_capacity_ok(&c);
-        assert_deps_ok(&c);
-        assert_eq!(report.crashed_shims, 1);
-        assert!(report.drops > 0, "10% loss must drop something");
-        assert!(report.timeouts > 0, "drops must surface as timeouts");
-        assert!(report.resends > 0, "timeouts must trigger retransmissions");
-        assert!(
-            report.degraded_shims > 0,
-            "crash must degrade someone's region"
-        );
-    }
-
-    #[test]
-    fn duplicated_requests_never_double_apply() {
-        let mut c = cluster(28);
-        let initial = c.placement.clone();
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let vals = alert_values(&c);
-        let cfg = FabricConfig {
-            faults: ChannelFaults {
-                duplicate: 0.5,
-                ..ChannelFaults::reliable()
-            },
-            seed: 5,
-            ..FabricConfig::default()
-        };
-        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
-        assert!(
-            report.dedup_hits > 0,
-            "50% duplication must hit the dedup log"
-        );
-        // chaining the recorded moves from the initial placement lands
-        // exactly on the final placement: every ACKed move applied once
-        let mut loc: std::collections::HashMap<VmId, HostId> = c
-            .placement
-            .vm_ids()
-            .map(|vm| (vm, initial.host_of(vm)))
-            .collect();
-        for m in &report.plan.moves {
-            assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
-            loc.insert(m.vm, m.to);
-        }
-        for vm in c.placement.vm_ids() {
-            assert_eq!(loc[&vm], c.placement.host_of(vm));
-        }
-        assert_capacity_ok(&c);
-    }
-
-    #[test]
-    fn fabric_with_all_shims_crashed_is_a_noop() {
-        let mut c = cluster(29);
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.05, 0);
-        let vals = alert_values(&c);
-        let before = c.utilization_stddev();
-        let crashed: Vec<RackId> = {
-            let mut r: Vec<RackId> = alerts.iter().map(|a| a.rack).collect();
-            r.sort_unstable();
-            r.dedup();
-            r
-        };
-        let cfg = FabricConfig {
-            crashed: crashed
-                .iter()
-                .copied()
-                .map(CrashWindow::whole_round)
-                .collect(),
-            ..FabricConfig::default()
-        };
-        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
-        assert_eq!(report.shims, 0);
-        assert_eq!(report.crashed_shims, crashed.len());
-        assert!(report.plan.moves.is_empty());
-        assert_eq!(c.utilization_stddev(), before);
-    }
-
-    #[test]
-    fn mid_round_source_crash_recovers_and_audits_clean() {
-        let mut c = cluster(31);
-        let initial = c.placement.clone();
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let vals = alert_values(&c);
-        // kill an alerted source shim between its PREPARE burst (applied
-        // at t = 3 on the destinations) and the COMMIT phase, then
-        // recover it: the orphaned prepares must lease-abort cleanly and
-        // the recovered shim rejoins planning
-        let victim = alerts[0].rack;
-        let cfg = FabricConfig {
-            crashed: vec![CrashWindow::during(victim, 4, 12)],
-            ..FabricConfig::default()
-        };
-        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
-
-        assert!(report.ticks < cfg.max_ticks, "round wedged");
-        assert_eq!(report.recoveries, 1);
-        assert_eq!(
-            report.crashed_shims, 0,
-            "a recovering shim is not written off"
-        );
-        assert!(report.audit.is_clean(), "{}", report.audit);
-        assert_capacity_ok(&c);
-        assert_deps_ok(&c);
-        // exactly-once despite the crash: replaying the recorded moves
-        // from the initial placement reproduces the final one
-        let mut loc: std::collections::HashMap<VmId, HostId> = c
-            .placement
-            .vm_ids()
-            .map(|vm| (vm, initial.host_of(vm)))
-            .collect();
-        for m in &report.plan.moves {
-            assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
-            loc.insert(m.vm, m.to);
-        }
-        for vm in c.placement.vm_ids() {
-            assert_eq!(loc[&vm], c.placement.host_of(vm));
-        }
-    }
-
-    #[test]
-    fn mid_round_source_crash_settles_without_zombie_txns() {
-        let mut c = cluster(32);
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let vals = alert_values(&c);
-        // kill an alerted source shim right after its PREPAREs land and
-        // never bring it back: its prepares must lease-abort or settle,
-        // never stay half-done
-        let victim = alerts[0].rack;
-        let cfg = FabricConfig {
-            crashed: vec![CrashWindow {
-                rack: victim,
-                crash_at: 4,
-                recover_at: None,
-            }],
-            ..FabricConfig::default()
-        };
-        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut NullSink);
-        assert!(report.ticks < cfg.max_ticks, "round wedged");
-        assert!(report.audit.is_clean(), "{}", report.audit);
-        assert_capacity_ok(&c);
-        assert_deps_ok(&c);
-    }
-
-    #[test]
-    fn sustained_crash_takeover_then_zombie_is_fenced() {
-        let mut c = cluster(33);
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let victim = alerts[0].rack;
-        let mut failover = RegionFailover::default();
-        let crash_cfg = FabricConfig {
-            crashed: vec![CrashWindow::whole_round(victim)],
-            ..FabricConfig::default()
-        };
-        // the victim stays dark across rounds: the detector walks it to
-        // Dead and exactly one takeover (epoch bump) follows, however
-        // many further rounds it stays dead
-        let mut takeovers = 0;
-        for _ in 0..6 {
-            let vals = alert_values(&c);
-            let r = fabric_round_failover_obs(
-                &mut c,
-                &metric,
-                &alerts,
-                &vals,
-                &crash_cfg,
-                &mut failover,
-                &mut NullSink,
-            );
-            assert!(r.audit.is_clean(), "{}", r.audit);
-            takeovers += r.takeovers;
-        }
-        assert_eq!(takeovers, 1, "one manager change, one epoch bump");
-        assert_eq!(failover.epoch_of(victim), 1);
-        assert!(failover.taken_over(victim));
-        assert_eq!(
-            failover.view_of(victim),
-            0,
-            "the deposed shim never heard the bump"
-        );
-
-        // the shim returns: its first PREPARE burst still carries epoch
-        // 0, gets fenced, and the reject teaches it the current epoch
-        let cfg = FabricConfig::default();
-        let vals = alert_values(&c);
-        let r = fabric_round_failover_obs(
-            &mut c,
-            &metric,
-            &alerts,
-            &vals,
-            &cfg,
-            &mut failover,
-            &mut NullSink,
-        );
-        assert!(r.fenced > 0, "zombie PREPAREs must be fenced");
-        assert_eq!(failover.view_of(victim), 1, "reject taught the epoch");
-        assert!(
-            !failover.taken_over(victim),
-            "beaconing again reinstates management"
-        );
-        assert!(r.audit.is_clean(), "{}", r.audit);
-        assert_capacity_ok(&c);
-        assert_deps_ok(&c);
-    }
-
-    #[test]
-    fn crash_recover_with_concurrent_takeover_never_double_manages() {
-        let mut c = cluster(36);
-        let initial = c.placement.clone();
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let vals = alert_values(&c);
-        let victim = alerts[0].rack;
-        // an aggressive detector (dead after ~6 ticks of silence)
-        // declares the crashed shim Dead mid-round; its unplanned work
-        // moves to a successor under a bumped epoch, and the shim then
-        // recovers into the takeover — the regression this guards is two
-        // shims both claiming the victim's VMs
-        let mut failover = RegionFailover::new(2, 4);
-        let cfg = FabricConfig {
-            crashed: vec![CrashWindow::during(victim, 1, 20)],
-            ..FabricConfig::default()
-        };
-        let report = fabric_round_failover_obs(
-            &mut c,
-            &metric,
-            &alerts,
-            &vals,
-            &cfg,
-            &mut failover,
-            &mut NullSink,
-        );
-        assert!(report.ticks < cfg.max_ticks, "round wedged");
-        assert_eq!(report.takeovers, 1, "mid-round takeover must fire");
-        assert_eq!(failover.epoch_of(victim), 1);
-        assert_eq!(report.recoveries, 1);
-        // the manager audit (merged into report.audit) proves no VM was
-        // pending/outstanding at two shims at once
-        assert!(report.audit.is_clean(), "{}", report.audit);
-        assert_capacity_ok(&c);
-        assert_deps_ok(&c);
-        // exactly-once despite crash + takeover: replaying the recorded
-        // moves from the initial placement reproduces the final one
-        let mut loc: std::collections::HashMap<VmId, HostId> = c
-            .placement
-            .vm_ids()
-            .map(|vm| (vm, initial.host_of(vm)))
-            .collect();
-        for m in &report.plan.moves {
-            assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
-            loc.insert(m.vm, m.to);
-        }
-        for vm in c.placement.vm_ids() {
-            assert_eq!(loc[&vm], c.placement.host_of(vm));
-        }
-    }
-
-    #[test]
-    fn partition_degrades_minority_without_takeover_or_fencing() {
-        let mut c = cluster(34);
-        let metric = RackMetric::build(&c.dcn, &c.sim);
-        let alerts = c.fraction_alerts(0.10, 0);
-        let vals = alert_values(&c);
-        let isolated = alerts[0].rack;
-        let cfg = FabricConfig {
-            partitions: vec![PartitionWindow::new(vec![isolated], 0, Some(24))],
-            ..FabricConfig::default()
-        };
-        let mut failover = RegionFailover::default();
-        let report = fabric_round_failover_obs(
-            &mut c,
-            &metric,
-            &alerts,
-            &vals,
-            &cfg,
-            &mut failover,
-            &mut NullSink,
-        );
-        assert!(
-            report.partition_degraded > 0,
-            "the cut shim must notice its shrunken region"
-        );
-        // emission-based detection: a partitioned-but-alive shim keeps
-        // beaconing, so the cut never looks like a crash
-        assert_eq!(report.takeovers, 0, "a partition is not a crash");
-        assert_eq!(report.fenced, 0, "no epoch bumped, nothing to fence");
-        assert_eq!(report.crashed_shims, 0);
-        for r in 0..c.dcn.rack_count() {
-            assert_eq!(failover.epoch_of(RackId::from_index(r)), 0);
-        }
-        assert!(report.audit.is_clean(), "{}", report.audit);
-        assert_capacity_ok(&c);
-        assert_deps_ok(&c);
-    }
-
-    #[test]
-    fn partitioned_lossy_fabric_is_deterministic() {
-        let run = || {
-            let mut c = cluster(35);
-            let metric = RackMetric::build(&c.dcn, &c.sim);
-            let alerts = c.fraction_alerts(0.10, 0);
-            let vals = alert_values(&c);
-            let cfg = FabricConfig {
-                faults: ChannelFaults::lossy(0.05),
-                seed: 41,
-                partitions: vec![PartitionWindow::new(vec![alerts[0].rack], 2, Some(20))],
-                ..FabricConfig::default()
-            };
-            let mut failover = RegionFailover::default();
-            let report = fabric_round_failover_obs(
-                &mut c,
-                &metric,
-                &alerts,
-                &vals,
-                &cfg,
-                &mut failover,
-                &mut NullSink,
-            );
-            let placement: Vec<HostId> = c
-                .placement
-                .vm_ids()
-                .map(|vm| c.placement.host_of(vm))
-                .collect();
-            (report, placement)
-        };
-        let (r1, p1) = run();
-        let (r2, p2) = run();
-        assert_eq!(p1, p2, "same seed, same placement");
-        assert!(!p1.is_empty());
-        assert_eq!(r1.plan.moves.len(), r2.plan.moves.len());
-        for (a, b) in r1.plan.moves.iter().zip(&r2.plan.moves) {
-            assert_eq!((a.vm, a.from, a.to), (b.vm, b.from, b.to));
-        }
-        assert_eq!(
-            (r1.drops, r1.resends, r1.ticks, r1.partition_degraded),
-            (r2.drops, r2.resends, r2.ticks, r2.partition_degraded)
-        );
-        assert_eq!(r1.reconciliations, r2.reconciliations);
     }
 }

@@ -142,6 +142,36 @@ impl FailureDetector {
     pub fn health(&self, rack: RackId) -> ShimHealth {
         self.health.get(&rack).copied().unwrap_or(ShimHealth::Alive)
     }
+
+    /// The earliest tick strictly after `now` at which some tracked
+    /// shim's classification differs from its recorded health, or `None`
+    /// when no amount of further silence changes any verdict.
+    ///
+    /// Silence-driven transitions happen exactly at `last + 2·mean + 1`
+    /// (Alive→Suspect) and `last + max(dead_floor, 3·mean) + 1`
+    /// (→Dead) — [`classify`](Self::classify) uses strict inequalities —
+    /// and nothing else moves between emissions, so an event loop that
+    /// wakes the detector at this tick observes the same transitions as
+    /// one that ticks it every virtual tick.
+    pub fn next_transition_after(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        for (&rack, &last) in &self.last_emit {
+            let mean = self.mean_interval(rack);
+            let cur = self.health(rack);
+            let candidates = [
+                last.saturating_add(2 * mean + 1),
+                last.saturating_add(self.dead_floor.max(3 * mean) + 1),
+            ];
+            for c in candidates {
+                let at = c.max(now + 1);
+                if self.classify(rack, at) != cur {
+                    next = Some(next.map_or(at, |n: u64| n.min(at)));
+                    break;
+                }
+            }
+        }
+        next
+    }
 }
 
 /// Persistent cross-round failover state of the fabric: the failure
@@ -299,6 +329,25 @@ mod tests {
         // track() never resets an existing clock
         d.track(RackId(2), 100);
         assert_eq!(d.classify(RackId(2), 25), ShimHealth::Dead);
+    }
+
+    #[test]
+    fn next_transition_predicts_tick_exactly() {
+        let mut d = FailureDetector::new(8, 24);
+        d.observe_emission(RackId(0), 0);
+        d.observe_emission(RackId(0), 8);
+        d.observe_emission(RackId(0), 16);
+        // mean 8 → Suspect strictly past 16 + 16 = 32, i.e. at 33
+        assert_eq!(d.next_transition_after(16), Some(33));
+        // the predicted tick is exactly when tick() first reports change
+        assert!(d.tick(32).is_empty());
+        assert!(!d.tick(33).is_empty());
+        // next up: Dead strictly past 16 + max(24, 24) = 40, i.e. at 41
+        assert_eq!(d.next_transition_after(33), Some(41));
+        assert!(d.tick(40).is_empty());
+        assert!(!d.tick(41).is_empty());
+        // a Dead shim has no further silence-driven transition
+        assert_eq!(d.next_transition_after(41), None);
     }
 
     #[test]

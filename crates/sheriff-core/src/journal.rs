@@ -246,6 +246,19 @@ impl IntentJournal {
         report
     }
 
+    /// The earliest lease deadline among transactions still in
+    /// `Prepared`, or `None` when nothing is in-lease. An event loop that
+    /// wakes [`IntentJournal::expire_leases`] at this tick aborts the
+    /// same orphans as one sweeping every tick (expiry fires when
+    /// `lease <= now` and leases only change via prepare/commit/abort).
+    pub fn next_lease(&self) -> Option<u64> {
+        self.entries
+            .values()
+            .filter(|e| e.state == TxnState::Prepared)
+            .map(|e| e.lease)
+            .min()
+    }
+
     /// Iterate all records in req-id order (the auditor's view).
     pub fn records(&self) -> impl Iterator<Item = (ReqId, &TxnRecord)> + '_ {
         self.entries.iter().map(|(&id, e)| (id, e))

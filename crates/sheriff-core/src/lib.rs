@@ -28,6 +28,7 @@ pub mod centralized;
 pub mod channel;
 pub mod distributed;
 pub mod evacuation;
+pub mod fabric;
 pub mod failure;
 pub mod journal;
 pub mod kmedian;
@@ -59,12 +60,13 @@ pub use centralized::{
 pub use channel::{CrashWindow, NetStats, PartitionWindow, SimNet};
 #[allow(deprecated)]
 #[cfg(feature = "legacy")]
-pub use distributed::{distributed_round, fabric_round};
-pub use distributed::{
-    distributed_round_obs, fabric_round_failover_obs, fabric_round_obs, DistributedReport,
-    FabricConfig,
-};
+pub use distributed::distributed_round;
+pub use distributed::{distributed_round_obs, DistributedReport};
 pub use evacuation::{drain_rack, evacuate_host, try_drain_rack, try_evacuate_host};
+#[allow(deprecated)]
+#[cfg(feature = "legacy")]
+pub use fabric::fabric_round;
+pub use fabric::{fabric_round_failover_obs, fabric_round_obs, FabricConfig};
 pub use failure::{FailureDetector, RegionFailover, ShimHealth};
 pub use journal::{AbortOutcome, IntentJournal, RecoveryReport, TxnRecord, TxnState};
 pub use kmedian::{
@@ -99,3 +101,8 @@ pub use vmmigration::{
 // The construction error type lives in `dcn-sim` (both layers raise it);
 // re-exported here so users of the management crate see one error type.
 pub use dcn_sim::SheriffError;
+
+/// The deterministic discrete-event core the fabric runtime is built on,
+/// re-exported so embedders can schedule their own virtual-time actors
+/// alongside Sheriff's (`sheriff_core::sim::Simulation` et al.).
+pub use sheriff_sim as sim;

@@ -481,6 +481,13 @@ impl ShimEndpoint {
         &self.journal
     }
 
+    /// The earliest lease deadline among still-prepared transactions —
+    /// the next tick at which [`ShimEndpoint::expire_leases`] could do
+    /// anything, which is what an event-driven sweep schedules on.
+    pub fn next_lease(&self) -> Option<u64> {
+        self.journal.next_lease()
+    }
+
     /// Build the reply message for a verdict, stamped with the replying
     /// shim's epoch.
     pub fn reply_msg(req_id: ReqId, verdict: Verdict, epoch: u64) -> ShimMsg {

@@ -16,10 +16,8 @@
 
 use crate::audit::{audit_moves, audit_placement, AuditReport};
 use crate::centralized::centralized_migration_obs;
-use crate::distributed::{
-    distributed_round_obs, fabric_round_failover_obs, select_victims, DistributedReport,
-    FabricConfig,
-};
+use crate::distributed::{distributed_round_obs, select_victims, DistributedReport};
+use crate::fabric::{fabric_round_failover_obs, FabricConfig};
 use crate::failure::RegionFailover;
 use crate::sharded::{sharded_round_obs, ShardedReport};
 use crate::vmmigration::{MigrationContext, MigrationPlan};
@@ -279,6 +277,14 @@ impl Runtime for ShardedRuntime {
 /// regional epochs, and manager table all survive across rounds, so a
 /// shim that stays dark is eventually declared Dead and taken over even
 /// when each individual round is short.
+///
+/// `step()` is a facade over the [`crate::sim`] event core: the round
+/// runs as a virtual-time event agenda (beacons, crash/heal windows,
+/// deliveries, timeouts, leases, detector transitions) and returns at
+/// the round boundary, so callers keep the familiar one-call-per-round
+/// shape while per-rack event cadences
+/// ([`FabricConfig::with_beacon_interval`],
+/// [`FabricConfig::with_alert_check`]) fire inside the round.
 #[derive(Debug, Clone, Default)]
 pub struct FabricRuntime {
     /// Channel fault model, seed, backoff and liveness configuration.
@@ -291,7 +297,7 @@ impl FabricRuntime {
     /// Runtime for `cfg`, with the failure detector's thresholds derived
     /// from the config's heartbeat period and liveness deadline.
     pub fn with_config(cfg: FabricConfig) -> Self {
-        let failover = RegionFailover::new(cfg.heartbeat_period.max(1), cfg.liveness_deadline);
+        let failover = RegionFailover::new(cfg.heartbeat_every().max(1), cfg.liveness_deadline);
         Self { cfg, failover }
     }
 }

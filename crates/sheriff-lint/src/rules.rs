@@ -97,6 +97,7 @@ pub struct LintContext {
 /// and the scenario runner's pure `run_job` path.
 fn is_deterministic_module(path: &str) -> bool {
     path.starts_with("crates/sheriff-core/src/")
+        || path.starts_with("crates/sheriff-sim/src/")
         || path.starts_with("crates/dcn-sim/src/")
         || path == "crates/sheriff-scenario/src/runner.rs"
 }

@@ -326,6 +326,17 @@ pub enum Event {
         /// Racks that were inside the partition set.
         racks: u64,
     },
+    /// A per-rack alert check fired at its own virtual-time interval
+    /// (independent of round boundaries) and rescanned the rack for
+    /// fresh pre-alerts.
+    AlertCheckFired {
+        /// Rack whose alert interval fired.
+        rack: u64,
+        /// Virtual tick inside the round it fired at.
+        tick: u64,
+        /// Fresh alerted VMs picked up by this check.
+        fresh: u64,
+    },
     /// A 2PC message carrying a pre-takeover epoch was fenced and
     /// rejected instead of being applied.
     StaleEpochRejected {
@@ -371,6 +382,7 @@ impl Event {
             Event::ShimDeclaredDead { .. } => "shim_declared_dead",
             Event::RegionTakenOver { .. } => "region_taken_over",
             Event::PartitionHealed { .. } => "partition_healed",
+            Event::AlertCheckFired { .. } => "alert_check_fired",
             Event::StaleEpochRejected { .. } => "stale_epoch_rejected",
         }
     }
@@ -522,6 +534,11 @@ impl Event {
             Event::PartitionHealed { partition, racks } => {
                 w.u64("partition", *partition);
                 w.u64("racks", *racks);
+            }
+            Event::AlertCheckFired { rack, tick, fresh } => {
+                w.u64("rack", *rack);
+                w.u64("tick", *tick);
+                w.u64("fresh", *fresh);
             }
             Event::StaleEpochRejected {
                 req,

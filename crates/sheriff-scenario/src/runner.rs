@@ -218,7 +218,7 @@ impl Loop {
             }
             RuntimeSpec::Sharded => Loop::Sharded(ShardedRuntime),
             RuntimeSpec::Fabric { max_retry } => {
-                let mut cfg = FabricConfig::from_sim(sim, seed);
+                let mut cfg = FabricConfig::for_channel(sim.channel.clone(), seed);
                 cfg.max_retry = max_retry;
                 Loop::Fabric(FabricRuntime::with_config(cfg))
             }
@@ -465,7 +465,8 @@ pub(crate) fn run_job(
             {
                 let phase = &spec.channel_phases[phase_cursor];
                 rt.cfg.faults = phase.faults.clone();
-                rt.cfg.hello_window = 2u64.max(phase.faults.delay_max + 1);
+                rt.cfg = std::mem::take(&mut rt.cfg)
+                    .with_hello_window(2u64.max(phase.faults.delay_max + 1));
                 phase_cursor += 1;
             }
             rt.cfg.crashed = crash_schedule

@@ -1,0 +1,53 @@
+//! # sheriff-sim
+//!
+//! A deterministic virtual-time event core: the scheduling substrate
+//! under the fabric runtime's round facade (DESIGN.md §10).
+//!
+//! The model is the classic discrete-event simulation triple:
+//!
+//! * [`VirtualTime`] — a monotonic tick counter; time only moves when an
+//!   event is popped, never by a wall clock;
+//! * [`EventQueue`] — a binary heap ordered by `(time, seq, actor)`, so
+//!   events at the same virtual time pop in schedule order (the unique
+//!   monotonic `seq` decides) with the actor id as a documented final
+//!   key — identical schedules always drain identically, which is what
+//!   the byte-for-byte reproducibility tests of the management loops
+//!   lean on;
+//! * [`Simulation`] / [`SimContext`] — the driver: `emit` schedules for
+//!   another actor, `emit_self` reschedules a recurring event (the
+//!   heartbeat idiom), `cancel` tombstones an event that has not fired
+//!   yet and is a no-op for one that already popped.
+//!
+//! Determinism is structural, not statistical: the crate has no clock,
+//! no randomness and no hash-ordered iteration (it is covered by
+//! sheriff-lint's DET01–DET03 rules like the rest of the deterministic
+//! modules). Anything seeded — fault injection, workload noise — lives
+//! in the layers above; this crate only guarantees that the same
+//! schedule drains the same way every run.
+//!
+//! ```
+//! use sheriff_sim::{Simulation, VirtualTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Beacon, Timeout }
+//!
+//! let mut sim = Simulation::new();
+//! sim.ctx(7).emit_self(Ev::Beacon, 4); // recurring-event idiom
+//! sim.ctx(1).emit(Ev::Timeout, 2, 4);  // same tick, scheduled later
+//! let batch = sim.take_due(VirtualTime::new(4));
+//! // same time: schedule order (seq) breaks the tie
+//! assert_eq!(batch[0].event, Ev::Beacon);
+//! assert_eq!(batch[1].event, Ev::Timeout);
+//! assert_eq!(sim.now(), VirtualTime::new(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod sim;
+pub mod time;
+
+pub use queue::{EventId, EventQueue, Scheduled};
+pub use sim::{SimContext, Simulation};
+pub use time::VirtualTime;

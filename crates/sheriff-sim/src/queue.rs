@@ -1,0 +1,178 @@
+//! The deterministic event queue: a binary heap ordered by
+//! `(time, seq, actor)`.
+//!
+//! Ties on virtual time break by the unique monotonic sequence number —
+//! i.e. in schedule order — with the scheduling actor's id as the final,
+//! documented key. Because `seq` is unique the ordering is total, so two
+//! runs that schedule the same events in the same order drain them in
+//! the same order, every time.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] tombstones the payload
+//! and the heap skips the dead key when it surfaces. Cancelling an event
+//! that already popped (or was already cancelled) is a no-op that
+//! returns `false` — never a panic — so races between "the reply
+//! arrived" and "the timeout fired" need no bookkeeping at the caller.
+
+use crate::time::VirtualTime;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Opaque handle to a scheduled event, used to [`EventQueue::cancel`] it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// Heap key: the full deterministic ordering `(time, seq, actor)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: VirtualTime,
+    seq: u64,
+    actor: u64,
+}
+
+/// One event popped from the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Virtual time the event fires at.
+    pub at: VirtualTime,
+    /// Actor id it was scheduled under (the tie-break's final key).
+    pub actor: u64,
+    /// Handle it was scheduled as.
+    pub id: EventId,
+    /// The payload.
+    pub event: E,
+}
+
+/// A priority queue of events ordered by `(time, seq, actor)` with lazy
+/// tombstone cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Key>>,
+    /// Payloads of live (not yet popped, not cancelled) events, keyed by
+    /// their unique sequence number. A `BTreeMap` keeps even diagnostic
+    /// iteration deterministic.
+    live: BTreeMap<u64, E>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// A fresh, empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            live: BTreeMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` for `actor` at time `at`. Returns the handle to
+    /// cancel it with.
+    pub fn schedule(&mut self, at: VirtualTime, actor: u64, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Key { at, seq, actor }));
+        self.live.insert(seq, event);
+        EventId(seq)
+    }
+
+    /// Cancel a scheduled event. Returns `true` if it was still pending;
+    /// cancelling an event that already popped — or was already
+    /// cancelled — is a no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0).is_some()
+    }
+
+    /// The time of the earliest pending event, pruning any cancelled
+    /// tombstones that have reached the head.
+    pub fn next_time(&mut self) -> Option<VirtualTime> {
+        while let Some(&Reverse(key)) = self.heap.peek() {
+            if self.live.contains_key(&key.seq) {
+                return Some(key.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Pop the earliest pending event, skipping cancelled tombstones.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        while let Some(Reverse(key)) = self.heap.pop() {
+            if let Some(event) = self.live.remove(&key.seq) {
+                return Some(Scheduled {
+                    at: key.at,
+                    actor: key.actor,
+                    id: EventId(key.seq),
+                    event,
+                });
+            }
+        }
+        None
+    }
+
+    /// Number of pending (live) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> VirtualTime {
+        VirtualTime::new(x)
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_then_actor_order() {
+        let mut q = EventQueue::new();
+        let _late = q.schedule(t(9), 0, "late");
+        let a = q.schedule(t(4), 5, "first-scheduled");
+        let b = q.schedule(t(4), 1, "second-scheduled");
+        assert_eq!(q.next_time(), Some(t(4)));
+        // same time: seq (schedule order) wins even though actor 1 < 5
+        let first = q.pop().unwrap();
+        assert_eq!((first.id, first.event), (a, "first-scheduled"));
+        let second = q.pop().unwrap();
+        assert_eq!((second.id, second.event), (b, "second-scheduled"));
+        assert_eq!(q.pop().unwrap().event, "late");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_is_lazy_and_idempotent() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 0, 'a');
+        let b = q.schedule(t(2), 0, 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(t(2)), "tombstone pruned at peek");
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.event, 'b');
+        assert!(!q.cancel(b), "cancel after pop is a no-op");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn actor_id_is_the_final_tie_break_key() {
+        // the key is (time, seq, actor); seq is unique so actor never
+        // decides between two real events, but the ordering must still
+        // treat it as part of the key
+        let k1 = Key {
+            at: t(3),
+            seq: 7,
+            actor: 0,
+        };
+        let k2 = Key {
+            at: t(3),
+            seq: 7,
+            actor: 1,
+        };
+        assert!(k1 < k2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Monotonic virtual time.
+//!
+//! A [`VirtualTime`] is a plain tick counter with no relation to any
+//! wall clock: it advances only when the simulation pops an event. The
+//! newtype exists so scheduler APIs cannot silently confuse virtual
+//! ticks with durations, sequence numbers, or real time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A point in virtual time, measured in ticks since the simulation
+/// epoch. Ordered, hashable, and cheap to copy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The simulation epoch, tick 0.
+    pub const ZERO: Self = Self(0);
+
+    /// The time `t` ticks after the epoch.
+    pub const fn new(t: u64) -> Self {
+        Self(t)
+    }
+
+    /// The raw tick count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The time `delay` ticks after `self`, saturating at the far end
+    /// of virtual time instead of wrapping.
+    pub const fn after(self, delay: u64) -> Self {
+        Self(self.0.saturating_add(delay))
+    }
+
+    /// Ticks elapsed since `earlier`, or zero when `earlier` is in the
+    /// future — elapsed time never goes negative.
+    pub const fn since(self, earlier: Self) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The later of two times; the monotonic-advance primitive.
+    pub fn max_of(self, other: Self) -> Self {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl From<u64> for VirtualTime {
+    fn from(t: u64) -> Self {
+        Self(t)
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = Self;
+
+    fn add(self, delay: u64) -> Self {
+        self.after(delay)
+    }
+}
+
+impl AddAssign<u64> for VirtualTime {
+    fn add_assign(&mut self, delay: u64) {
+        *self = self.after(delay);
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = VirtualTime::new(3);
+        assert!(VirtualTime::ZERO < a);
+        assert_eq!(a + 4, VirtualTime::new(7));
+        assert_eq!(a.after(u64::MAX), VirtualTime::new(u64::MAX));
+        assert_eq!(a.since(VirtualTime::new(1)), 2);
+        assert_eq!(a.since(VirtualTime::new(9)), 0, "never negative");
+        assert_eq!(a.max_of(VirtualTime::ZERO), a);
+        assert_eq!(format!("{a}"), "t3");
+    }
+
+    #[test]
+    fn add_assign_advances_in_place() {
+        let mut t = VirtualTime::ZERO;
+        t += 5;
+        t += 0;
+        assert_eq!(t.get(), 5);
+    }
+}

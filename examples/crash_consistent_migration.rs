@@ -39,11 +39,7 @@ fn main() {
             .vm_ids()
             .map(|vm| probe.placement.utilization(probe.placement.host_of(vm)))
             .collect();
-        let cfg = FabricConfig {
-            faults: ChannelFaults::lossy(0.02),
-            seed: 7,
-            ..FabricConfig::default()
-        };
+        let cfg = FabricConfig::for_channel(ChannelFaults::lossy(0.02), 7).with_hello_window(2);
         let out = FabricRuntime::with_config(cfg).step(&mut RunCtx {
             cluster: &mut probe,
             metric: &metric,
@@ -83,12 +79,8 @@ fn main() {
         victim.index()
     );
 
-    let cfg = FabricConfig {
-        faults: ChannelFaults::lossy(0.02),
-        seed: 7,
-        crashed: vec![CrashWindow::during(victim, 6, 14)],
-        ..FabricConfig::default()
-    };
+    let mut cfg = FabricConfig::for_channel(ChannelFaults::lossy(0.02), 7).with_hello_window(2);
+    cfg.crashed = vec![CrashWindow::during(victim, 6, 14)];
     let mut rec = RingRecorder::new(1 << 14);
     let report = FabricRuntime::with_config(cfg).step(&mut RunCtx {
         cluster: &mut cluster,

@@ -43,12 +43,8 @@ fn main() {
         .vm_ids()
         .map(|vm| cluster.placement.utilization(cluster.placement.host_of(vm)))
         .collect();
-    let cfg = FabricConfig {
-        faults: ChannelFaults::lossy(0.05),
-        seed: 7,
-        crashed: vec![CrashWindow::whole_round(crashed)],
-        ..FabricConfig::default()
-    };
+    let mut cfg = FabricConfig::for_channel(ChannelFaults::lossy(0.05), 7).with_hello_window(2);
+    cfg.crashed = vec![CrashWindow::whole_round(crashed)];
     let report = FabricRuntime::with_config(cfg).step(&mut RunCtx {
         cluster: &mut cluster,
         metric: &metric,

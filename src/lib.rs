@@ -11,7 +11,9 @@
 //! * [`sim`] — workload profiles, alerts, migration cost model, QCN,
 //!   flows, the cluster engine;
 //! * [`sheriff`] — the management algorithms (PRIORITY, VMMIGRATION,
-//!   REQUEST, k-median local search) and both runtimes;
+//!   REQUEST, k-median local search) and both runtimes, including the
+//!   deterministic event core under [`sheriff::sim`](sheriff_core::sim)
+//!   that the fabric runtime's virtual-time rounds are scheduled on;
 //! * [`scenario`] — declarative experiment files (TOML/JSON), seed
 //!   sweeps with fault schedules, parallel deterministic execution.
 //!
@@ -68,6 +70,9 @@ pub mod prelude {
         PartitionWindow, RegionFailover, RoundOutcome, RoundReport, RunCtx, Runtime,
         ShardedRuntime, Sheriff, ShimHealth, StepReport, System, SystemBuilder,
     };
+
+    // --- event core: the virtual-time scheduler under the fabric ------
+    pub use sheriff_core::sim::{SimContext, Simulation, VirtualTime};
 
     // --- forecasting: the Sec. III-B predictors ----------------------
     pub use timeseries::{
