@@ -1,0 +1,202 @@
+//! Fabric-runtime speed baseline: `bench --baseline` runs the fabric
+//! runtime through the scenario engine on k=8 and k=16 Fat-Trees and
+//! writes `BENCH_fabric.json` (rounds/sec, migrations/sec, peak RSS),
+//! so performance claims about the management loop are checkable
+//! against a committed number instead of folklore.
+//!
+//! ```text
+//! bench --baseline [--rounds N] [--seed S] [--out FILE]
+//!   --baseline   run the committed k=8 / k=16 Fat-Tree baseline
+//!   --rounds N   management rounds per configuration (default 6)
+//!   --seed S     sweep seed (default 1)
+//!   --out FILE   output path (default BENCH_fabric.json)
+//! ```
+//!
+//! Timings come from the runner's own `wall_nanos` (excluded from the
+//! deterministic report, measured here on a serial run); peak RSS is
+//! the process high-water mark (`VmHWM`), read after each
+//! configuration. The k=8 run executes first so its reading is its own
+//! peak, not the larger topology's.
+
+use sheriff_scenario::{ScenarioRunner, ScenarioSpec};
+use std::path::PathBuf;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench --baseline [--rounds N] [--seed S] [--out FILE]");
+    std::process::exit(2)
+}
+
+/// Process peak resident set (`VmHWM`) in kilobytes; 0 where
+/// `/proc/self/status` is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn spec_for(pods: usize, rounds: usize, seed: u64) -> ScenarioSpec {
+    let toml = format!(
+        r#"
+name = "bench_fabric_k{pods}"
+title = "Fabric baseline, k={pods} Fat-Tree"
+rounds = {rounds}
+seeds = [{seed}]
+
+[topology]
+kind = "fat_tree"
+pods = {pods}
+
+[cluster]
+vms_per_host = 2.5
+skew = 4.0
+
+[workload]
+alert_fraction = 0.3
+
+[runtime]
+kind = "fabric"
+max_retry = 3
+"#
+    );
+    match ScenarioSpec::parse_str(&toml) {
+        Ok(spec) => spec,
+        Err(e) => die(&format!("internal baseline spec invalid: {e}")),
+    }
+}
+
+struct ConfigResult {
+    pods: usize,
+    hosts: usize,
+    vms: usize,
+    rounds: usize,
+    migrations: usize,
+    wall_nanos: u64,
+    peak_rss_kb: u64,
+}
+
+fn run_config(pods: usize, rounds: usize, seed: u64) -> ConfigResult {
+    let spec = spec_for(pods, rounds, seed);
+    let mut runner = ScenarioRunner::new(spec);
+    runner.parallel = false; // serial: timings measure the loop, not the pool
+    let runs = match runner.run() {
+        Ok(r) => r,
+        Err(e) => die(&format!("k={pods} baseline run failed: {e}")),
+    };
+    let migrations: usize = runs
+        .iter()
+        .flat_map(|r| r.rounds.iter())
+        .map(|s| s.moves)
+        .sum();
+    let total_rounds: usize = runs.iter().map(|r| r.rounds.len()).sum();
+    let wall_nanos: u64 = runs.iter().map(|r| r.wall_nanos).sum();
+    // k²/2 racks × k/2 hosts; the paper's classic Fat-Tree sizing
+    let hosts = pods * pods * pods / 4;
+    ConfigResult {
+        pods,
+        hosts,
+        vms: (hosts as f64 * 2.5) as usize,
+        rounds: total_rounds,
+        migrations,
+        wall_nanos,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn main() {
+    let mut baseline = false;
+    let mut rounds = 6usize;
+    let mut seed = 1u64;
+    let mut out = PathBuf::from("BENCH_fabric.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--baseline" => baseline = true,
+            "--rounds" => {
+                rounds = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--rounds needs an integer"))
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().unwrap_or_else(|| die("--out needs a path")))
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if !baseline {
+        die("nothing to do: pass --baseline");
+    }
+
+    let mut configs = Vec::new();
+    for pods in [8usize, 16] {
+        let r = run_config(pods, rounds, seed);
+        let secs = r.wall_nanos as f64 / 1e9;
+        println!(
+            "k={}: {} hosts, {} rounds in {:.2}s ({:.1} rounds/s, {} migrations, {:.1} migrations/s, peak RSS {} kB)",
+            r.pods,
+            r.hosts,
+            r.rounds,
+            secs,
+            r.rounds as f64 / secs,
+            r.migrations,
+            r.migrations as f64 / secs,
+            r.peak_rss_kb
+        );
+        configs.push(r);
+    }
+
+    let mut body = String::with_capacity(1024);
+    body.push_str("{\n");
+    body.push_str("  \"bench\": \"fabric_baseline\",\n");
+    body.push_str(
+        "  \"cmd\": \"cargo run --release -p sheriff-bench --bin bench -- --baseline\",\n",
+    );
+    body.push_str(&format!("  \"rounds_per_config\": {rounds},\n"));
+    body.push_str(&format!("  \"seed\": {seed},\n"));
+    body.push_str("  \"configs\": [\n");
+    for (i, r) in configs.iter().enumerate() {
+        let secs = r.wall_nanos as f64 / 1e9;
+        body.push_str("    {\n");
+        body.push_str(&format!("      \"topology\": \"fat_tree_{}\",\n", r.pods));
+        body.push_str(&format!("      \"k\": {},\n", r.pods));
+        body.push_str(&format!("      \"hosts\": {},\n", r.hosts));
+        body.push_str(&format!("      \"vms\": {},\n", r.vms));
+        body.push_str(&format!("      \"rounds\": {},\n", r.rounds));
+        body.push_str(&format!(
+            "      \"wall_ms\": {:.0},\n",
+            r.wall_nanos as f64 / 1e6
+        ));
+        body.push_str(&format!(
+            "      \"rounds_per_sec\": {:.2},\n",
+            r.rounds as f64 / secs
+        ));
+        body.push_str(&format!("      \"migrations\": {},\n", r.migrations));
+        body.push_str(&format!(
+            "      \"migrations_per_sec\": {:.2},\n",
+            r.migrations as f64 / secs
+        ));
+        body.push_str(&format!("      \"peak_rss_kb\": {}\n", r.peak_rss_kb));
+        body.push_str(if i + 1 == configs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, body) {
+        die(&format!("cannot write {}: {e}", out.display()));
+    }
+    println!("wrote {}", out.display());
+}

@@ -23,6 +23,7 @@ use dcn_sim::flows::{Flow, FlowNetwork};
 use dcn_sim::{ChannelFaults, SheriffError, SimConfig};
 use dcn_topology::{Dcn, RackId};
 use sheriff_obs::EventSink;
+use sheriff_transfer::{RouteStrategy, TransferConfig};
 
 /// Builder for the assembled [`System`]: topology in, validated system
 /// out. Every setter has a sensible default (paper parameters, no flows,
@@ -37,6 +38,7 @@ pub struct SystemBuilder {
     liveness_deadline: Option<u64>,
     beacon_intervals: Vec<(RackId, u64)>,
     alert_checks: Vec<(RackId, u64)>,
+    transfer: Option<TransferConfig>,
 }
 
 impl SystemBuilder {
@@ -53,6 +55,7 @@ impl SystemBuilder {
             liveness_deadline: None,
             beacon_intervals: Vec::new(),
             alert_checks: Vec::new(),
+            transfer: None,
         }
     }
 
@@ -134,6 +137,41 @@ impl SystemBuilder {
         self
     }
 
+    /// Lazily-initialized transfer model, shared by the migration
+    /// bandwidth knobs below.
+    fn transfer_mut(&mut self) -> &mut TransferConfig {
+        self.transfer.get_or_insert_with(TransferConfig::default)
+    }
+
+    /// Enable the migration transfer model with an explicit config
+    /// (overrides any knob set earlier).
+    pub fn transfer_config(mut self, cfg: TransferConfig) -> Self {
+        self.transfer = Some(cfg);
+        self
+    }
+
+    /// Enable the transfer model and set the per-link migration
+    /// bandwidth (capacity units per virtual tick shared max-min among
+    /// concurrent pre-copies).
+    pub fn migration_bandwidth(mut self, per_link: f64) -> Self {
+        self.transfer_mut().link_bandwidth = per_link;
+        self
+    }
+
+    /// Enable the transfer model and cap concurrent pre-copies
+    /// fabric-wide; excess admissions queue FIFO (0 = unlimited).
+    pub fn max_concurrent_transfers(mut self, cap: usize) -> Self {
+        self.transfer_mut().max_concurrent = cap;
+        self
+    }
+
+    /// Enable the transfer model and pick how pre-copies are routed
+    /// across the core under QCN congestion feedback.
+    pub fn transfer_route_strategy(mut self, strategy: RouteStrategy) -> Self {
+        self.transfer_mut().route_strategy = strategy;
+        self
+    }
+
     /// A [`FabricRuntime`] matching this builder's channel faults and
     /// event intervals: the channel-aware replacement for constructing a
     /// `FabricConfig` by hand and writing its deprecated queue knobs.
@@ -150,6 +188,9 @@ impl SystemBuilder {
         }
         for &(rack, every) in &self.alert_checks {
             cfg = cfg.with_alert_check(rack, every);
+        }
+        if let Some(tc) = &self.transfer {
+            cfg = cfg.with_transfer(tc.clone());
         }
         FabricRuntime::with_config(cfg)
     }
@@ -236,6 +277,30 @@ mod tests {
             "unlisted racks stay on the global interval"
         );
         assert_eq!(rt.cfg.alert_check_every(rack), 3);
+        assert!(rt.cfg.transfer.is_none(), "transfer model defaults off");
+    }
+
+    #[test]
+    fn transfer_knobs_compose_into_the_fabric_config() {
+        let dcn = fattree::build(&FatTreeConfig::paper(4));
+        let rt = SystemBuilder::new(dcn)
+            .migration_bandwidth(2.0)
+            .max_concurrent_transfers(6)
+            .transfer_route_strategy(sheriff_transfer::RouteStrategy::LeastLoaded)
+            .fabric_runtime(5);
+        let tc = rt.cfg.transfer.as_ref().expect("knobs enable the model");
+        assert_eq!(tc.link_bandwidth, 2.0);
+        assert_eq!(tc.max_concurrent, 6);
+        assert_eq!(
+            tc.route_strategy,
+            sheriff_transfer::RouteStrategy::LeastLoaded
+        );
+        let untouched = tc.clone();
+        assert_eq!(
+            untouched.k_paths,
+            sheriff_transfer::TransferConfig::default().k_paths,
+            "knobs leave the other fields at their defaults"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use dcn_sim::{Alert, AlertSource, RackMetric, SimConfig};
 use dcn_topology::{DependencyGraph, HostId, Inventory, Placement, RackId, VmId};
 use parking_lot::Mutex;
 use sheriff_obs::{emit, Event, EventSink, RejectKind};
+use std::collections::BTreeSet;
 
 /// Map a protocol-level REJECT payload to its observability label.
 pub(crate) fn reject_kind(reason: RejectReason) -> RejectKind {
@@ -83,6 +84,21 @@ pub struct DistributedReport {
     /// Pending VMs dropped at partition heal because another manager
     /// handled them during the cut.
     pub reconciliations: usize,
+    /// Pre-copy transfers admitted onto the transfer scheduler (fabric
+    /// runtime with the network-aware transfer model enabled; 0 otherwise).
+    pub transfers_started: usize,
+    /// Transfers that streamed to completion and finalized their commit.
+    pub transfers_completed: usize,
+    /// Transfers steered off their primary route by QCN congestion.
+    pub transfer_reroutes: usize,
+    /// Admissions delayed because the concurrent-transfer cap was full.
+    pub transfer_queue_delays: usize,
+    /// Completion time in virtual ticks of every finished transfer, in
+    /// completion order.
+    pub transfer_durations: Vec<u64>,
+    /// Peak number of concurrent transfers sharing one link (≥ 2 means
+    /// the round saw bottleneck serialization).
+    pub transfer_peak_sharing: usize,
     /// Post-round invariant audit (clean when no violations).
     pub audit: AuditReport,
 }
@@ -160,7 +176,10 @@ pub(crate) fn region_slots(
 
 /// Alg. 3's matching on a snapshot: returns the accepted proposals in
 /// victim order, the victims left unassigned, and the explored search
-/// space.
+/// space. `banned_hosts` are hosts currently absorbing an in-flight
+/// pre-copy — they take no additional arrivals this window, or the
+/// independent-cost assumption of Eqn. 1 would double-count them.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn plan_proposals(
     snapshot: &Placement,
     deps: &DependencyGraph,
@@ -169,6 +188,7 @@ pub(crate) fn plan_proposals(
     pending: &[VmId],
     slot_hosts: &[HostId],
     excluded: &[(VmId, HostId)],
+    banned_hosts: &BTreeSet<HostId>,
 ) -> (Vec<Proposal>, Vec<VmId>, usize) {
     if pending.is_empty() || slot_hosts.is_empty() {
         return (Vec::new(), pending.to_vec(), 0);
@@ -182,6 +202,7 @@ pub(crate) fn plan_proposals(
         let from_rack = snapshot.rack_of(vm);
         for (j, &host) in slot_hosts.iter().enumerate() {
             if host == from_host
+                || banned_hosts.contains(&host)
                 || excluded.contains(&(vm, host))
                 || snapshot.free_capacity(host) < spec.capacity
                 || deps.conflicts_on_host(vm, host, snapshot)
@@ -338,6 +359,7 @@ pub fn distributed_round_obs<S: EventSink + ?Sized>(
                             &st.pending,
                             &st.slots,
                             &st.excluded,
+                            &BTreeSet::new(),
                         )
                     })
                 })

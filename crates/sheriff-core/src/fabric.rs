@@ -107,6 +107,15 @@ pub struct FabricConfig {
     /// pre-alert checks decoupled from round boundaries. Empty (the
     /// default) disables mid-round checks.
     pub alert_checks: Vec<(RackId, u64)>,
+    /// Network-aware transfer model. `None` (the default) settles every
+    /// committed migration instantaneously — byte-identical to the
+    /// pre-transfer fabric. `Some` runs each committed migration's
+    /// pre-copy as a scheduled transfer on the event core: routed over
+    /// the topology's k-shortest paths, sharing link bandwidth max-min
+    /// fairly with concurrent transfers, admission-capped and rerouted
+    /// under QCN congestion; placement-affecting ACKs only flow once
+    /// the transfer completes.
+    pub transfer: Option<sheriff_transfer::TransferConfig>,
 }
 
 #[allow(deprecated)]
@@ -126,6 +135,7 @@ impl Default for FabricConfig {
             prepare_lease: 64,
             beacon_intervals: Vec::new(),
             alert_checks: Vec::new(),
+            transfer: None,
         }
     }
 }
@@ -190,6 +200,14 @@ impl FabricConfig {
         self
     }
 
+    /// Enable the network-aware transfer model: committed migrations
+    /// stream their pre-copy over routed, bandwidth-shared transfers
+    /// instead of settling instantaneously.
+    pub fn with_transfer(mut self, transfer: sheriff_transfer::TransferConfig) -> Self {
+        self.transfer = Some(transfer);
+        self
+    }
+
     /// The global liveness-beacon interval.
     #[allow(deprecated)]
     pub fn heartbeat_every(&self) -> u64 {
@@ -236,6 +254,21 @@ struct Outstanding {
     phase: TxnPhase,
     /// Absolute lease carried by the PREPARE (stable across resends).
     lease: u64,
+}
+
+/// 2PC context of a migration whose pre-copy the transfer scheduler is
+/// streaming: everything the destination needs to finalize the commit
+/// and ACK the source once the last byte lands.
+struct TransferMeta {
+    /// The migrating VM.
+    vm: VmId,
+    /// Rack that sent the COMMIT (where the ACK goes).
+    src_rack: RackId,
+    /// Destination rack (whose endpoint journal finalizes).
+    dst_rack: RackId,
+    /// Epoch the COMMIT carried, replayed into `handle_commit` at
+    /// completion so fencing still applies.
+    epoch: u64,
 }
 
 /// Source-shim actor state for the fabric runtime.
@@ -288,6 +321,9 @@ enum WakeReason {
     Detector,
     /// A shim's `max(hello_window, resume_at)` planning gate.
     ShimStart,
+    /// The transfer scheduler's next completion (or a queued transfer
+    /// waiting for an admission slot).
+    Transfer,
 }
 
 /// The fabric round's event vocabulary. Round phases map onto these
@@ -586,6 +622,20 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
     // reorder fault's extra hold-back (up to 3 ticks) each way, with slack
     let patience = 2 * (cfg.faults.delay_max + 3) + 2;
 
+    // ---- transfer scheduler ---------------------------------------------
+    // With `cfg.transfer` unset this stays `None` and every path below
+    // that touches it is dead — the round is byte-identical to the
+    // instantaneous-settlement fabric. When set, a COMMIT hands the
+    // migration to the scheduler instead of ACKing immediately; the ACK
+    // (and the txn_committed bookkeeping) flows at TransferCompleted.
+    let mut transfers = cfg
+        .transfer
+        .as_ref()
+        .map(|tc| sheriff_transfer::TransferScheduler::new(tc.clone()));
+    // per-transfer 2PC context, keyed by request id: who to ACK and
+    // under which epoch to finalize the journal entry
+    let mut transfer_meta: BTreeMap<ReqId, TransferMeta> = BTreeMap::new();
+
     // ---- agenda setup ---------------------------------------------------
     // `seen` holds every tick that already has a never-cancelled event,
     // so derived wakes dedupe on time. Timeout wakes are the exception:
@@ -671,6 +721,18 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                 emit(sink, || Event::ShimCrashed {
                     rack: w.rack.index() as u64,
                 });
+                // pre-copies streaming *into* the crashed rack die with
+                // it. Their journal prepares survive under the extended
+                // lease, so a retransmitted COMMIT after recovery simply
+                // restarts the transfer; if the source gives up instead,
+                // its best-effort ABORT (or the end-of-round sweep)
+                // rolls the reservation back.
+                if let Some(ts) = transfers.as_mut() {
+                    for id in ts.cancel_rack(w.rack.index(), t) {
+                        transfer_meta.remove(&ReqId(id));
+                        sink.counter("transfer.cancelled", 1);
+                    }
+                }
                 if let Some(&i) = source_index.get(&w.rack) {
                     let Some(shim) = shims.get_mut(i) else {
                         continue;
@@ -790,7 +852,7 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
             if shim.down {
                 continue;
             }
-            let busy: BTreeSet<VmId> = shim
+            let mut busy: BTreeSet<VmId> = shim
                 .st
                 .pending
                 .iter()
@@ -800,6 +862,15 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                 .chain(shim.unresolved.iter().map(|o| o.vm))
                 .chain(shim.st.plan.moves.iter().map(|m| m.vm))
                 .collect();
+            // a VM whose pre-copy is mid-stream is already managed:
+            // re-adopting it here would double-plan the same move
+            if let Some(ts) = transfers.as_ref() {
+                busy.extend(
+                    ts.in_flight_vms()
+                        .into_iter()
+                        .map(|v| VmId::from_index(v as usize)),
+                );
+            }
             let fresh: Vec<VmId> = victims
                 .into_iter()
                 .filter(|vm| !busy.contains(vm))
@@ -1092,6 +1163,86 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                         continue;
                     };
                     let was_prepared = ep.journal().state(req_id) == Some(TxnState::Prepared);
+                    if was_prepared && transfers.is_some() {
+                        // journal-level epoch fence first, mirroring
+                        // handle_commit: a stale COMMIT falls through to
+                        // the normal reject path below
+                        let stale = ep.journal().get(req_id).is_some_and(|r| epoch < r.epoch);
+                        if !stale {
+                            if transfer_meta.contains_key(&req_id) {
+                                // duplicate COMMIT while the pre-copy
+                                // streams: the ACK flows at completion
+                                continue;
+                            }
+                            let Some(ts) = transfers.as_mut() else {
+                                continue;
+                            };
+                            // hand the migration to the scheduler: the
+                            // journal entry stays Prepared under an
+                            // extended lease until the last byte lands,
+                            // so the periodic sweep cannot abort it
+                            let (vm, src_host, dst_host) = match ep.journal().get(req_id) {
+                                Some(r) => (r.vm, r.src, r.dst),
+                                None => continue,
+                            };
+                            ep.extend_lease(req_id, u64::MAX);
+                            let bytes = cluster.placement.spec(vm).capacity
+                                * ts.config().bytes_per_capacity;
+                            let src_rack = cluster.placement.rack_of_host(src_host);
+                            let dst_rack = cluster.placement.rack_of_host(dst_host);
+                            let candidates = if src_rack == dst_rack {
+                                Vec::new()
+                            } else {
+                                sheriff_transfer::route_candidates(
+                                    &cluster.dcn.graph,
+                                    cluster.dcn.rack_node(src_rack),
+                                    cluster.dcn.rack_node(dst_rack),
+                                    ts.config().k_paths,
+                                )
+                            };
+                            let spec = sheriff_transfer::TransferSpec {
+                                id: req_id.0,
+                                vm: vm.index() as u64,
+                                dst_rack: to.index(),
+                                bytes,
+                            };
+                            transfer_meta.insert(
+                                req_id,
+                                TransferMeta {
+                                    vm,
+                                    src_rack: from,
+                                    dst_rack: to,
+                                    epoch,
+                                },
+                            );
+                            match ts.submit(t, spec, candidates) {
+                                sheriff_transfer::Admission::Started(s) => {
+                                    report.transfers_started += 1;
+                                    emit(sink, || Event::TransferStarted {
+                                        req: s.id,
+                                        vm: s.vm,
+                                        bytes: s.bytes,
+                                        hops: s.hops as u64,
+                                        rate: s.rate,
+                                        waited: s.waited,
+                                    });
+                                    sink.counter("transfer.started", 1);
+                                    if s.rerouted {
+                                        emit(sink, || Event::TransferRerouted {
+                                            req: s.id,
+                                            vm: s.vm,
+                                            hops: s.hops as u64,
+                                        });
+                                        sink.counter("transfer.rerouted", 1);
+                                    }
+                                }
+                                sheriff_transfer::Admission::Queued => {
+                                    sink.counter("transfer.queued", 1);
+                                }
+                            }
+                            continue;
+                        }
+                    }
                     let reply = ep.handle_commit(req_id, epoch);
                     if was_prepared && reply == TwoPhaseReply::Ack {
                         report.txn_committed += 1;
@@ -1135,6 +1286,16 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                                 epoch: current,
                             },
                         );
+                        continue;
+                    }
+                    // a pre-copy in flight means the COMMIT was already
+                    // accepted here: the transaction's fate is sealed,
+                    // and this is only the source's best-effort give-up
+                    // ABORT racing the slow transfer. 2PC forbids
+                    // rolling back past COMMIT — let the stream finish;
+                    // ground truth settles the move at the source.
+                    if transfer_meta.contains_key(&req_id) {
+                        sink.counter("transfer.abort_ignored", 1);
                         continue;
                     }
                     let Some(ep) = endpoints.get_mut(to.index()) else {
@@ -1245,6 +1406,82 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
             }
         }
 
+        // phase 5b — transfer progress: harvest pre-copies that streamed
+        // their last byte (finalize the deferred 2PC commit and ACK the
+        // source) and admit queued transfers into freed slots. Runs
+        // after deliveries so a COMMIT landing this tick is already
+        // submitted, and before lease expiry so a completing commit at
+        // the cap tick beats the sweep, mirroring the delivery rule.
+        if let Some(ts) = transfers.as_mut() {
+            let tick = ts.poll(t);
+            for s in &tick.started {
+                report.transfers_started += 1;
+                emit(sink, || Event::TransferStarted {
+                    req: s.id,
+                    vm: s.vm,
+                    bytes: s.bytes,
+                    hops: s.hops as u64,
+                    rate: s.rate,
+                    waited: s.waited,
+                });
+                sink.counter("transfer.started", 1);
+                if s.rerouted {
+                    emit(sink, || Event::TransferRerouted {
+                        req: s.id,
+                        vm: s.vm,
+                        hops: s.hops as u64,
+                    });
+                    sink.counter("transfer.rerouted", 1);
+                }
+            }
+            for r in &tick.rerouted {
+                emit(sink, || Event::TransferRerouted {
+                    req: r.id,
+                    vm: r.vm,
+                    hops: r.hops as u64,
+                });
+                sink.counter("transfer.rerouted", 1);
+            }
+            for c in &tick.completions {
+                let req_id = ReqId(c.id);
+                let Some(meta) = transfer_meta.remove(&req_id) else {
+                    continue;
+                };
+                let Some(ep) = endpoints.get_mut(meta.dst_rack.index()) else {
+                    continue;
+                };
+                // finalize the deferred commit under the epoch the
+                // COMMIT originally carried — fencing still applies if
+                // the destination's term moved on mid-transfer
+                let was_prepared = ep.journal().state(req_id) == Some(TxnState::Prepared);
+                let reply = ep.handle_commit(req_id, meta.epoch);
+                if was_prepared && reply == TwoPhaseReply::Ack {
+                    report.txn_committed += 1;
+                    emit(sink, || Event::TxnCommitted {
+                        req: req_id.0,
+                        vm: meta.vm.index() as u64,
+                    });
+                    sink.counter("txn.committed", 1);
+                }
+                emit(sink, || Event::TransferCompleted {
+                    req: c.id,
+                    vm: c.vm,
+                    ticks: c.duration,
+                    bandwidth: c.achieved_bw,
+                });
+                sink.counter("transfer.completed", 1);
+                report.transfers_completed += 1;
+                report.transfer_durations.push(c.duration);
+                let my_epoch = failover.view_of(meta.dst_rack);
+                net.send(
+                    t,
+                    meta.dst_rack,
+                    meta.src_rack,
+                    ShimEndpoint::reply_2pc_msg(req_id, reply, my_epoch),
+                );
+            }
+        }
+
         // phase 6 — lease expiry: a live destination unilaterally aborts
         // prepares whose COMMIT never arrived (a commit delivered this
         // same tick wins — deliveries were processed above). Crashed
@@ -1265,7 +1502,22 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
             }
         }
 
-        // phase 7 — source-shim actions, in rack order for determinism
+        // phase 7 — source-shim actions, in rack order for determinism.
+        // Hosts absorbing an in-flight pre-copy (PREPARE reserved the VM
+        // there, so `host_of` points at the destination while the stream
+        // runs) take no additional arrivals this window: Eqn. 1 prices
+        // moves independently, which only holds across distinct moves.
+        let hot_hosts: BTreeSet<HostId> = transfers
+            .as_ref()
+            .map(|ts| {
+                ts.in_flight_vms()
+                    .into_iter()
+                    .map(|v| VmId::from_index(v as usize))
+                    .filter(|vm| vm.index() < cluster.placement.vm_count())
+                    .map(|vm| cluster.placement.host_of(vm))
+                    .collect()
+            })
+            .unwrap_or_default();
         for shim in &mut shims {
             if shim.done || shim.down {
                 continue;
@@ -1283,6 +1535,7 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                             t,
                             cfg,
                             failover,
+                            &hot_hosts,
                             &mut report,
                             sink,
                         );
@@ -1414,6 +1667,7 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                         t,
                         cfg,
                         failover,
+                        &hot_hosts,
                         &mut report,
                         sink,
                     );
@@ -1443,7 +1697,10 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
         }) && !(heal_pending
             && shims
                 .iter()
-                .any(|s| s.done && !s.down && !s.st.pending.is_empty()));
+                .any(|s| s.done && !s.down && !s.st.pending.is_empty()))
+            // a streaming or queued pre-copy holds the round open: its
+            // completion still has a commit, an ACK and a Move to land
+            && transfers.as_ref().is_none_or(|ts| ts.is_idle());
         if all_settled {
             break;
         }
@@ -1472,6 +1729,21 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
             .min();
         if let Some(l) = next_lease {
             schedule_wake(&mut agenda, &mut seen, l.max(t + 1), WakeReason::Lease);
+        }
+        if let Some(ts) = transfers.as_ref() {
+            if let Some(done_at) = ts.next_event_time() {
+                schedule_wake(
+                    &mut agenda,
+                    &mut seen,
+                    done_at.max(t + 1),
+                    WakeReason::Transfer,
+                );
+            } else if !ts.is_idle() {
+                // nothing running but transfers are queued (e.g. the
+                // running set was just cancelled): poll next tick so
+                // admission can promote them
+                schedule_wake(&mut agenda, &mut seen, t + 1, WakeReason::Transfer);
+            }
         }
         for shim in &shims {
             if shim.done || shim.down || shim.started {
@@ -1602,6 +1874,11 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
     failover.clock += report.ticks + 1;
     report.drops = net.stats.dropped;
     report.dedup_hits = endpoints.iter().map(|e| e.dedup_hits()).sum();
+    if let Some(ts) = &transfers {
+        report.transfer_reroutes = ts.reroutes();
+        report.transfer_queue_delays = ts.queue_delays();
+        report.transfer_peak_sharing = ts.peak_link_sharing();
+    }
     sink.counter("net.sent", net.stats.sent as u64);
     sink.counter("net.delivered", net.stats.delivered as u64);
     sink.counter("net.dropped", net.stats.dropped as u64);
@@ -1648,6 +1925,7 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
     now: u64,
     cfg: &FabricConfig,
     failover: &RegionFailover,
+    hot_hosts: &BTreeSet<HostId>,
     report: &mut DistributedReport,
     sink: &mut S,
 ) {
@@ -1698,6 +1976,7 @@ fn fabric_plan_and_send<S: EventSink + ?Sized>(
         &pending,
         &shim.st.slots,
         &shim.st.excluded,
+        hot_hosts,
     );
     shim.st.plan.search_space += space;
     shim.st.pending = unassigned;

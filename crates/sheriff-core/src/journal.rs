@@ -122,6 +122,20 @@ impl IntentJournal {
         self.entries.get(&id)
     }
 
+    /// Push a prepared transaction's lease out to `until` (used while a
+    /// committed migration's pre-copy streams: the transfer scheduler
+    /// owns its fate, so the lease sweep must not abort it mid-flight).
+    /// Returns `false` if the id is unknown or not in `Prepared`.
+    pub fn extend_lease(&mut self, id: ReqId, until: u64) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) if e.state == TxnState::Prepared => {
+                e.lease = e.lease.max(until);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Finish a prepared transaction. Returns `false` if the id is
     /// unknown or the transaction was not in `Prepared`.
     pub fn commit(&mut self, id: ReqId) -> bool {

@@ -90,6 +90,7 @@ pub use runtime::{
 #[cfg(feature = "legacy")]
 pub use sharded::sharded_round;
 pub use sharded::{sharded_round_obs, ShardedReport};
+pub use sheriff_transfer::{RouteStrategy, TransferConfig, TransferScheduler};
 pub use shim::{RoundReport, Sheriff};
 pub use strategy::{run_policy, AlertPolicy, StrategyOutcome};
 pub use system::{StepReport, System};

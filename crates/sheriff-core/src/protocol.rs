@@ -481,6 +481,15 @@ impl ShimEndpoint {
         &self.journal
     }
 
+    /// Extend a prepared transaction's lease to at least `until`. The
+    /// fabric calls this when a COMMIT hands the migration to the
+    /// transfer scheduler: while the pre-copy streams, the periodic
+    /// lease sweep must not abort the reservation out from under it.
+    /// Returns `false` when the id is unknown or not `Prepared`.
+    pub fn extend_lease(&mut self, id: ReqId, until: u64) -> bool {
+        self.journal.extend_lease(id, until)
+    }
+
     /// The earliest lease deadline among still-prepared transactions —
     /// the next tick at which [`ShimEndpoint::expire_leases`] could do
     /// anything, which is what an event-driven sweep schedules on.

@@ -89,8 +89,34 @@ pub struct RoundOutcome {
     /// Pending VMs dropped at partition heal because another manager
     /// handled them during the cut (fabric only).
     pub reconciliations: usize,
+    /// Migration pre-copies admitted by the transfer scheduler (fabric
+    /// only, zero unless the transfer model is enabled).
+    pub transfers_started: usize,
+    /// Pre-copies that streamed to completion and finalized COMMIT.
+    pub transfers_completed: usize,
+    /// Transfers steered off their shortest path by QCN congestion.
+    pub transfer_reroutes: usize,
+    /// 95th-percentile transfer completion time in virtual ticks
+    /// (nearest-rank over this round's completed transfers; 0.0 when
+    /// none completed).
+    pub transfer_p95_completion: f64,
+    /// True when some link carried two or more concurrent transfers —
+    /// the round paid a bottleneck serialization penalty.
+    pub bottleneck_serialized: bool,
     /// Post-round invariant audit — clean unless a bug corrupted state.
     pub audit: AuditReport,
+}
+
+/// Nearest-rank p95 over a set of transfer durations, 0.0 when empty.
+fn p95_ticks(durations: &[u64]) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64) * 0.95).ceil() as usize;
+    let idx = rank.saturating_sub(1).min(sorted.len() - 1);
+    sorted.get(idx).copied().unwrap_or(0) as f64
 }
 
 impl From<DistributedReport> for RoundOutcome {
@@ -114,6 +140,11 @@ impl From<DistributedReport> for RoundOutcome {
             fenced: r.fenced,
             partition_degraded: r.partition_degraded,
             reconciliations: r.reconciliations,
+            transfers_started: r.transfers_started,
+            transfers_completed: r.transfers_completed,
+            transfer_reroutes: r.transfer_reroutes,
+            transfer_p95_completion: p95_ticks(&r.transfer_durations),
+            bottleneck_serialized: r.transfer_peak_sharing >= 2,
             audit: r.audit,
         }
     }

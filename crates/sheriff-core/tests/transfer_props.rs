@@ -1,0 +1,356 @@
+//! Properties of the network-aware transfer scheduler (`sheriff-transfer`)
+//! as wired into the fabric runtime:
+//!
+//! 1. With the transfer model *disabled* (the default), the fabric is
+//!    byte-identical to the PR 7 event-core runtime — pinned by digests
+//!    of the full event stream + report captured on the pre-transfer
+//!    tree.
+//! 2. With the transfer model *enabled*, same-seed rounds are
+//!    byte-identical across repeats even under lossy channels and
+//!    mid-transfer shim crashes.
+
+use dcn_sim::engine::{Cluster, ClusterConfig};
+use dcn_sim::{ChannelFaults, RackMetric, SimConfig};
+use dcn_topology::fattree::{self, FatTreeConfig};
+use proptest::prelude::*;
+use sheriff_core::{fabric_round_obs, CrashWindow, FabricConfig};
+use sheriff_obs::RingRecorder;
+
+fn small_cluster(seed: u64) -> Cluster {
+    let dcn = fattree::build(&FatTreeConfig::paper(4));
+    Cluster::build(
+        dcn,
+        &ClusterConfig {
+            vms_per_host: 2.5,
+            skew: 3.0,
+            seed,
+            ..ClusterConfig::default()
+        },
+        SimConfig::paper(),
+    )
+}
+
+/// FNV-1a over the serialized event stream and the report's debug
+/// rendering: any behavioral drift — one extra event, one changed
+/// counter — changes the digest.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn round_digest(cluster_seed: u64, cfg: &FabricConfig) -> u64 {
+    let mut c = small_cluster(cluster_seed);
+    let metric = RackMetric::build(&c.dcn, &c.sim);
+    let alerts = c.fraction_alerts(0.15, 0);
+    let vals: Vec<f64> = c
+        .placement
+        .vm_ids()
+        .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
+        .collect();
+    let mut rec = RingRecorder::new(1 << 16);
+    let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, cfg, &mut rec);
+    let mut buf = String::new();
+    for ev in rec.events() {
+        buf.push_str(&ev.to_json());
+        buf.push('\n');
+    }
+    // the PR 7-era report fields, spelled out so adding *new* fields to
+    // DistributedReport (a schema change, not a behavior change) does
+    // not move the digest
+    for m in &report.plan.moves {
+        buf.push_str(&format!(
+            "mv {:?} {:?} {:?} {};",
+            m.vm, m.from, m.to, m.cost
+        ));
+    }
+    buf.push_str(&format!(
+        "plan {} {} {} {:?};",
+        report.plan.total_cost,
+        report.plan.search_space,
+        report.plan.rejected,
+        report.plan.unplaced
+    ));
+    buf.push_str(&format!(
+        "r {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {};",
+        report.retries,
+        report.shims,
+        report.drops,
+        report.timeouts,
+        report.resends,
+        report.dedup_hits,
+        report.degraded_shims,
+        report.crashed_shims,
+        report.ticks,
+        report.txn_prepared,
+        report.txn_committed,
+        report.txn_aborted,
+        report.recoveries,
+        report.takeovers,
+        report.fenced,
+        report.partition_degraded,
+        report.reconciliations,
+        report.audit,
+    ));
+    if cfg.transfer.is_some() {
+        buf.push_str(&format!(
+            "t {} {} {} {} {} {:?};",
+            report.transfers_started,
+            report.transfers_completed,
+            report.transfer_reroutes,
+            report.transfer_queue_delays,
+            report.transfer_peak_sharing,
+            report.transfer_durations,
+        ));
+    }
+    // final placement is part of the behavior, not just the report
+    for vm in c.placement.vm_ids() {
+        buf.push_str(&format!("{vm:?}={:?};", c.placement.host_of(vm)));
+    }
+    fnv1a(buf.bytes())
+}
+
+fn pr7_cases() -> Vec<(u64, FabricConfig)> {
+    let reliable = FabricConfig::default();
+    let lossy = FabricConfig {
+        faults: ChannelFaults {
+            drop: 0.10,
+            duplicate: 0.10,
+            reorder: 0.15,
+            delay_min: 1,
+            delay_max: 3,
+        },
+        seed: 99,
+        ..FabricConfig::default()
+    };
+    let mut crashy = lossy.clone();
+    crashy.crashed = vec![CrashWindow {
+        rack: dcn_topology::RackId::from_index(1),
+        crash_at: 5,
+        recover_at: Some(14),
+    }];
+    vec![(26, reliable), (27, lossy), (31, crashy)]
+}
+
+/// Digests of the PR 7 fabric captured before `sheriff-transfer`
+/// existed. With `FabricConfig::transfer` left at `None` the runtime
+/// must keep reproducing these exactly.
+const PR7_DIGESTS: [u64; 3] = [
+    0x0fdb_3b6b_9bcb_d834,
+    0x9a41_36be_313c_f6c7,
+    0xec6b_1401_3721_e6b6,
+];
+
+#[test]
+#[ignore = "capture helper: prints digests for pinning"]
+fn print_pr7_digests() {
+    for (i, (seed, cfg)) in pr7_cases().into_iter().enumerate() {
+        println!("case {i}: {:#018x}", round_digest(seed, &cfg));
+        let _ = seed;
+    }
+}
+
+#[test]
+fn disabled_transfer_model_reproduces_pr7_digests() {
+    for (i, (seed, cfg)) in pr7_cases().into_iter().enumerate() {
+        assert_eq!(
+            round_digest(seed, &cfg),
+            PR7_DIGESTS[i],
+            "case {i} drifted from the PR 7 fabric"
+        );
+    }
+}
+
+#[test]
+fn enabled_transfers_stream_commit_and_audit_clean() {
+    let cfg = FabricConfig::default().with_transfer(sheriff_transfer::TransferConfig::default());
+    let mut c = small_cluster(26);
+    let initial = c.placement.clone();
+    let metric = RackMetric::build(&c.dcn, &c.sim);
+    let alerts = c.fraction_alerts(0.15, 0);
+    let vals: Vec<f64> = c
+        .placement
+        .vm_ids()
+        .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
+        .collect();
+    let mut rec = RingRecorder::new(1 << 16);
+    let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut rec);
+
+    assert!(report.transfers_started > 0, "no transfer ever started");
+    assert_eq!(
+        report.transfers_completed, report.transfers_started,
+        "a reliable round must finish every pre-copy it starts"
+    );
+    assert_eq!(
+        report.transfer_durations.len(),
+        report.transfers_completed,
+        "every completion records its duration"
+    );
+    assert!(report.transfer_durations.iter().all(|&d| d >= 1));
+    assert!(!report.plan.moves.is_empty());
+    assert_eq!(report.txn_committed, report.plan.moves.len());
+    assert_eq!(rec.count_kind("transfer_started"), report.transfers_started);
+    assert_eq!(
+        rec.count_kind("transfer_completed"),
+        report.transfers_completed
+    );
+    assert!(report.audit.is_clean(), "{}", report.audit);
+    // exactly-once: replaying the recorded moves reproduces the final
+    // placement even with the deferred, transfer-gated commit path
+    let mut loc: std::collections::HashMap<_, _> = c
+        .placement
+        .vm_ids()
+        .map(|vm| (vm, initial.host_of(vm)))
+        .collect();
+    for m in &report.plan.moves {
+        assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
+        loc.insert(m.vm, m.to);
+    }
+    for vm in c.placement.vm_ids() {
+        assert_eq!(loc[&vm], c.placement.host_of(vm));
+    }
+}
+
+#[test]
+fn enabled_round_takes_longer_than_instantaneous_settlement() {
+    let run = |transfer: Option<sheriff_transfer::TransferConfig>| {
+        let cfg = FabricConfig {
+            transfer,
+            ..FabricConfig::default()
+        };
+        let mut c = small_cluster(26);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.15, 0);
+        let vals: Vec<f64> = c
+            .placement
+            .vm_ids()
+            .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
+            .collect();
+        fabric_round_obs(
+            &mut c,
+            &metric,
+            &alerts,
+            &vals,
+            &cfg,
+            &mut sheriff_obs::NullSink,
+        )
+    };
+    let instant = run(None);
+    let modeled = run(Some(sheriff_transfer::TransferConfig {
+        link_bandwidth: 1.0,
+        ..sheriff_transfer::TransferConfig::default()
+    }));
+    assert!(
+        modeled.ticks > instant.ticks,
+        "streaming pre-copies must stretch the round: {} vs {}",
+        modeled.ticks,
+        instant.ticks
+    );
+    assert_eq!(
+        modeled.plan.moves.len(),
+        instant.plan.moves.len(),
+        "the transfer model changes timing, not outcomes, on a reliable channel"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same-seed transfer schedules are byte-identical across 5 repeats
+    /// under lossy channels and mid-transfer shim crashes: the full
+    /// event stream (transfer events included), report, and final
+    /// placement digest to the same value every time.
+    #[test]
+    fn transfer_schedule_is_byte_identical_across_repeats(
+        cluster_seed in 0u64..4,
+        net_seed in 0u64..500,
+        drop in 0.0f64..0.25,
+        duplicate in 0.0f64..0.2,
+        crash_at in 3u64..20,
+        recover_delay in 0u64..16,
+        bandwidth in 1u64..6,
+        max_concurrent in 0usize..4,
+    ) {
+        let cfg = FabricConfig {
+            faults: ChannelFaults {
+                drop,
+                duplicate,
+                reorder: 0.1,
+                delay_min: 1,
+                delay_max: 2,
+            },
+            seed: net_seed,
+            crashed: vec![CrashWindow {
+                rack: dcn_topology::RackId::from_index((cluster_seed as usize) % 8),
+                crash_at,
+                recover_at: (recover_delay > 0).then(|| crash_at + recover_delay),
+            }],
+            ..FabricConfig::default()
+        }
+        .with_transfer(sheriff_transfer::TransferConfig {
+            link_bandwidth: bandwidth as f64,
+            max_concurrent,
+            ..sheriff_transfer::TransferConfig::default()
+        });
+        let first = round_digest(cluster_seed, &cfg);
+        for rep in 1..5 {
+            prop_assert_eq!(first, round_digest(cluster_seed, &cfg), "repeat {} diverged", rep);
+        }
+    }
+
+    /// Under any fault mix, the transfer-enabled fabric keeps the
+    /// exactly-once and audit invariants.
+    #[test]
+    fn enabled_transfers_stay_safe_under_faults(
+        cluster_seed in 0u64..4,
+        net_seed in 0u64..500,
+        drop in 0.0f64..0.3,
+        crash_at in 0u64..24,
+    ) {
+        let cfg = FabricConfig {
+            faults: ChannelFaults {
+                drop,
+                duplicate: 0.1,
+                reorder: 0.1,
+                delay_min: 1,
+                delay_max: 2,
+            },
+            seed: net_seed,
+            crashed: vec![CrashWindow {
+                rack: dcn_topology::RackId::from_index(1),
+                crash_at,
+                recover_at: Some(crash_at + 9),
+            }],
+            ..FabricConfig::default()
+        }
+        .with_transfer(sheriff_transfer::TransferConfig::default());
+        let mut c = small_cluster(cluster_seed);
+        let initial = c.placement.clone();
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.15, 0);
+        prop_assume!(!alerts.is_empty());
+        let vals: Vec<f64> = c
+            .placement
+            .vm_ids()
+            .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
+            .collect();
+        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut sheriff_obs::NullSink);
+        prop_assert!(report.ticks <= cfg.max_ticks);
+        prop_assert!(report.audit.is_clean(), "{}", report.audit);
+        let mut loc: std::collections::HashMap<_, _> = c
+            .placement
+            .vm_ids()
+            .map(|vm| (vm, initial.host_of(vm)))
+            .collect();
+        for m in &report.plan.moves {
+            prop_assert_eq!(loc[&m.vm], m.from, "stale or doubled move for {}", m.vm);
+            loc.insert(m.vm, m.to);
+        }
+        for vm in c.placement.vm_ids() {
+            prop_assert_eq!(loc[&vm], c.placement.host_of(vm));
+        }
+    }
+}

@@ -94,11 +94,13 @@ pub struct LintContext {
 
 /// Paths (repo-relative, `/`-separated) whose iteration order is part of
 /// the reproducibility contract: the management loops, the simulator,
-/// and the scenario runner's pure `run_job` path.
+/// the transfer scheduler, and the scenario runner's pure `run_job`
+/// path.
 fn is_deterministic_module(path: &str) -> bool {
     path.starts_with("crates/sheriff-core/src/")
         || path.starts_with("crates/sheriff-sim/src/")
         || path.starts_with("crates/dcn-sim/src/")
+        || path.starts_with("crates/sheriff-transfer/src/")
         || path == "crates/sheriff-scenario/src/runner.rs"
 }
 

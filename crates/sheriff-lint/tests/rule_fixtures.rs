@@ -302,6 +302,38 @@ fn event_queue_idiom_lints_clean() {
     assert!(codes(SIM, src).is_empty());
 }
 
+// -------------------------------------------- sheriff-transfer scope
+
+const TRANSFER: &str = "crates/sheriff-transfer/src/fixture.rs";
+
+#[test]
+fn transfer_scheduler_is_det_scoped() {
+    // the bandwidth-sharing scheduler schedules completion events on
+    // the deterministic core: same-seed transfer schedules must be
+    // byte-identical, so all three DET rules apply under
+    // crates/sheriff-transfer/src/
+    let clock = "pub fn sampled() -> u64 { let t = std::time::Instant::now(); drop(t); 0 }";
+    assert_eq!(codes(TRANSFER, clock), vec!["DET01"]);
+    let hash = "use std::collections::HashMap;\n\
+                pub fn recompute(active: HashMap<u64, f64>) { for (id, rate) in &active { set(*id, *rate); } }";
+    assert_eq!(codes(TRANSFER, hash), vec!["DET02"]);
+    let rng = "pub fn tie_break() -> f64 { rand::random() }";
+    assert_eq!(codes(TRANSFER, rng), vec!["DET03"]);
+}
+
+#[test]
+fn transfer_route_table_idiom_lints_clean() {
+    // the blessed scheduler idiom: active transfers in a BTreeMap keyed
+    // by id, per-link shares recomputed by ordered iteration
+    let src = "use std::collections::BTreeMap;\n\
+        pub fn rates(active: &BTreeMap<u64, f64>) -> f64 {\n\
+            let mut total = 0.0;\n\
+            for (_, r) in active { total += r; }\n\
+            total\n\
+        }";
+    assert!(codes(TRANSFER, src).is_empty());
+}
+
 // ------------------------------------------------------ determinism
 
 #[test]

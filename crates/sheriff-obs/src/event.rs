@@ -349,6 +349,43 @@ pub enum Event {
         /// The rack's current epoch.
         current: u64,
     },
+    /// A committed migration's pre-copy began streaming on the transfer
+    /// scheduler (the 2PC commit finalizes at `TransferCompleted`).
+    TransferStarted {
+        /// 2PC request id of the migration.
+        req: u64,
+        /// VM being transferred.
+        vm: u64,
+        /// Pre-copy volume in bytes.
+        bytes: f64,
+        /// Hop count of the chosen route (0 = intra-rack).
+        hops: u64,
+        /// Max-min fair rate granted at admission, bytes per tick.
+        rate: f64,
+        /// Ticks the transfer waited behind the admission cap.
+        waited: u64,
+    },
+    /// QCN congestion steered a pre-copy off its primary k-shortest
+    /// route onto an alternate candidate.
+    TransferRerouted {
+        /// 2PC request id of the migration.
+        req: u64,
+        /// VM being transferred.
+        vm: u64,
+        /// Hop count of the alternate route actually taken.
+        hops: u64,
+    },
+    /// A pre-copy streamed its last byte; placement flips now.
+    TransferCompleted {
+        /// 2PC request id of the migration.
+        req: u64,
+        /// VM that finished moving.
+        vm: u64,
+        /// Wall ticks from admission to completion.
+        ticks: u64,
+        /// Achieved bandwidth in bytes per tick.
+        bandwidth: f64,
+    },
 }
 
 impl Event {
@@ -384,6 +421,9 @@ impl Event {
             Event::PartitionHealed { .. } => "partition_healed",
             Event::AlertCheckFired { .. } => "alert_check_fired",
             Event::StaleEpochRejected { .. } => "stale_epoch_rejected",
+            Event::TransferStarted { .. } => "transfer_started",
+            Event::TransferRerouted { .. } => "transfer_rerouted",
+            Event::TransferCompleted { .. } => "transfer_completed",
         }
     }
 
@@ -551,6 +591,37 @@ impl Event {
                 w.u64("stale", *stale);
                 w.u64("current", *current);
             }
+            Event::TransferStarted {
+                req,
+                vm,
+                bytes,
+                hops,
+                rate,
+                waited,
+            } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.f64("bytes", *bytes);
+                w.u64("hops", *hops);
+                w.f64("rate", *rate);
+                w.u64("waited", *waited);
+            }
+            Event::TransferRerouted { req, vm, hops } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.u64("hops", *hops);
+            }
+            Event::TransferCompleted {
+                req,
+                vm,
+                ticks,
+                bandwidth,
+            } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.u64("ticks", *ticks);
+                w.f64("bandwidth", *bandwidth);
+            }
         }
         w.finish()
     }
@@ -625,6 +696,41 @@ mod tests {
         assert_eq!(RejectKind::Stale.label(), "stale_epoch");
         assert_eq!(FaultKind::Partition.label(), "partition");
         assert_eq!(FaultKind::Heal.label(), "heal");
+    }
+
+    #[test]
+    fn transfer_events_have_stable_shape() {
+        assert_eq!(
+            Event::TransferStarted {
+                req: 5,
+                vm: 7,
+                bytes: 8.0,
+                hops: 4,
+                rate: 2.0,
+                waited: 0
+            }
+            .to_json(),
+            r#"{"ev":"transfer_started","req":5,"vm":7,"bytes":8,"hops":4,"rate":2,"waited":0}"#
+        );
+        assert_eq!(
+            Event::TransferRerouted {
+                req: 5,
+                vm: 7,
+                hops: 6
+            }
+            .to_json(),
+            r#"{"ev":"transfer_rerouted","req":5,"vm":7,"hops":6}"#
+        );
+        assert_eq!(
+            Event::TransferCompleted {
+                req: 5,
+                vm: 7,
+                ticks: 4,
+                bandwidth: 2.5
+            }
+            .to_json(),
+            r#"{"ev":"transfer_completed","req":5,"vm":7,"ticks":4,"bandwidth":2.5}"#
+        );
     }
 
     #[test]

@@ -205,6 +205,33 @@ pub fn aggregate(spec: &ScenarioSpec, runs: &[SeedRun]) -> ScenarioReport {
             "reconciliation_conflicts_total".into(),
             sum_rounds(&|s| s.reconciliations as f64),
         ),
+        (
+            "transfers_started_total".into(),
+            sum_rounds(&|s| s.transfers_started as f64),
+        ),
+        (
+            "transfers_completed_total".into(),
+            sum_rounds(&|s| s.transfers_completed as f64),
+        ),
+        (
+            "transfer_reroutes_total".into(),
+            sum_rounds(&|s| s.transfer_reroutes as f64),
+        ),
+        (
+            // worst per-round p95 across the run: the round where
+            // bottleneck sharing hurt transfer latency the most
+            "transfer_p95_completion".into(),
+            stat(&|r| {
+                r.rounds
+                    .iter()
+                    .map(|s| s.transfer_p95_completion)
+                    .fold(0.0, f64::max)
+            }),
+        ),
+        (
+            "bottleneck_serialization_rounds".into(),
+            stat(&|r| r.rounds.iter().filter(|s| s.bottleneck_serialized).count() as f64),
+        ),
     ];
 
     let mut counters = Counters::new();

@@ -101,6 +101,20 @@ pub struct RoundStat {
     /// Pending alerts dropped at heal because another shim now manages
     /// the VM's rack (fabric).
     pub reconciliations: usize,
+    /// Migration pre-copies admitted by the transfer scheduler (fabric
+    /// with the transfer model on).
+    pub transfers_started: usize,
+    /// Pre-copies that streamed to completion (fabric).
+    pub transfers_completed: usize,
+    /// Transfers steered off their shortest path by QCN congestion
+    /// (fabric).
+    pub transfer_reroutes: usize,
+    /// Nearest-rank p95 transfer completion time in virtual ticks
+    /// (fabric; 0.0 when nothing completed).
+    pub transfer_p95_completion: f64,
+    /// Whether some link carried ≥ 2 concurrent pre-copies this round
+    /// (fabric).
+    pub bottleneck_serialized: bool,
 }
 
 /// The full deterministic record of one (topology, seed) job.
@@ -217,9 +231,15 @@ impl Loop {
                 Loop::Distributed(DistributedRuntime { max_retry })
             }
             RuntimeSpec::Sharded => Loop::Sharded(ShardedRuntime),
-            RuntimeSpec::Fabric { max_retry } => {
+            RuntimeSpec::Fabric {
+                max_retry,
+                transfer,
+            } => {
                 let mut cfg = FabricConfig::for_channel(sim.channel.clone(), seed);
                 cfg.max_retry = max_retry;
+                if let Some(ts) = transfer {
+                    cfg = cfg.with_transfer(ts.to_config());
+                }
                 Loop::Fabric(FabricRuntime::with_config(cfg))
             }
         }
@@ -576,6 +596,11 @@ pub(crate) fn run_job(
             fenced: out.fenced,
             partition_degraded: out.partition_degraded,
             reconciliations: out.reconciliations,
+            transfers_started: out.transfers_started,
+            transfers_completed: out.transfers_completed,
+            transfer_reroutes: out.transfer_reroutes,
+            transfer_p95_completion: out.transfer_p95_completion,
+            bottleneck_serialized: out.bottleneck_serialized,
         });
     }
 

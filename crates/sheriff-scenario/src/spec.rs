@@ -201,7 +201,58 @@ pub enum RuntimeSpec {
     Fabric {
         /// Replan rounds per shim after the first.
         max_retry: usize,
+        /// Optional migration transfer model (pre-copies stream over
+        /// the core at finite bandwidth instead of committing
+        /// instantly).
+        transfer: Option<TransferModelSpec>,
     },
+}
+
+/// Migration transfer-model knobs for the fabric runtime — a `Copy`
+/// mirror of [`sheriff_transfer::TransferConfig`] so [`RuntimeSpec`]
+/// stays a plain value type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModelSpec {
+    /// Per-link migration bandwidth (capacity units per virtual tick).
+    pub bandwidth: f64,
+    /// Fabric-wide concurrent pre-copy cap (0 = unlimited).
+    pub max_concurrent: usize,
+    /// Route selection under QCN congestion feedback.
+    pub route_strategy: sheriff_transfer::RouteStrategy,
+    /// QCN severity above which the primary path is abandoned.
+    pub reroute_threshold: f64,
+    /// Bytes streamed per unit of VM capacity.
+    pub bytes_per_capacity: f64,
+    /// k-shortest-path candidates per transfer.
+    pub k_paths: usize,
+}
+
+impl Default for TransferModelSpec {
+    fn default() -> Self {
+        let d = sheriff_transfer::TransferConfig::default();
+        Self {
+            bandwidth: d.link_bandwidth,
+            max_concurrent: d.max_concurrent,
+            route_strategy: d.route_strategy,
+            reroute_threshold: d.reroute_threshold,
+            bytes_per_capacity: d.bytes_per_capacity,
+            k_paths: d.k_paths,
+        }
+    }
+}
+
+impl TransferModelSpec {
+    /// The scheduler config these knobs describe.
+    pub fn to_config(self) -> sheriff_transfer::TransferConfig {
+        sheriff_transfer::TransferConfig {
+            link_bandwidth: self.bandwidth,
+            max_concurrent: self.max_concurrent,
+            route_strategy: self.route_strategy,
+            reroute_threshold: self.reroute_threshold,
+            bytes_per_capacity: self.bytes_per_capacity,
+            k_paths: self.k_paths,
+        }
+    }
 }
 
 impl Default for RuntimeSpec {
@@ -649,15 +700,89 @@ fn parse_runtime(v: &Value) -> Result<RuntimeSpec, SheriffError> {
             Ok(RuntimeSpec::Sharded)
         }
         "fabric" => {
-            check_keys(t, &["kind", "max_retry"], "runtime")?;
+            check_keys(
+                t,
+                &[
+                    "kind",
+                    "max_retry",
+                    "transfer_bandwidth",
+                    "transfer_max_concurrent",
+                    "transfer_route_strategy",
+                    "transfer_reroute_threshold",
+                    "transfer_bytes_per_capacity",
+                    "transfer_k_paths",
+                ],
+                "runtime",
+            )?;
             Ok(RuntimeSpec::Fabric {
                 max_retry: get_usize(t, "max_retry", "runtime")?.unwrap_or(3),
+                transfer: parse_transfer_model(t)?,
             })
         }
         other => Err(invalid(format!(
             "unknown runtime.kind {other:?} (centralized, distributed, sharded, fabric)"
         ))),
     }
+}
+
+/// The fabric runtime's optional `transfer_*` keys. Present ⇒ the
+/// transfer model is on; absent keys fall back to the scheduler's
+/// defaults.
+fn parse_transfer_model(
+    t: &BTreeMap<String, Value>,
+) -> Result<Option<TransferModelSpec>, SheriffError> {
+    let any = t.keys().any(|k| k.starts_with("transfer_"));
+    if !any {
+        return Ok(None);
+    }
+    let mut spec = TransferModelSpec::default();
+    if let Some(bw) = get_f64(t, "transfer_bandwidth", "runtime")? {
+        if bw.is_nan() || bw <= 0.0 {
+            return Err(invalid(format!(
+                "runtime.transfer_bandwidth must be positive, got {bw}"
+            )));
+        }
+        spec.bandwidth = bw;
+    }
+    if let Some(cap) = get_usize(t, "transfer_max_concurrent", "runtime")? {
+        spec.max_concurrent = cap;
+    }
+    if let Some(s) = get_str(t, "transfer_route_strategy", "runtime")? {
+        spec.route_strategy = match s {
+            "shortest" => sheriff_transfer::RouteStrategy::Shortest,
+            "least_loaded" => sheriff_transfer::RouteStrategy::LeastLoaded,
+            other => {
+                return Err(invalid(format!(
+                    "unknown runtime.transfer_route_strategy {other:?} (shortest, least_loaded)"
+                )))
+            }
+        };
+    }
+    if let Some(thr) = get_f64(t, "transfer_reroute_threshold", "runtime")? {
+        if !(0.0..=1.0).contains(&thr) {
+            return Err(invalid(format!(
+                "runtime.transfer_reroute_threshold must be in [0, 1], got {thr}"
+            )));
+        }
+        spec.reroute_threshold = thr;
+    }
+    if let Some(bpc) = get_f64(t, "transfer_bytes_per_capacity", "runtime")? {
+        if bpc.is_nan() || bpc <= 0.0 {
+            return Err(invalid(format!(
+                "runtime.transfer_bytes_per_capacity must be positive, got {bpc}"
+            )));
+        }
+        spec.bytes_per_capacity = bpc;
+    }
+    if let Some(k) = get_usize(t, "transfer_k_paths", "runtime")? {
+        if k == 0 {
+            return Err(invalid(
+                "runtime.transfer_k_paths must be at least 1".into(),
+            ));
+        }
+        spec.k_paths = k;
+    }
+    Ok(Some(spec))
 }
 
 fn parse_channel(
@@ -1329,7 +1454,13 @@ mod tests {
             }
         );
         assert_eq!(spec.workload.surges.len(), 1);
-        assert_eq!(spec.runtime, RuntimeSpec::Fabric { max_retry: 2 });
+        assert_eq!(
+            spec.runtime,
+            RuntimeSpec::Fabric {
+                max_retry: 2,
+                transfer: None
+            }
+        );
         assert_eq!(spec.sim.alert_threshold, 0.85);
         assert_eq!(spec.sim.channel.drop, 0.05);
         assert_eq!(spec.faults.len(), 2);

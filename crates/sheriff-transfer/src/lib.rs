@@ -1,0 +1,1084 @@
+//! Network-aware migration transfer scheduling on the event core.
+//!
+//! Sheriff's cost model (Eqn. 1) prices each pre-copy independently, and
+//! the fabric runtime historically settled every committed migration
+//! instantaneously. In a real Fat-Tree the pre-copies of concurrent
+//! migrations *share links*: two transfers crossing the same core link
+//! each get half its bandwidth, and completion times stretch accordingly
+//! (Wang et al., "Virtual Machine Migration Planning in SDN"). This crate
+//! models exactly that contention, deterministically:
+//!
+//! * every committed 2PC migration becomes a [`TransferSpec`] with a byte
+//!   size derived from the VM's capacity;
+//! * a route is chosen from the k-shortest candidate paths
+//!   ([`route_candidates`], built on `dcn-topology`'s Yen machinery) with
+//!   a deterministic lexicographic tie-break;
+//! * concurrent transfers share per-link capacity under
+//!   progressive-filling **max-min fairness**, and every admission or
+//!   completion recomputes all rates and re-schedules each transfer's
+//!   completion time;
+//! * each shared link runs a QCN congestion point (`dcn-sim`); when the
+//!   primary route's worst-link severity crosses
+//!   [`TransferConfig::reroute_threshold`] a new transfer is steered onto
+//!   the least-congested alternate (a *reroute*), and a full admission
+//!   window ([`TransferConfig::max_concurrent`]) queues it instead.
+//!
+//! The scheduler is pure virtual-time state: no clocks, no randomness,
+//! `BTreeMap` everywhere — same inputs, byte-identical schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcn_sim::qcn::{CongestionPoint, CpConfig};
+use dcn_topology::graph::{EdgeIdx, NetGraph, NodeIdx};
+use dcn_topology::ksp::k_shortest_paths;
+use serde::{Deserialize, Serialize};
+use sheriff_obs::Histogram;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Residual-byte tolerance: below this a transfer counts as finished.
+const EPS: f64 = 1e-9;
+/// Floor on a computed rate so completion times stay finite.
+const MIN_RATE: f64 = 1e-6;
+
+/// How a transfer picks among its k candidate routes at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RouteStrategy {
+    /// Take the shortest candidate unless QCN severity on it exceeds the
+    /// reroute threshold; then the first under-threshold alternate (or
+    /// the least-severe candidate when all are hot).
+    #[default]
+    Shortest,
+    /// Always take the candidate whose busiest link carries the fewest
+    /// concurrent transfers (ties: fewer hops, then candidate order).
+    LeastLoaded,
+}
+
+/// Knobs for the transfer scheduler. `None` on
+/// `FabricConfig::transfer` disables the model entirely (instantaneous
+/// settlement, byte-identical to the pre-transfer fabric).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferConfig {
+    /// Migration-lane capacity of every link, in bytes per virtual tick.
+    pub link_bandwidth: f64,
+    /// Bytes of pre-copy traffic per unit of VM capacity (Eqn. 1's
+    /// `m.capacity` scaled into transferable bytes).
+    pub bytes_per_capacity: f64,
+    /// Admission cap on concurrently running transfers; `0` = unlimited.
+    pub max_concurrent: usize,
+    /// Number of k-shortest-path route candidates computed per transfer.
+    pub k_paths: usize,
+    /// Route selection policy at admission.
+    pub route_strategy: RouteStrategy,
+    /// QCN severity in `[0, 1]` above which the primary route is
+    /// abandoned for an alternate (a `TransferRerouted` event).
+    pub reroute_threshold: f64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        Self {
+            link_bandwidth: 4.0,
+            bytes_per_capacity: 8.0,
+            max_concurrent: 0,
+            k_paths: 4,
+            route_strategy: RouteStrategy::Shortest,
+            reroute_threshold: 0.25,
+        }
+    }
+}
+
+/// One route candidate: the links it crosses, in path order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteCandidate {
+    /// Node sequence, inclusive of both endpoints.
+    pub nodes: Vec<NodeIdx>,
+    /// Edge indices along the path.
+    pub links: Vec<EdgeIdx>,
+}
+
+impl RouteCandidate {
+    /// Hop count of the candidate.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Compute up to `k` candidate routes between two topology nodes,
+/// shortest first, with a deterministic tie-break: equal-cost paths are
+/// ordered lexicographically by node sequence, so the same topology
+/// always yields the same candidate list regardless of internal search
+/// order.
+pub fn route_candidates(g: &NetGraph, src: NodeIdx, dst: NodeIdx, k: usize) -> Vec<RouteCandidate> {
+    let mut paths = k_shortest_paths(g, src, dst, k.max(1), |_| 1.0);
+    paths.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.nodes.cmp(&b.nodes))
+    });
+    paths
+        .into_iter()
+        .map(|p| RouteCandidate {
+            links: p.edges(g),
+            nodes: p.nodes,
+        })
+        .collect()
+}
+
+/// What the caller submits: one committed migration's pre-copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferSpec {
+    /// Caller-chosen identifier (the fabric uses the 2PC request id).
+    pub id: u64,
+    /// The VM being moved, as a plain index.
+    pub vm: u64,
+    /// Destination rack index; a rack crash cancels transfers bound for
+    /// it via [`TransferScheduler::cancel_rack`].
+    pub dst_rack: usize,
+    /// Total pre-copy volume in bytes.
+    pub bytes: f64,
+}
+
+/// Outcome of [`TransferScheduler::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// The transfer is running; rates were recomputed fleet-wide.
+    Started(Started),
+    /// The concurrency cap is reached; the transfer waits in FIFO order
+    /// and starts from a later [`TransferScheduler::poll`].
+    Queued,
+}
+
+/// A transfer that just began streaming.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Started {
+    /// Caller identifier.
+    pub id: u64,
+    /// The VM being moved.
+    pub vm: u64,
+    /// Pre-copy volume in bytes.
+    pub bytes: f64,
+    /// Hop count of the chosen route (0 for an intra-rack move).
+    pub hops: usize,
+    /// Max-min fair rate granted at admission, bytes per tick.
+    pub rate: f64,
+    /// Whether congestion steered it off the primary candidate.
+    pub rerouted: bool,
+    /// Ticks spent waiting in the admission queue.
+    pub waited: u64,
+}
+
+/// A transfer that finished streaming its last byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Caller identifier.
+    pub id: u64,
+    /// The VM that finished moving.
+    pub vm: u64,
+    /// Pre-copy volume in bytes.
+    pub bytes: f64,
+    /// Wall ticks from admission to completion (≥ 1).
+    pub duration: u64,
+    /// Achieved bandwidth `bytes / duration`.
+    pub achieved_bw: f64,
+}
+
+/// A streaming transfer steered onto an alternate route by QCN
+/// congestion feedback mid-flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rerouted {
+    /// Caller identifier.
+    pub id: u64,
+    /// The VM being moved.
+    pub vm: u64,
+    /// Hop count of the new route.
+    pub hops: usize,
+}
+
+/// Everything that happened at one [`TransferScheduler::poll`].
+#[derive(Debug, Clone, Default)]
+pub struct TransferTick {
+    /// Transfers that finished at this tick.
+    pub completions: Vec<Completion>,
+    /// Queued transfers admitted now that capacity freed up.
+    pub started: Vec<Started>,
+    /// Streams QCN pressure moved onto an alternate route this tick.
+    pub rerouted: Vec<Rerouted>,
+}
+
+impl TransferTick {
+    /// True when the poll neither completed, admitted, nor rerouted
+    /// anything.
+    pub fn is_empty(&self) -> bool {
+        self.completions.is_empty() && self.started.is_empty() && self.rerouted.is_empty()
+    }
+}
+
+/// An in-flight transfer.
+#[derive(Debug, Clone)]
+struct Active {
+    vm: u64,
+    dst_rack: usize,
+    bytes: f64,
+    remaining: f64,
+    links: Vec<EdgeIdx>,
+    hops: usize,
+    rate: f64,
+    rate_since: u64,
+    started_at: u64,
+    rerouted: bool,
+    /// Remaining route alternatives, kept so QCN pressure can steer the
+    /// stream mid-flight.
+    candidates: Vec<RouteCandidate>,
+}
+
+/// A transfer parked behind the admission cap.
+#[derive(Debug, Clone)]
+struct Queued {
+    spec: TransferSpec,
+    candidates: Vec<RouteCandidate>,
+    since: u64,
+}
+
+/// Deterministic bandwidth-sharing transfer scheduler.
+///
+/// Drive it from an event loop: [`submit`](Self::submit) at each 2PC
+/// COMMIT, [`poll`](Self::poll) at every activated tick, and schedule a
+/// wake at [`next_event_time`](Self::next_event_time). All state is
+/// ordered (`BTreeMap`) and advanced only by the virtual times passed
+/// in, so identical call sequences produce identical schedules.
+#[derive(Debug, Clone)]
+pub struct TransferScheduler {
+    cfg: TransferConfig,
+    active: BTreeMap<u64, Active>,
+    queue: VecDeque<Queued>,
+    /// Per-link QCN congestion points, keyed by edge index.
+    cps: BTreeMap<EdgeIdx, CongestionPoint>,
+    /// Concurrent users per link as of the last recompute.
+    link_users: BTreeMap<EdgeIdx, usize>,
+    completes_at: BTreeMap<u64, u64>,
+    /// Virtual time of the last QCN sampling interval.
+    sampled_at: u64,
+    peak_sharing: usize,
+    reroutes: usize,
+    queue_delays: usize,
+    starts: usize,
+    completes: usize,
+    completion_hist: Histogram,
+    bandwidth_hist: Histogram,
+}
+
+impl TransferScheduler {
+    /// A scheduler with no transfers in flight.
+    pub fn new(cfg: TransferConfig) -> Self {
+        Self {
+            cfg,
+            active: BTreeMap::new(),
+            queue: VecDeque::new(),
+            cps: BTreeMap::new(),
+            link_users: BTreeMap::new(),
+            completes_at: BTreeMap::new(),
+            sampled_at: 0,
+            peak_sharing: 0,
+            reroutes: 0,
+            queue_delays: 0,
+            starts: 0,
+            completes: 0,
+            completion_hist: Histogram::exponential(1.0, 2.0, 16),
+            bandwidth_hist: Histogram::exponential(0.125, 2.0, 12),
+        }
+    }
+
+    /// The knobs this scheduler was built with.
+    pub fn config(&self) -> &TransferConfig {
+        &self.cfg
+    }
+
+    fn capacity(&self) -> f64 {
+        if self.cfg.link_bandwidth > 0.0 {
+            self.cfg.link_bandwidth
+        } else {
+            1.0
+        }
+    }
+
+    /// No transfers running and none queued.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.queue.is_empty()
+    }
+
+    /// Count of currently running transfers.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Count of transfers waiting behind the admission cap.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// VM indices with a pre-copy running or queued; the planner must
+    /// not re-plan these as source or destination mid-transfer.
+    pub fn in_flight_vms(&self) -> BTreeSet<u64> {
+        self.active
+            .values()
+            .map(|a| a.vm)
+            .chain(self.queue.iter().map(|q| q.spec.vm))
+            .collect()
+    }
+
+    /// Peak number of transfers that ever shared one link.
+    pub fn peak_link_sharing(&self) -> usize {
+        self.peak_sharing
+    }
+
+    /// Transfers steered off their primary route by congestion.
+    pub fn reroutes(&self) -> usize {
+        self.reroutes
+    }
+
+    /// Admissions delayed by the concurrency cap.
+    pub fn queue_delays(&self) -> usize {
+        self.queue_delays
+    }
+
+    /// Transfers admitted so far.
+    pub fn starts(&self) -> usize {
+        self.starts
+    }
+
+    /// Transfers completed so far.
+    pub fn completes(&self) -> usize {
+        self.completes
+    }
+
+    /// Histogram of completion times in ticks.
+    pub fn completion_histogram(&self) -> &Histogram {
+        &self.completion_hist
+    }
+
+    /// Histogram of achieved per-transfer bandwidth in bytes/tick.
+    pub fn bandwidth_histogram(&self) -> &Histogram {
+        &self.bandwidth_hist
+    }
+
+    /// Earliest tick at which a running transfer completes, under
+    /// current rates. `None` when nothing is running (a non-empty queue
+    /// still needs a wake: poll again next tick to admit it).
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.completes_at.values().min().copied()
+    }
+
+    /// Submit a pre-copy at COMMIT time. `candidates` come from
+    /// [`route_candidates`]; an empty list means an intra-rack move that
+    /// crosses no shared links. Duplicate ids are rejected as `Queued`
+    /// never — the caller deduplicates by request id.
+    pub fn submit(
+        &mut self,
+        now: u64,
+        spec: TransferSpec,
+        candidates: Vec<RouteCandidate>,
+    ) -> Admission {
+        self.settle(now);
+        if self.cfg.max_concurrent > 0 && self.active.len() >= self.cfg.max_concurrent {
+            self.queue_delays += 1;
+            self.queue.push_back(Queued {
+                spec,
+                candidates,
+                since: now,
+            });
+            return Admission::Queued;
+        }
+        let id = spec.id;
+        self.admit(now, spec, &candidates);
+        self.recompute(now);
+        Admission::Started(self.started_info(id, 0))
+    }
+
+    /// Insert an Active entry with its route chosen; rates are stale
+    /// until the caller recomputes.
+    fn admit(&mut self, now: u64, spec: TransferSpec, candidates: &[RouteCandidate]) {
+        let (links, hops, rerouted) = self.choose_route(candidates);
+        if rerouted {
+            self.reroutes += 1;
+        }
+        self.starts += 1;
+        self.active.insert(
+            spec.id,
+            Active {
+                vm: spec.vm,
+                dst_rack: spec.dst_rack,
+                bytes: spec.bytes,
+                remaining: spec.bytes.max(0.0),
+                links,
+                hops,
+                rate: self.capacity(),
+                rate_since: now,
+                started_at: now,
+                rerouted,
+                candidates: candidates.to_vec(),
+            },
+        );
+    }
+
+    /// Worst QCN severity along a set of links.
+    fn severity_of_links(&self, links: &[EdgeIdx]) -> f64 {
+        links
+            .iter()
+            .map(|l| self.cps.get(l).map_or(0.0, CongestionPoint::severity))
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst QCN severity along a candidate.
+    fn severity_of(&self, c: &RouteCandidate) -> f64 {
+        self.severity_of_links(&c.links)
+    }
+
+    /// Pick a route; returns `(links, hops, rerouted)`.
+    fn choose_route(&self, candidates: &[RouteCandidate]) -> (Vec<EdgeIdx>, usize, bool) {
+        let Some(primary) = candidates.first() else {
+            return (Vec::new(), 0, false);
+        };
+        let pick = |i: usize| match candidates.get(i) {
+            Some(c) => (c.links.clone(), c.hops(), i != 0),
+            None => (primary.links.clone(), primary.hops(), false),
+        };
+        match self.cfg.route_strategy {
+            RouteStrategy::Shortest => {
+                let thr = self.cfg.reroute_threshold;
+                if self.severity_of(primary) <= thr {
+                    return pick(0);
+                }
+                // primary is hot: first alternate under threshold, else
+                // the least-severe candidate overall
+                for (i, c) in candidates.iter().enumerate().skip(1) {
+                    if self.severity_of(c) <= thr {
+                        return pick(i);
+                    }
+                }
+                let mut best = 0usize;
+                let mut best_sev = self.severity_of(primary);
+                for (i, c) in candidates.iter().enumerate().skip(1) {
+                    let s = self.severity_of(c);
+                    if s < best_sev - EPS {
+                        best = i;
+                        best_sev = s;
+                    }
+                }
+                pick(best)
+            }
+            RouteStrategy::LeastLoaded => {
+                let load = |c: &RouteCandidate| {
+                    c.links
+                        .iter()
+                        .map(|l| self.link_users.get(l).copied().unwrap_or(0))
+                        .max()
+                        .unwrap_or(0)
+                };
+                let mut best = 0usize;
+                let mut key = (load(primary), primary.hops());
+                for (i, c) in candidates.iter().enumerate().skip(1) {
+                    let k = (load(c), c.hops());
+                    if k < key {
+                        best = i;
+                        key = k;
+                    }
+                }
+                pick(best)
+            }
+        }
+    }
+
+    fn started_info(&self, id: u64, waited: u64) -> Started {
+        match self.active.get(&id) {
+            Some(a) => Started {
+                id,
+                vm: a.vm,
+                bytes: a.bytes,
+                hops: a.hops,
+                rate: a.rate,
+                rerouted: a.rerouted,
+                waited,
+            },
+            // unreachable: callers only ask about ids they just admitted
+            None => Started {
+                id,
+                vm: 0,
+                bytes: 0.0,
+                hops: 0,
+                rate: 0.0,
+                rerouted: false,
+                waited,
+            },
+        }
+    }
+
+    /// Advance every running transfer's residual bytes to `now`.
+    fn settle(&mut self, now: u64) {
+        for a in self.active.values_mut() {
+            let dt = now.saturating_sub(a.rate_since);
+            if dt > 0 {
+                a.remaining = (a.remaining - a.rate * dt as f64).max(0.0);
+                a.rate_since = now;
+            }
+        }
+    }
+
+    /// Progressive-filling max-min fairness: repeatedly grant every
+    /// unfrozen transfer the smallest per-link fair share, freeze the
+    /// transfers crossing the saturated link(s), subtract their share,
+    /// and continue until all transfers are frozen. Also advances each
+    /// used link's QCN congestion point by one sampling interval
+    /// (demand = users × capacity in, capacity out) and re-schedules
+    /// every completion time.
+    fn recompute(&mut self, now: u64) {
+        let cap = self.capacity();
+        let mut users: BTreeMap<EdgeIdx, Vec<u64>> = BTreeMap::new();
+        for (&id, a) in &self.active {
+            for &l in &a.links {
+                users.entry(l).or_default().push(id);
+            }
+        }
+        let mut avail: BTreeMap<EdgeIdx, f64> = users.keys().map(|&l| (l, cap)).collect();
+        let mut unfrozen: BTreeSet<u64> = self
+            .active
+            .iter()
+            .filter(|(_, a)| !a.links.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        let mut rates: BTreeMap<u64, f64> = BTreeMap::new();
+        while !unfrozen.is_empty() {
+            let mut share = f64::INFINITY;
+            for (l, us) in &users {
+                let n = us.iter().filter(|id| unfrozen.contains(id)).count();
+                if n > 0 {
+                    share = share.min(avail.get(l).copied().unwrap_or(0.0) / n as f64);
+                }
+            }
+            if !share.is_finite() {
+                break;
+            }
+            let mut frozen_now: BTreeSet<u64> = BTreeSet::new();
+            for (l, us) in &users {
+                let n = us.iter().filter(|id| unfrozen.contains(id)).count();
+                if n > 0 && avail.get(l).copied().unwrap_or(0.0) / n as f64 <= share + EPS {
+                    frozen_now.extend(us.iter().filter(|id| unfrozen.contains(id)));
+                }
+            }
+            if frozen_now.is_empty() {
+                break;
+            }
+            for &id in &frozen_now {
+                rates.insert(id, share);
+                if let Some(a) = self.active.get(&id) {
+                    for &l in &a.links {
+                        if let Some(v) = avail.get_mut(&l) {
+                            *v = (*v - share).max(0.0);
+                        }
+                    }
+                }
+                unfrozen.remove(&id);
+            }
+        }
+        let peak = users.values().map(Vec::len).max().unwrap_or(0);
+        self.peak_sharing = self.peak_sharing.max(peak);
+        self.link_users = users.iter().map(|(&l, us)| (l, us.len())).collect();
+        // one QCN sampling interval per recompute, scaled by the
+        // virtual time elapsed since the last one so queues integrate
+        // demand over long streaming stretches (clamped to >= 1 so
+        // same-tick admission bursts still build pressure): used links
+        // see their aggregate demand, idle links drain
+        let dt = now.saturating_sub(self.sampled_at).max(1) as f64;
+        self.sampled_at = now;
+        let sampled: BTreeSet<EdgeIdx> = users
+            .keys()
+            .copied()
+            .chain(self.cps.keys().copied())
+            .collect();
+        for l in sampled {
+            let n = self.link_users.get(&l).copied().unwrap_or(0);
+            let cp = self
+                .cps
+                .entry(l)
+                .or_insert_with(|| CongestionPoint::new(CpConfig::default()));
+            let _ = cp.sample(n as f64 * cap * dt, cap * dt);
+        }
+        self.completes_at.clear();
+        for (&id, a) in self.active.iter_mut() {
+            a.rate = if a.links.is_empty() {
+                cap
+            } else {
+                rates.get(&id).copied().unwrap_or(cap).max(MIN_RATE)
+            };
+            a.rate_since = now;
+            let ticks = if a.remaining <= EPS {
+                1
+            } else {
+                let t = (a.remaining / a.rate).ceil();
+                if t >= 1.0 {
+                    t as u64
+                } else {
+                    1
+                }
+            };
+            self.completes_at.insert(id, now + ticks);
+        }
+    }
+
+    /// Advance to `now`: harvest completions, admit queued transfers
+    /// into freed slots, and recompute the bandwidth shares. Call at
+    /// every activated tick; the scheduler never completes a transfer
+    /// in the same tick it was admitted.
+    pub fn poll(&mut self, now: u64) -> TransferTick {
+        self.settle(now);
+        let done: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.remaining <= EPS && a.started_at < now)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut completions = Vec::new();
+        for id in done {
+            if let Some(a) = self.active.remove(&id) {
+                self.completes_at.remove(&id);
+                let duration = (now - a.started_at).max(1);
+                let achieved = a.bytes / duration as f64;
+                self.completion_hist.record(duration as f64);
+                self.bandwidth_hist.record(achieved);
+                self.completes += 1;
+                completions.push(Completion {
+                    id,
+                    vm: a.vm,
+                    bytes: a.bytes,
+                    duration,
+                    achieved_bw: achieved,
+                });
+            }
+        }
+        let mut admitted: Vec<(u64, u64)> = Vec::new();
+        while (self.cfg.max_concurrent == 0 || self.active.len() < self.cfg.max_concurrent)
+            && !self.queue.is_empty()
+        {
+            if let Some(q) = self.queue.pop_front() {
+                let id = q.spec.id;
+                let waited = now.saturating_sub(q.since);
+                self.admit(now, q.spec, &q.candidates);
+                admitted.push((id, waited));
+            }
+        }
+        let rerouted = self.reroute_hot_streams();
+        self.recompute(now);
+        let started = admitted
+            .into_iter()
+            .map(|(id, waited)| self.started_info(id, waited))
+            .collect();
+        TransferTick {
+            completions,
+            started,
+            rerouted,
+        }
+    }
+
+    /// The QCN reaction path for streams already in flight: when a
+    /// transfer's current route has gone hot, steer it onto the
+    /// coldest strictly-better alternate. Each transfer moves at most
+    /// once in its lifetime, so two streams sharing a hot pair of
+    /// links settle on disjoint (or jointly chosen) alternates instead
+    /// of ping-ponging.
+    fn reroute_hot_streams(&mut self) -> Vec<Rerouted> {
+        let thr = self.cfg.reroute_threshold;
+        let mut moved = Vec::new();
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        for id in ids {
+            let Some(a) = self.active.get(&id) else {
+                continue;
+            };
+            if a.rerouted || a.links.is_empty() || a.candidates.len() < 2 {
+                continue;
+            }
+            let current = self.severity_of_links(&a.links);
+            if current <= thr {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in a.candidates.iter().enumerate() {
+                if c.links == a.links {
+                    continue;
+                }
+                let s = self.severity_of(c);
+                if s < current - EPS && best.is_none_or(|(_, bs)| s < bs - EPS) {
+                    best = Some((i, s));
+                }
+            }
+            let Some((i, _)) = best else {
+                continue;
+            };
+            let Some((links, hops)) = self
+                .active
+                .get(&id)
+                .and_then(|a| a.candidates.get(i))
+                .map(|c| (c.links.clone(), c.hops()))
+            else {
+                continue;
+            };
+            if let Some(a) = self.active.get_mut(&id) {
+                a.links = links;
+                a.hops = hops;
+                a.rerouted = true;
+                self.reroutes += 1;
+                moved.push(Rerouted { id, vm: a.vm, hops });
+            }
+        }
+        moved
+    }
+
+    /// Cancel one transfer (2PC abort or crash); residual bytes are
+    /// discarded and remaining transfers speed up at the next poll.
+    pub fn cancel(&mut self, id: u64, now: u64) -> bool {
+        self.settle(now);
+        let hit = self.active.remove(&id).is_some();
+        self.completes_at.remove(&id);
+        let before = self.queue.len();
+        self.queue.retain(|q| q.spec.id != id);
+        let hit = hit || self.queue.len() != before;
+        if hit {
+            self.recompute(now);
+        }
+        hit
+    }
+
+    /// Cancel every transfer bound for a crashed destination rack;
+    /// returns the cancelled ids (running and queued).
+    pub fn cancel_rack(&mut self, rack: usize, now: u64) -> Vec<u64> {
+        self.settle(now);
+        let ids: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.dst_rack == rack)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut cancelled = ids;
+        for id in &cancelled {
+            self.active.remove(id);
+            self.completes_at.remove(id);
+        }
+        let queued: Vec<u64> = self
+            .queue
+            .iter()
+            .filter(|q| q.spec.dst_rack == rack)
+            .map(|q| q.spec.id)
+            .collect();
+        self.queue.retain(|q| q.spec.dst_rack != rack);
+        cancelled.extend(queued);
+        if !cancelled.is_empty() {
+            self.recompute(now);
+        }
+        cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_topology::fattree::{self, FatTreeConfig};
+    use dcn_topology::Dcn;
+
+    fn spec(id: u64, bytes: f64) -> TransferSpec {
+        TransferSpec {
+            id,
+            vm: id,
+            dst_rack: 0,
+            bytes,
+        }
+    }
+
+    fn shared_link() -> Vec<RouteCandidate> {
+        vec![RouteCandidate {
+            nodes: vec![0, 1],
+            links: vec![7],
+        }]
+    }
+
+    #[test]
+    fn solo_transfer_gets_full_bandwidth() {
+        let mut ts = TransferScheduler::new(TransferConfig::default());
+        let adm = ts.submit(0, spec(1, 8.0), shared_link());
+        let Admission::Started(s) = adm else {
+            panic!("should start");
+        };
+        assert!((s.rate - 4.0).abs() < 1e-12);
+        assert_eq!(ts.next_event_time(), Some(2));
+        let tick = ts.poll(2);
+        assert_eq!(tick.completions.len(), 1);
+        assert_eq!(tick.completions[0].duration, 2);
+        assert!((tick.completions[0].achieved_bw - 4.0).abs() < 1e-12);
+        assert!(ts.is_idle());
+    }
+
+    #[test]
+    fn two_transfers_on_one_link_halve_and_stretch() {
+        let mut ts = TransferScheduler::new(TransferConfig::default());
+        ts.submit(0, spec(1, 8.0), shared_link());
+        ts.submit(0, spec(2, 8.0), shared_link());
+        // both now run at 2.0 on the shared link: 4 ticks each
+        assert_eq!(ts.next_event_time(), Some(4));
+        assert_eq!(ts.peak_link_sharing(), 2);
+        let tick = ts.poll(4);
+        assert_eq!(tick.completions.len(), 2);
+        for c in &tick.completions {
+            assert_eq!(c.duration, 4);
+            assert!((c.achieved_bw - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn finishing_transfer_speeds_up_the_survivor() {
+        let mut ts = TransferScheduler::new(TransferConfig::default());
+        ts.submit(0, spec(1, 4.0), shared_link());
+        ts.submit(0, spec(2, 8.0), shared_link());
+        // shared at 2.0: #1 finishes at t=2 with 0 left, #2 has 4 left
+        assert_eq!(ts.next_event_time(), Some(2));
+        let tick = ts.poll(2);
+        assert_eq!(tick.completions.len(), 1);
+        assert_eq!(tick.completions[0].id, 1);
+        // survivor back to full rate: 4 bytes / 4.0 = 1 tick
+        assert_eq!(ts.next_event_time(), Some(3));
+        let tick = ts.poll(3);
+        assert_eq!(tick.completions.len(), 1);
+        assert_eq!(tick.completions[0].id, 2);
+        assert_eq!(tick.completions[0].duration, 3);
+    }
+
+    #[test]
+    fn disjoint_links_do_not_share() {
+        let mut ts = TransferScheduler::new(TransferConfig::default());
+        ts.submit(
+            0,
+            spec(1, 8.0),
+            vec![RouteCandidate {
+                nodes: vec![0, 1],
+                links: vec![3],
+            }],
+        );
+        ts.submit(
+            0,
+            spec(2, 8.0),
+            vec![RouteCandidate {
+                nodes: vec![2, 3],
+                links: vec![9],
+            }],
+        );
+        assert_eq!(ts.next_event_time(), Some(2));
+        assert_eq!(ts.peak_link_sharing(), 1);
+    }
+
+    #[test]
+    fn max_min_respects_multi_link_bottlenecks() {
+        // A crosses links {1}, B crosses {1, 2}, C crosses {2}.
+        // Max-min: share on link1 = 2.0 freezes A and B; C then gets the
+        // leftover 2.0 + ... on link2: avail 4 - 2 (B) = 2.0.
+        let mut ts = TransferScheduler::new(TransferConfig::default());
+        ts.submit(
+            0,
+            spec(1, 8.0),
+            vec![RouteCandidate {
+                nodes: vec![0, 1],
+                links: vec![1],
+            }],
+        );
+        ts.submit(
+            0,
+            spec(2, 8.0),
+            vec![RouteCandidate {
+                nodes: vec![0, 2],
+                links: vec![1, 2],
+            }],
+        );
+        ts.submit(
+            0,
+            spec(3, 8.0),
+            vec![RouteCandidate {
+                nodes: vec![1, 2],
+                links: vec![2],
+            }],
+        );
+        // every transfer should land at 2.0: 8 bytes → 4 ticks
+        assert_eq!(ts.next_event_time(), Some(4));
+        let tick = ts.poll(4);
+        assert_eq!(tick.completions.len(), 3);
+    }
+
+    #[test]
+    fn admission_cap_queues_and_promotes_fifo() {
+        let cfg = TransferConfig {
+            max_concurrent: 1,
+            ..TransferConfig::default()
+        };
+        let mut ts = TransferScheduler::new(cfg);
+        assert!(matches!(
+            ts.submit(0, spec(1, 4.0), shared_link()),
+            Admission::Started(_)
+        ));
+        assert!(matches!(
+            ts.submit(0, spec(2, 4.0), shared_link()),
+            Admission::Queued
+        ));
+        assert_eq!(ts.queue_delays(), 1);
+        // 4 bytes at rate 4.0: #1 completes at t=1 and frees the slot
+        let tick = ts.poll(1);
+        assert_eq!(tick.completions.len(), 1);
+        assert_eq!(tick.completions[0].id, 1);
+        assert_eq!(tick.started.len(), 1);
+        assert_eq!(tick.started[0].id, 2);
+        assert_eq!(tick.started[0].waited, 1);
+        assert!(!ts.is_idle());
+        let tick = ts.poll(2);
+        assert_eq!(tick.completions.len(), 1);
+        assert!(ts.is_idle());
+    }
+
+    #[test]
+    fn sustained_sharing_trips_qcn_and_reroutes() {
+        let two_routes = || {
+            vec![
+                RouteCandidate {
+                    nodes: vec![0, 1, 2],
+                    links: vec![10, 11],
+                },
+                RouteCandidate {
+                    nodes: vec![0, 3, 2],
+                    links: vec![20, 21],
+                },
+            ]
+        };
+        let mut ts = TransferScheduler::new(TransferConfig {
+            reroute_threshold: 0.2,
+            ..TransferConfig::default()
+        });
+        // hammer the primary: each submit recomputes and samples the
+        // QCN points, so severity on links 10/11 climbs
+        for i in 0..8 {
+            ts.submit(0, spec(i, 64.0), two_routes());
+        }
+        assert!(ts.reroutes() > 0, "QCN pressure must steer someone away");
+        // at least one rerouted transfer runs on the alternate links
+        assert!(ts
+            .active
+            .values()
+            .any(|a| a.rerouted && a.links == vec![20, 21]));
+    }
+
+    #[test]
+    fn hot_streams_reroute_mid_flight_at_most_once() {
+        let two_routes = || {
+            vec![
+                RouteCandidate {
+                    nodes: vec![0, 1, 2],
+                    links: vec![10, 11],
+                },
+                RouteCandidate {
+                    nodes: vec![0, 3, 2],
+                    links: vec![20, 21],
+                },
+            ]
+        };
+        let mut ts = TransferScheduler::new(TransferConfig {
+            link_bandwidth: 1.0,
+            reroute_threshold: 0.1,
+            ..TransferConfig::default()
+        });
+        // two long streams share the primary; severity lags their
+        // admission, so both start on links 10/11
+        ts.submit(0, spec(1, 200.0), two_routes());
+        ts.submit(0, spec(2, 200.0), two_routes());
+        assert_eq!(ts.reroutes(), 0, "admission cannot see its own sharing");
+        // sustained 2-way sharing integrates queue over elapsed time;
+        // the next polls steer the streams onto the colder alternate
+        let mut moved = Vec::new();
+        for t in [20u64, 40, 60] {
+            moved.extend(ts.poll(t).rerouted);
+        }
+        assert!(!moved.is_empty(), "QCN pressure must reroute a stream");
+        assert!(ts.reroutes() >= 1);
+        assert!(ts
+            .active
+            .values()
+            .any(|a| a.rerouted && a.links == vec![20, 21]));
+        // each stream moves at most once — no ping-pong
+        let after = ts.reroutes();
+        for t in [80u64, 100, 120] {
+            ts.poll(t);
+        }
+        assert_eq!(ts.reroutes(), after, "reroutes are once per transfer");
+    }
+
+    #[test]
+    fn cancel_rack_drops_running_and_queued() {
+        let cfg = TransferConfig {
+            max_concurrent: 1,
+            ..TransferConfig::default()
+        };
+        let mut ts = TransferScheduler::new(cfg);
+        let mut s1 = spec(1, 4.0);
+        s1.dst_rack = 3;
+        let mut s2 = spec(2, 4.0);
+        s2.dst_rack = 3;
+        ts.submit(0, s1, shared_link());
+        ts.submit(0, s2, shared_link());
+        let cancelled = ts.cancel_rack(3, 1);
+        assert_eq!(cancelled, vec![1, 2]);
+        assert!(ts.is_idle());
+    }
+
+    #[test]
+    fn route_candidates_are_deterministically_ordered() {
+        let dcn: Dcn = fattree::build(&FatTreeConfig::paper(4));
+        let src = dcn.rack_node(dcn_topology::RackId::from_index(0));
+        let dst = dcn.rack_node(dcn_topology::RackId::from_index(5));
+        let a = route_candidates(&dcn.graph, src, dst, 4);
+        let b = route_candidates(&dcn.graph, src, dst, 4);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // shortest first, and equal-cost candidates in lexicographic
+        // node order
+        for w in a.windows(2) {
+            assert!(
+                w[0].links.len() < w[1].links.len()
+                    || (w[0].links.len() == w[1].links.len() && w[0].nodes < w[1].nodes)
+            );
+        }
+    }
+
+    #[test]
+    fn same_inputs_same_schedule() {
+        let run = || {
+            let mut ts = TransferScheduler::new(TransferConfig::default());
+            let mut log = String::new();
+            for i in 0..6 {
+                ts.submit(i, spec(i, 8.0 + i as f64), shared_link());
+            }
+            let mut t = 1;
+            while !ts.is_idle() && t < 200 {
+                let tick = ts.poll(t);
+                for c in &tick.completions {
+                    log.push_str(&format!("{}@{}:{:.6};", c.id, t, c.achieved_bw));
+                }
+                t += 1;
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn histograms_observe_completions() {
+        let mut ts = TransferScheduler::new(TransferConfig::default());
+        ts.submit(0, spec(1, 8.0), shared_link());
+        ts.poll(2);
+        assert_eq!(ts.completion_histogram().count(), 1);
+        assert_eq!(ts.bandwidth_histogram().count(), 1);
+        assert_eq!(ts.completes(), 1);
+    }
+}
