@@ -10,6 +10,13 @@
 //!   --rounds N   management rounds per configuration (default 6)
 //!   --seed S     sweep seed (default 1)
 //!   --out FILE   output path (default BENCH_fabric.json)
+//!
+//! bench --check [--against FILE] [--tolerance PCT] [--rounds N] [--seed S]
+//!   --check          re-run the baseline configs and diff rounds/sec
+//!                    against the committed BENCH_fabric.json; exits 1
+//!                    when any configuration regressed past tolerance
+//!   --against FILE   baseline to diff against (default BENCH_fabric.json)
+//!   --tolerance PCT  allowed rounds/sec regression (default 15)
 //! ```
 //!
 //! Timings come from the runner's own `wall_nanos` (excluded from the
@@ -23,8 +30,68 @@ use std::path::PathBuf;
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: bench --baseline [--rounds N] [--seed S] [--out FILE]");
+    eprintln!(
+        "usage: bench --baseline [--rounds N] [--seed S] [--out FILE]\n       \
+         bench --check [--against FILE] [--tolerance PCT] [--rounds N] [--seed S]"
+    );
     std::process::exit(2)
+}
+
+/// `(k, rounds_per_sec)` pairs from a committed `BENCH_fabric.json`.
+/// The file is the hand-rolled JSON this tool writes, so a line scan
+/// over the two keys (which appear once per config, in order) is exact.
+fn parse_baseline(path: &std::path::Path) -> Vec<(usize, f64)> {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    let field = |line: &str, key: &str| -> Option<String> {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\":"))?;
+        Some(rest.trim().trim_end_matches(',').to_string())
+    };
+    let mut pairs = Vec::new();
+    let mut k: Option<usize> = None;
+    for line in src.lines() {
+        if let Some(v) = field(line, "k") {
+            k = v.parse().ok();
+        } else if let Some(v) = field(line, "rounds_per_sec") {
+            let Some(kk) = k.take() else {
+                die(&format!("{}: rounds_per_sec before its k", path.display()));
+            };
+            let Ok(rps) = v.parse::<f64>() else {
+                die(&format!("{}: bad rounds_per_sec {v}", path.display()));
+            };
+            pairs.push((kk, rps));
+        }
+    }
+    if pairs.is_empty() {
+        die(&format!(
+            "{}: no (k, rounds_per_sec) entries found",
+            path.display()
+        ));
+    }
+    pairs
+}
+
+/// Re-run each committed configuration and compare rounds/sec; returns
+/// the process exit code (0 = within tolerance, 1 = regressed).
+fn check(against: &std::path::Path, tolerance: f64, rounds: usize, seed: u64) -> i32 {
+    let mut code = 0;
+    for (k, base_rps) in parse_baseline(against) {
+        let r = run_config(k, rounds, seed);
+        let secs = r.wall_nanos as f64 / 1e9;
+        let rps = r.rounds as f64 / secs;
+        let delta_pct = (base_rps - rps) / base_rps * 100.0;
+        let verdict = if delta_pct > tolerance {
+            code = 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "k={k}: {rps:.1} rounds/s vs baseline {base_rps:.1} ({delta_pct:+.1}% slower, \
+             tolerance {tolerance:.0}%) {verdict}"
+        );
+    }
+    code
 }
 
 /// Process peak resident set (`VmHWM`) in kilobytes; 0 where
@@ -110,13 +177,17 @@ fn run_config(pods: usize, rounds: usize, seed: u64) -> ConfigResult {
 
 fn main() {
     let mut baseline = false;
+    let mut check_mode = false;
     let mut rounds = 6usize;
     let mut seed = 1u64;
     let mut out = PathBuf::from("BENCH_fabric.json");
+    let mut against = PathBuf::from("BENCH_fabric.json");
+    let mut tolerance = 15.0f64;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--baseline" => baseline = true,
+            "--check" => check_mode = true,
             "--rounds" => {
                 rounds = argv
                     .next()
@@ -132,11 +203,24 @@ fn main() {
             "--out" => {
                 out = PathBuf::from(argv.next().unwrap_or_else(|| die("--out needs a path")))
             }
+            "--against" => {
+                against =
+                    PathBuf::from(argv.next().unwrap_or_else(|| die("--against needs a path")))
+            }
+            "--tolerance" => {
+                tolerance = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance needs a number"))
+            }
             other => die(&format!("unknown argument {other}")),
         }
     }
+    if check_mode {
+        std::process::exit(check(&against, tolerance, rounds, seed));
+    }
     if !baseline {
-        die("nothing to do: pass --baseline");
+        die("nothing to do: pass --baseline or --check");
     }
 
     let mut configs = Vec::new();

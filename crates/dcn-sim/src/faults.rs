@@ -104,6 +104,7 @@ pub struct FaultInjector {
     down_hosts: BTreeSet<HostId>,
     down_shims: BTreeSet<RackId>,
     timed_crashes: Vec<(RackId, u64, Option<u64>)>,
+    timed_links: Vec<(EdgeIdx, u64, Option<u64>)>,
     /// Named partitions standing at round boundaries (scheduled with no
     /// heal): they re-enter every round's schedule until healed by name.
     standing_partitions: BTreeMap<String, Vec<RackId>>,
@@ -218,6 +219,49 @@ impl FaultInjector {
         schedule
     }
 
+    /// Schedule a *mid-round* link failure in virtual time: the link
+    /// dies at tick `fail_at` of the next fabric round and — when
+    /// `restore_at` is `Some` — comes back at that tick with its
+    /// pre-failure utilisation. A `restore_at` of `None` leaves the link
+    /// down across round boundaries, exactly like
+    /// [`FaultInjector::fail_link`] but starting mid-round.
+    ///
+    /// The schedule accumulates until [`FaultInjector::drain_link_schedule`]
+    /// hands it to a runtime; the injector's `link_down` bookkeeping (and
+    /// the graph itself) is updated then, not now.
+    pub fn fail_link_at(&mut self, e: EdgeIdx, fail_at: u64, restore_at: Option<u64>) {
+        self.timed_links.push((e, fail_at, restore_at));
+    }
+
+    /// Take the pending link-fault schedule for the next fabric round:
+    /// whole-round windows `(e, 0, None)` for every link already down via
+    /// [`FaultInjector::fail_link`] (unless a timed window for that edge
+    /// supersedes it, sorted by edge id), followed by the timed windows
+    /// in insertion order. Updates the graph end-state: a link whose
+    /// window has no `restore_at` is down after the round; one that
+    /// restores carries its pre-failure utilisation again.
+    pub fn drain_link_schedule(&mut self, dcn: &mut Dcn) -> Vec<(EdgeIdx, u64, Option<u64>)> {
+        let timed = std::mem::take(&mut self.timed_links);
+        let mut standing: Vec<EdgeIdx> = self
+            .link_consumed
+            .keys()
+            .copied()
+            .filter(|e| timed.iter().all(|&(te, _, _)| te != *e))
+            .collect();
+        standing.sort_unstable();
+        let mut schedule: Vec<(EdgeIdx, u64, Option<u64>)> =
+            standing.into_iter().map(|e| (e, 0, None)).collect();
+        for &(e, _, restore_at) in &timed {
+            if restore_at.is_some() {
+                self.restore_link(dcn, e);
+            } else {
+                self.fail_link(dcn, e);
+            }
+        }
+        schedule.extend(timed);
+        schedule
+    }
+
     /// Schedule a *named* network partition in the next fabric round's
     /// virtual time: from tick `start_at`, traffic between `racks` and
     /// the rest of the cluster is silently swallowed. With `heal_at` of
@@ -313,6 +357,12 @@ impl FaultInjector {
                 ticks.insert(*h);
             }
         }
+        for &(_, fail_at, restore_at) in &self.timed_links {
+            ticks.insert(fail_at);
+            if let Some(r) = restore_at {
+                ticks.insert(r);
+            }
+        }
         ticks.into_iter().collect()
     }
 
@@ -361,6 +411,18 @@ impl<S: EventSink + ?Sized> ObservedFaults<'_, S> {
                 id: e as u64,
             });
         }
+    }
+
+    /// [`FaultInjector::fail_link_at`], emitting `FaultInjected(LinkDown)`
+    /// when the schedule entry is recorded (the mid-round timing itself
+    /// shows up as `TransferStalled`/`TransferResumed` in the fabric's
+    /// trace).
+    pub fn fail_link_at(&mut self, e: EdgeIdx, fail_at: u64, restore_at: Option<u64>) {
+        self.injector.fail_link_at(e, fail_at, restore_at);
+        emit(self.sink, || Event::FaultInjected {
+            kind: FaultKind::LinkDown,
+            id: e as u64,
+        });
     }
 
     /// [`FaultInjector::fail_host`], emitting `FaultInjected(HostDown)`.
@@ -637,6 +699,32 @@ mod tests {
         assert_eq!(
             inj.drain_crash_schedule(),
             vec![(RackId(0), 0, None), (RackId(2), 0, None)]
+        );
+    }
+
+    #[test]
+    fn timed_link_schedule_drains_with_whole_round_prefix() {
+        let mut dcn = fattree::build(&FatTreeConfig::paper(4));
+        let cap = dcn.graph.link(7).capacity;
+        dcn.graph.link_mut(7).consume(cap * 0.5);
+        let before = dcn.graph.link(7).available_bw;
+        let mut inj = FaultInjector::new();
+        inj.fail_link(&mut dcn, 2); // standing down, whole-round prefix
+        inj.fail_link_at(7, 3, Some(9)); // mid-round blip, restored at drain
+        inj.fail_link_at(5, 4, None); // stays down after the round
+        assert_eq!(inj.pending_event_times(), vec![3, 4, 9]);
+        let sched = inj.drain_link_schedule(&mut dcn);
+        assert_eq!(sched, vec![(2, 0, None), (7, 3, Some(9)), (5, 4, None)]);
+        // end-state after the round: 7 back at its old utilisation, 2 and
+        // 5 dead on the graph and tracked by the injector
+        assert!((dcn.graph.link(7).available_bw - before).abs() < 1e-9);
+        assert!(!inj.link_down(7));
+        assert!(inj.link_down(2) && inj.link_down(5));
+        assert_eq!(dcn.graph.link(5).available_bw, 0.0);
+        // the timed entries drained; still-down links persist whole-round
+        assert_eq!(
+            inj.drain_link_schedule(&mut dcn),
+            vec![(2, 0, None), (5, 0, None)]
         );
     }
 

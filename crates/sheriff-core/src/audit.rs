@@ -70,6 +70,21 @@ pub enum AuditViolation {
         /// Second rack claiming it.
         b: RackId,
     },
+    /// An in-flight transfer is still streaming across a failed link —
+    /// the link-failure propagation into the transfer scheduler missed
+    /// it, so its rate is a fiction.
+    TransferOnFailedLink {
+        /// Scheduler id of the streaming transfer.
+        req: u64,
+        /// The failed link it still traverses.
+        link: usize,
+    },
+    /// An active transfer has no matching `Prepared` journal entry — its
+    /// 2PC context was lost, so neither commit nor abort can settle it.
+    TransferWithoutPrepare {
+        /// Scheduler id of the orphaned transfer.
+        req: u64,
+    },
     /// The latest committed journal record for a VM disagrees with the
     /// placement about where the VM lives.
     JournalPlacementMismatch {
@@ -103,6 +118,12 @@ impl fmt::Display for AuditViolation {
             }
             AuditViolation::VmDoubleManaged { vm, a, b } => {
                 write!(f, "{vm} managed by both {a} and {b}")
+            }
+            AuditViolation::TransferOnFailedLink { req, link } => {
+                write!(f, "transfer {req} streams across failed link {link}")
+            }
+            AuditViolation::TransferWithoutPrepare { req } => {
+                write!(f, "transfer {req} active with no prepared journal entry")
             }
             AuditViolation::JournalPlacementMismatch {
                 req,

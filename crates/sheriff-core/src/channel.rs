@@ -104,6 +104,47 @@ impl CrashWindow {
     }
 }
 
+/// One link-fault window in virtual time: the data-plane link `link`
+/// goes down at `fail_at` and — unless `restore_at` is `None` — comes
+/// back at `restore_at`. Link faults touch the transfer plane only:
+/// control messages keep flowing (the control channel is assumed to be
+/// routed independently), but any migration transfer whose route crosses
+/// the link stalls or re-routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFaultWindow {
+    /// Edge index of the failing link in the fabric graph.
+    pub link: usize,
+    /// Virtual time of the failure (inclusive: down from this tick on).
+    pub fail_at: u64,
+    /// Virtual time of restoration, or `None` to stay down for the round.
+    pub restore_at: Option<u64>,
+}
+
+impl LinkFaultWindow {
+    /// A link dead for the whole round.
+    pub fn whole_round(link: usize) -> Self {
+        Self {
+            link,
+            fail_at: 0,
+            restore_at: None,
+        }
+    }
+
+    /// A link down during `[fail_at, restore_at)`.
+    pub fn during(link: usize, fail_at: u64, restore_at: u64) -> Self {
+        Self {
+            link,
+            fail_at,
+            restore_at: Some(restore_at),
+        }
+    }
+
+    /// Whether the link is down at virtual time `t`.
+    pub fn down_at(self, t: u64) -> bool {
+        t >= self.fail_at && self.restore_at.is_none_or(|r| t < r)
+    }
+}
+
 /// One named network partition in virtual time: from `start_at` until
 /// `heal_at` (exclusive, or forever when `None`) the racks in `members`
 /// can only talk to each other, and everyone else can only talk among

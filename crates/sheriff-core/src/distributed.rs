@@ -99,6 +99,17 @@ pub struct DistributedReport {
     /// Peak number of concurrent transfers sharing one link (≥ 2 means
     /// the round saw bottleneck serialization).
     pub transfer_peak_sharing: usize,
+    /// Transfers that entered `Stalled` after a link failure cut every
+    /// surviving candidate route (including stalled-at-admission).
+    pub transfer_stalls: usize,
+    /// Backoff-timer retry probes fired by stalled transfers.
+    pub transfer_retries: usize,
+    /// Transfers that exhausted their retry budget (or lost an endpoint)
+    /// and escalated to a 2PC abort.
+    pub transfer_failures: usize,
+    /// Checkpointed bytes that resumed transfers did *not* have to
+    /// re-copy versus restarting from zero (post-penalty).
+    pub resumed_bytes_saved: f64,
     /// Post-round invariant audit (clean when no violations).
     pub audit: AuditReport,
 }

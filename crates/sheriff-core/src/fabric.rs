@@ -26,8 +26,10 @@
 //! alert-check intervals ([`FabricConfig::with_alert_check`]) that fire
 //! at their own virtual times within one round.
 
-use crate::audit::{audit_journals, audit_managers, audit_moves, audit_placement};
-use crate::channel::{CrashWindow, PartitionWindow, SimNet};
+use crate::audit::{
+    audit_journals, audit_managers, audit_moves, audit_placement, AuditReport, AuditViolation,
+};
+use crate::channel::{CrashWindow, LinkFaultWindow, PartitionWindow, SimNet};
 use crate::distributed::{
     plan_proposals, region_slots, reject_kind, select_victims, DistributedReport, ShimState,
 };
@@ -107,6 +109,14 @@ pub struct FabricConfig {
     /// pre-alert checks decoupled from round boundaries. Empty (the
     /// default) disables mid-round checks.
     pub alert_checks: Vec<(RackId, u64)>,
+    /// Data-plane link-fault schedule in virtual time: while a window is
+    /// open the link is dead for the transfer plane — any pre-copy whose
+    /// route crosses it stalls at its checkpoint or re-routes onto a
+    /// surviving candidate. Only meaningful with the transfer model
+    /// enabled; control messages are unaffected (the control channel has
+    /// its own fault model). Empty (the default) keeps the transfer
+    /// plane fault-free and byte-identical to the pre-recovery fabric.
+    pub link_faults: Vec<LinkFaultWindow>,
     /// Network-aware transfer model. `None` (the default) settles every
     /// committed migration instantaneously — byte-identical to the
     /// pre-transfer fabric. `Some` runs each committed migration's
@@ -135,6 +145,7 @@ impl Default for FabricConfig {
             prepare_lease: 64,
             beacon_intervals: Vec::new(),
             alert_checks: Vec::new(),
+            link_faults: Vec::new(),
             transfer: None,
         }
     }
@@ -205,6 +216,12 @@ impl FabricConfig {
     /// instead of settling instantaneously.
     pub fn with_transfer(mut self, transfer: sheriff_transfer::TransferConfig) -> Self {
         self.transfer = Some(transfer);
+        self
+    }
+
+    /// Schedule a data-plane link fault window for the transfer plane.
+    pub fn with_link_fault(mut self, window: LinkFaultWindow) -> Self {
+        self.link_faults.push(window);
         self
     }
 
@@ -337,6 +354,12 @@ enum FabricEvent {
     Recover(usize),
     /// Partition window `cfg.partitions[i]` heals.
     Heal(usize),
+    /// Link-fault window `cfg.link_faults[i]` opens: the transfer plane
+    /// loses the link, stalling or re-routing the pre-copies on it.
+    LinkFail(usize),
+    /// Link-fault window `cfg.link_faults[i]` closes: stalled pre-copies
+    /// resume from their checkpoints.
+    LinkRestore(usize),
     /// A liveness beacon from a rack (Hello at tick 0, Heartbeat after),
     /// self-rescheduling at the rack's beacon interval.
     Beacon(RackId),
@@ -635,6 +658,17 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
     // per-transfer 2PC context, keyed by request id: who to ACK and
     // under which epoch to finalize the journal entry
     let mut transfer_meta: BTreeMap<ReqId, TransferMeta> = BTreeMap::new();
+    // in-round transfer-plane audit: a transfer streaming across a
+    // failed link, or active without a Prepared journal entry, is an
+    // invariant breach — flagged once per (transfer, fact) and merged
+    // into the round's audit report
+    let mut transfer_audit = AuditReport::default();
+    let mut flagged_on_failed: BTreeSet<(u64, usize)> = BTreeSet::new();
+    let mut flagged_no_prepare: BTreeSet<u64> = BTreeSet::new();
+    // terminal rack-crash cancellations (no recovery scheduled): counted
+    // into `transfer_failures` on top of the scheduler's retry-budget
+    // exhaustions, which are tracked inside `ts`
+    let mut rack_failed_transfers: usize = 0;
 
     // ---- agenda setup ---------------------------------------------------
     // `seen` holds every tick that already has a never-cancelled event,
@@ -666,6 +700,27 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
             agenda.schedule_at(VirtualTime::new(h), i as u64, FabricEvent::Heal(i));
         }
     }
+    // link faults only touch the transfer plane: with the model disabled
+    // they are not seeded at all, so the agenda (and the round) stays
+    // byte-identical to the fault-free fabric
+    if transfers.is_some() {
+        for (i, w) in cfg.link_faults.iter().enumerate() {
+            seen.insert(w.fail_at);
+            agenda.schedule_at(
+                VirtualTime::new(w.fail_at),
+                w.link as u64,
+                FabricEvent::LinkFail(i),
+            );
+            if let Some(r) = w.restore_at {
+                seen.insert(r);
+                agenda.schedule_at(
+                    VirtualTime::new(r),
+                    w.link as u64,
+                    FabricEvent::LinkRestore(i),
+                );
+            }
+        }
+    }
     // every rack beacons from tick 0 (Hello), then self-reschedules at
     // its own interval — the emit_self idiom, flattened: the recurrence
     // is re-armed by the Beacon handler so a down rack keeps cadence
@@ -694,6 +749,8 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
         // partition-index order for heals, rack order for beacons)
         let mut crash_recover: Vec<(usize, bool)> = Vec::new();
         let mut heals: Vec<usize> = Vec::new();
+        let mut link_fails: Vec<usize> = Vec::new();
+        let mut link_restores: Vec<usize> = Vec::new();
         let mut checks: Vec<RackId> = Vec::new();
         let mut beacons: Vec<RackId> = Vec::new();
         for ev in agenda.take_due(VirtualTime::new(t)) {
@@ -701,6 +758,8 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                 FabricEvent::Crash(i) => crash_recover.push((i, false)),
                 FabricEvent::Recover(i) => crash_recover.push((i, true)),
                 FabricEvent::Heal(i) => heals.push(i),
+                FabricEvent::LinkFail(i) => link_fails.push(i),
+                FabricEvent::LinkRestore(i) => link_restores.push(i),
                 FabricEvent::AlertCheck(r) => checks.push(r),
                 FabricEvent::Beacon(r) => beacons.push(r),
                 FabricEvent::Wake(WakeReason::Timeout) => timeout_wake = None,
@@ -722,15 +781,43 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                     rack: w.rack.index() as u64,
                 });
                 // pre-copies streaming *into* the crashed rack die with
-                // it. Their journal prepares survive under the extended
-                // lease, so a retransmitted COMMIT after recovery simply
-                // restarts the transfer; if the source gives up instead,
-                // its best-effort ABORT (or the end-of-round sweep)
-                // rolls the reservation back.
+                // it. With a recovery scheduled their journal prepares
+                // survive under the extended lease, so a retransmitted
+                // COMMIT after recovery simply restarts the transfer.
+                // Without one the 2PC context is dead for good: emit the
+                // failure and abort the journalled prepare now —
+                // symmetric with the lease-abort path — instead of
+                // leaving a silent zombie for the end-of-round sweep.
                 if let Some(ts) = transfers.as_mut() {
+                    let recovers = w.recover_at.is_some();
                     for id in ts.cancel_rack(w.rack.index(), t) {
-                        transfer_meta.remove(&ReqId(id));
+                        let req_id = ReqId(id);
+                        let meta = transfer_meta.remove(&req_id);
                         sink.counter("transfer.cancelled", 1);
+                        let Some(meta) = meta else { continue };
+                        if recovers {
+                            continue;
+                        }
+                        rack_failed_transfers += 1;
+                        emit(sink, || Event::TransferFailed {
+                            req: id,
+                            vm: meta.vm.index() as u64,
+                            attempts: 0,
+                        });
+                        sink.counter("transfer.failed", 1);
+                        let Some(ep) = endpoints.get_mut(meta.dst_rack.index()) else {
+                            continue;
+                        };
+                        if let Some((vm, _)) =
+                            ep.handle_abort(&mut cluster.placement, &cluster.deps, req_id)
+                        {
+                            report.txn_aborted += 1;
+                            emit(sink, || Event::TxnAborted {
+                                req: id,
+                                vm: vm.index() as u64,
+                            });
+                            sink.counter("txn.aborted", 1);
+                        }
                     }
                 }
                 if let Some(&i) = source_index.get(&w.rack) {
@@ -785,6 +872,50 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                         // repopulate
                         shim.resume_at = t + cfg.beacon_every(w.rack) + 1;
                     }
+                }
+            }
+        }
+
+        // phase 1b — link-fault windows scheduled for this tick,
+        // propagated into the transfer plane: a failing link stalls or
+        // re-routes every pre-copy crossing it (checkpoint retained,
+        // max-min shares recomputed for the survivors); a restoring link
+        // resumes stalled pre-copies from their checkpoints. Fails run
+        // before restores so a zero-width window nets out to a restore.
+        if let Some(ts) = transfers.as_mut() {
+            for &idx in &link_fails {
+                let Some(w) = cfg.link_faults.get(idx) else {
+                    continue;
+                };
+                let out = ts.fail_link(t, w.link);
+                for s in &out.stalled {
+                    emit(sink, || Event::TransferStalled {
+                        req: s.id,
+                        vm: s.vm,
+                        link: s.link as u64,
+                    });
+                    sink.counter("transfer.stalled", 1);
+                }
+                for r in &out.rerouted {
+                    emit(sink, || Event::TransferRerouted {
+                        req: r.id,
+                        vm: r.vm,
+                        hops: r.hops as u64,
+                    });
+                    sink.counter("transfer.rerouted", 1);
+                }
+            }
+            for &idx in &link_restores {
+                let Some(w) = cfg.link_faults.get(idx) else {
+                    continue;
+                };
+                for r in ts.restore_link(t, w.link) {
+                    emit(sink, || Event::TransferResumed {
+                        req: r.id,
+                        vm: r.vm,
+                        saved: r.saved,
+                    });
+                    sink.counter("transfer.resumed", 1);
                 }
             }
         }
@@ -1442,6 +1573,62 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                 });
                 sink.counter("transfer.rerouted", 1);
             }
+            for r in &tick.retried {
+                emit(sink, || Event::TransferRetried {
+                    req: r.id,
+                    vm: r.vm,
+                    attempt: r.attempt as u64,
+                });
+                sink.counter("transfer.retried", 1);
+            }
+            for r in &tick.resumed {
+                emit(sink, || Event::TransferResumed {
+                    req: r.id,
+                    vm: r.vm,
+                    saved: r.saved,
+                });
+                sink.counter("transfer.resumed", 1);
+            }
+            for f in &tick.failed {
+                // retry budget exhausted: escalate to a clean 2PC abort
+                // through the journal — the prepare is rolled back (lease
+                // released, source placement restored) and the source is
+                // told the migration expired so it can replan the VM
+                emit(sink, || Event::TransferFailed {
+                    req: f.id,
+                    vm: f.vm,
+                    attempts: f.attempts as u64,
+                });
+                sink.counter("transfer.failed", 1);
+                let req_id = ReqId(f.id);
+                let Some(meta) = transfer_meta.remove(&req_id) else {
+                    continue;
+                };
+                let Some(ep) = endpoints.get_mut(meta.dst_rack.index()) else {
+                    continue;
+                };
+                if let Some((vm, _)) =
+                    ep.handle_abort(&mut cluster.placement, &cluster.deps, req_id)
+                {
+                    report.txn_aborted += 1;
+                    emit(sink, || Event::TxnAborted {
+                        req: req_id.0,
+                        vm: vm.index() as u64,
+                    });
+                    sink.counter("txn.aborted", 1);
+                }
+                let my_epoch = failover.view_of(meta.dst_rack);
+                net.send(
+                    t,
+                    meta.dst_rack,
+                    meta.src_rack,
+                    ShimMsg::Reject {
+                        req_id,
+                        reason: RejectReason::Expired,
+                        epoch: my_epoch,
+                    },
+                );
+            }
             for c in &tick.completions {
                 let req_id = ReqId(c.id);
                 let Some(meta) = transfer_meta.remove(&req_id) else {
@@ -1479,6 +1666,33 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                     meta.src_rack,
                     ShimEndpoint::reply_2pc_msg(req_id, reply, my_epoch),
                 );
+            }
+        }
+
+        // phase 5c — transfer-plane invariants, probed at every
+        // activation: no streaming pre-copy may traverse a failed link,
+        // and every active transfer must still hold its Prepared journal
+        // entry at the destination. Each breach is flagged once.
+        if let Some(ts) = transfers.as_ref() {
+            for (id, link) in ts.streaming_on_failed_links() {
+                if flagged_on_failed.insert((id, link)) {
+                    transfer_audit
+                        .violations
+                        .push(AuditViolation::TransferOnFailedLink { req: id, link });
+                }
+            }
+            for id in ts.active_ids() {
+                let req_id = ReqId(id);
+                let prepared = transfer_meta.get(&req_id).is_some_and(|m| {
+                    endpoints
+                        .get(m.dst_rack.index())
+                        .is_some_and(|ep| ep.journal().state(req_id) == Some(TxnState::Prepared))
+                });
+                if !prepared && flagged_no_prepare.insert(id) {
+                    transfer_audit
+                        .violations
+                        .push(AuditViolation::TransferWithoutPrepare { req: id });
+                }
             }
         }
 
@@ -1878,6 +2092,16 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
         report.transfer_reroutes = ts.reroutes();
         report.transfer_queue_delays = ts.queue_delays();
         report.transfer_peak_sharing = ts.peak_link_sharing();
+        report.transfer_stalls = ts.stalls();
+        report.transfer_retries = ts.retries();
+        report.transfer_failures = ts.failures() + rack_failed_transfers;
+        report.resumed_bytes_saved = ts.resumed_bytes_saved();
+        // stall-duration distribution: total ticks spent stalled (the
+        // per-bucket shape stays queryable on the scheduler's histogram)
+        let hist = ts.stall_histogram();
+        if hist.count() > 0 {
+            sink.counter("transfer.stalled_ticks", hist.sum() as u64);
+        }
     }
     sink.counter("net.sent", net.stats.sent as u64);
     sink.counter("net.delivered", net.stats.delivered as u64);
@@ -1901,6 +2125,7 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
     }
     report.audit = audit_placement(&cluster.placement, &cluster.deps);
     report.audit.merge(manager_audit);
+    report.audit.merge(transfer_audit);
     report.audit.merge(audit_moves(
         &cluster.placement,
         report.plan.moves.iter().map(|m| (m.vm, m.to)),

@@ -57,7 +57,7 @@ pub use centralized::{
     centralized_migration_chunked, centralized_migration_chunked_obs, centralized_migration_obs,
     destination_tors, destination_tors_obs, kmedian_migration, kmedian_migration_obs,
 };
-pub use channel::{CrashWindow, NetStats, PartitionWindow, SimNet};
+pub use channel::{CrashWindow, LinkFaultWindow, NetStats, PartitionWindow, SimNet};
 #[allow(deprecated)]
 #[cfg(feature = "legacy")]
 pub use distributed::distributed_round;

@@ -103,6 +103,15 @@ pub struct RoundOutcome {
     /// True when some link carried two or more concurrent transfers —
     /// the round paid a bottleneck serialization penalty.
     pub bottleneck_serialized: bool,
+    /// Streams stalled by a link failure mid-copy.
+    pub transfer_stalls: usize,
+    /// Backoff retries attempted by stalled streams.
+    pub transfer_retries: usize,
+    /// Streams that exhausted their retry budget and aborted.
+    pub transfer_failures: usize,
+    /// Bytes checkpointed resumes avoided re-copying versus a restart
+    /// from zero.
+    pub resumed_bytes_saved: f64,
     /// Post-round invariant audit — clean unless a bug corrupted state.
     pub audit: AuditReport,
 }
@@ -145,6 +154,10 @@ impl From<DistributedReport> for RoundOutcome {
             transfer_reroutes: r.transfer_reroutes,
             transfer_p95_completion: p95_ticks(&r.transfer_durations),
             bottleneck_serialized: r.transfer_peak_sharing >= 2,
+            transfer_stalls: r.transfer_stalls,
+            transfer_retries: r.transfer_retries,
+            transfer_failures: r.transfer_failures,
+            resumed_bytes_saved: r.resumed_bytes_saved,
             audit: r.audit,
         }
     }

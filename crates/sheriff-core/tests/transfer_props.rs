@@ -13,7 +13,7 @@ use dcn_sim::engine::{Cluster, ClusterConfig};
 use dcn_sim::{ChannelFaults, RackMetric, SimConfig};
 use dcn_topology::fattree::{self, FatTreeConfig};
 use proptest::prelude::*;
-use sheriff_core::{fabric_round_obs, CrashWindow, FabricConfig};
+use sheriff_core::{fabric_round_obs, CrashWindow, FabricConfig, LinkFaultWindow};
 use sheriff_obs::RingRecorder;
 
 fn small_cluster(seed: u64) -> Cluster {
@@ -43,16 +43,16 @@ fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
 }
 
 fn round_digest(cluster_seed: u64, cfg: &FabricConfig) -> u64 {
-    let mut c = small_cluster(cluster_seed);
-    let metric = RackMetric::build(&c.dcn, &c.sim);
-    let alerts = c.fraction_alerts(0.15, 0);
-    let vals: Vec<f64> = c
-        .placement
-        .vm_ids()
-        .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
-        .collect();
-    let mut rec = RingRecorder::new(1 << 16);
-    let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, cfg, &mut rec);
+    let (report, rec, c) = faulted_round(cluster_seed, cfg);
+    digest_of(&report, &rec, &c, cfg.transfer.is_some())
+}
+
+fn digest_of(
+    report: &sheriff_core::DistributedReport,
+    rec: &RingRecorder,
+    c: &Cluster,
+    transfer_enabled: bool,
+) -> u64 {
     let mut buf = String::new();
     for ev in rec.events() {
         buf.push_str(&ev.to_json());
@@ -95,7 +95,7 @@ fn round_digest(cluster_seed: u64, cfg: &FabricConfig) -> u64 {
         report.reconciliations,
         report.audit,
     ));
-    if cfg.transfer.is_some() {
+    if transfer_enabled {
         buf.push_str(&format!(
             "t {} {} {} {} {} {:?};",
             report.transfers_started,
@@ -162,6 +162,188 @@ fn disabled_transfer_model_reproduces_pr7_digests() {
             "case {i} drifted from the PR 7 fabric"
         );
     }
+}
+
+/// Digests of the transfer-enabled, fault-free fabric captured on the
+/// PR 8 tree (the `pr7_cases` channel configs with crash windows
+/// cleared and `TransferConfig::default()`). The recovery machinery
+/// must stay strictly inert — byte-identical — when no link fault or
+/// crash is scheduled.
+const PR8_ENABLED_DIGESTS: [u64; 3] = [
+    0x9958_19c9_0ac0_66d2,
+    0x059e_70ca_dd4c_a4a0,
+    0x0a37_4f33_c396_c13d,
+];
+
+#[test]
+#[ignore = "capture helper: prints digests for pinning"]
+fn print_pr8_enabled_digests() {
+    for (i, (seed, cfg)) in pr7_cases().into_iter().enumerate() {
+        let mut cfg = cfg;
+        cfg.crashed.clear();
+        let cfg = cfg.with_transfer(sheriff_transfer::TransferConfig::default());
+        println!("enabled case {i}: {:#018x}", round_digest(seed, &cfg));
+    }
+}
+
+#[test]
+fn enabled_without_faults_reproduces_pr8_digests() {
+    for (i, (seed, cfg)) in pr7_cases().into_iter().enumerate() {
+        let mut cfg = cfg;
+        cfg.crashed.clear();
+        let cfg = cfg.with_transfer(sheriff_transfer::TransferConfig::default());
+        assert_eq!(
+            round_digest(seed, &cfg),
+            PR8_ENABLED_DIGESTS[i],
+            "enabled case {i} drifted from the PR 8 fabric"
+        );
+    }
+}
+
+/// Run one transfer-enabled round and return `(report, recorder, cluster)`.
+fn faulted_round(
+    cluster_seed: u64,
+    cfg: &FabricConfig,
+) -> (sheriff_core::DistributedReport, RingRecorder, Cluster) {
+    let mut c = small_cluster(cluster_seed);
+    let metric = RackMetric::build(&c.dcn, &c.sim);
+    let alerts = c.fraction_alerts(0.15, 0);
+    let vals: Vec<f64> = c
+        .placement
+        .vm_ids()
+        .map(|vm| c.placement.utilization(c.placement.host_of(vm)))
+        .collect();
+    let mut rec = RingRecorder::new(1 << 16);
+    let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, cfg, &mut rec);
+    (report, rec, c)
+}
+
+#[test]
+fn mid_round_link_failure_stalls_then_resumes_from_checkpoint() {
+    // slow transfers so plenty are mid-stream when, at tick 10, every
+    // edge dies — no surviving candidate exists, so streaming pre-copies
+    // stall at their checkpoints — and at tick 16 the fabric heals and
+    // they resume
+    let edges = small_cluster(26).dcn.graph.edge_count();
+    let cfg = FabricConfig {
+        link_faults: (0..edges)
+            .map(|e| LinkFaultWindow::during(e, 10, 16))
+            .collect(),
+        ..FabricConfig::default()
+    }
+    .with_transfer(sheriff_transfer::TransferConfig {
+        link_bandwidth: 1.0,
+        ..sheriff_transfer::TransferConfig::default()
+    });
+    let (report, rec, _) = faulted_round(26, &cfg);
+    assert!(report.transfer_stalls >= 1, "no transfer ever stalled");
+    assert!(
+        rec.count_kind("transfer_resumed") >= 1,
+        "no stalled transfer resumed after the restore"
+    );
+    assert!(
+        report.resumed_bytes_saved > 0.0,
+        "checkpointed resume must save the bytes copied before the stall"
+    );
+    assert_eq!(
+        report.transfers_completed, report.transfers_started,
+        "every stalled pre-copy must still finish once the links return"
+    );
+    assert_eq!(report.transfer_failures, 0);
+    assert!(report.audit.is_clean(), "{}", report.audit);
+}
+
+#[test]
+fn permanent_link_failure_exhausts_retries_and_aborts_cleanly() {
+    // every edge dies at tick 10 and never comes back: stalled pre-copies
+    // burn their retry budget and escalate to a clean journal abort; the
+    // sources replan and the round still terminates with a clean audit
+    let edges = small_cluster(26).dcn.graph.edge_count();
+    let cfg = FabricConfig {
+        link_faults: (0..edges)
+            .map(|e| LinkFaultWindow {
+                link: e,
+                fail_at: 10,
+                restore_at: None,
+            })
+            .collect(),
+        ..FabricConfig::default()
+    }
+    .with_transfer(sheriff_transfer::TransferConfig {
+        link_bandwidth: 1.0,
+        stall_budget: 4,
+        max_attempts: 2,
+        ..sheriff_transfer::TransferConfig::default()
+    });
+    let (report, rec, _) = faulted_round(26, &cfg);
+    assert!(report.transfer_stalls >= 1, "no transfer ever stalled");
+    assert!(
+        report.transfer_failures >= 1,
+        "permanent outage must exhaust some retry budget"
+    );
+    assert_eq!(
+        rec.count_kind("transfer_failed"),
+        report.transfer_failures,
+        "every failure emits its event"
+    );
+    assert!(report.transfer_retries >= 1);
+    assert!(
+        report.txn_aborted >= report.transfer_failures,
+        "each exhausted transfer escalates to a journal abort"
+    );
+    assert_eq!(
+        report.txn_prepared,
+        report.txn_committed + report.txn_aborted,
+        "2PC conservation: every prepare settles exactly once"
+    );
+    assert!(report.audit.is_clean(), "{}", report.audit);
+}
+
+#[test]
+fn rack_crash_without_recovery_fails_transfers_and_accounts_aborts() {
+    // regression for the silent rack-crash cancellation: a pre-copy
+    // streaming into a rack that dies for good must surface as a
+    // `transfer_failed` event with its journal prepare aborted, not
+    // vanish behind a bare cancellation counter
+    let mut found = false;
+    for rack in 0..8u32 {
+        let cfg = FabricConfig {
+            crashed: vec![CrashWindow {
+                rack: dcn_topology::RackId::from_index(rack as usize),
+                crash_at: 8,
+                recover_at: None,
+            }],
+            ..FabricConfig::default()
+        }
+        .with_transfer(sheriff_transfer::TransferConfig {
+            link_bandwidth: 1.0,
+            ..sheriff_transfer::TransferConfig::default()
+        });
+        let (report, rec, _) = faulted_round(26, &cfg);
+        let failed = rec.count_kind("transfer_failed");
+        if failed == 0 {
+            continue;
+        }
+        found = true;
+        assert!(
+            report.txn_aborted >= failed,
+            "each failed transfer must abort its journalled prepare: \
+             {failed} failures, {} aborts",
+            report.txn_aborted
+        );
+        assert_eq!(
+            report.txn_prepared,
+            report.txn_committed + report.txn_aborted,
+            "2PC conservation under rack crash"
+        );
+        assert!(report.audit.is_clean(), "{}", report.audit);
+        break;
+    }
+    assert!(
+        found,
+        "no crashed rack ever hosted an in-flight pre-copy; the \
+         regression path was never exercised"
+    );
 }
 
 #[test]
@@ -351,6 +533,89 @@ proptest! {
         }
         for vm in c.placement.vm_ids() {
             prop_assert_eq!(loc[&vm], c.placement.host_of(vm));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The recovery state machine under arbitrary fault schedules:
+    /// random mid-round link fail/restore windows combined with random
+    /// shim crash windows must leave (1) a clean audit — which includes
+    /// the fabric's in-round probes that no transfer streams across a
+    /// failed link and every active transfer holds a Prepared journal
+    /// entry, (2) 2PC conservation (every prepare commits or aborts,
+    /// never both, never neither), and (3) byte-identical behavior
+    /// across 5 repeats of the same schedule.
+    #[test]
+    fn random_fault_schedules_recover_cleanly_and_deterministically(
+        cluster_seed in 0u64..4,
+        // restore/recover delays of 0 mean "never" (an Option encoded
+        // as a plain integer — the vendored proptest has no option::of)
+        link_schedule in proptest::collection::vec(
+            (0usize..32, 0u64..40, 0u64..24),
+            0..6,
+        ),
+        crash_schedule in proptest::collection::vec(
+            (0usize..8, 2u64..24, 0u64..16),
+            0..2,
+        ),
+        stall_budget in 2u64..6,
+        max_attempts in 1u32..4,
+    ) {
+        let cfg = FabricConfig {
+            link_faults: link_schedule
+                .iter()
+                .map(|&(link, fail_at, restore_delay)| LinkFaultWindow {
+                    link,
+                    fail_at,
+                    restore_at: (restore_delay > 0).then(|| fail_at + restore_delay),
+                })
+                .collect(),
+            crashed: crash_schedule
+                .iter()
+                .map(|&(rack, crash_at, recover_delay)| CrashWindow {
+                    rack: dcn_topology::RackId::from_index(rack),
+                    crash_at,
+                    recover_at: (recover_delay > 0).then(|| crash_at + recover_delay),
+                })
+                .collect(),
+            ..FabricConfig::default()
+        }
+        .with_transfer(sheriff_transfer::TransferConfig {
+            link_bandwidth: 1.0,
+            stall_budget,
+            max_attempts,
+            ..sheriff_transfer::TransferConfig::default()
+        });
+        let (report, rec, c) = faulted_round(cluster_seed, &cfg);
+        let first = digest_of(&report, &rec, &c, true);
+        prop_assert!(report.audit.is_clean(), "{}", report.audit);
+        prop_assert_eq!(
+            report.txn_prepared,
+            report.txn_committed + report.txn_aborted,
+            "2PC conservation: every prepare settles exactly once"
+        );
+        prop_assert!(
+            report.txn_aborted >= report.transfer_failures,
+            "each exhausted transfer escalates to a journal abort: \
+             links={:?} crashes={:?} failures={} aborted={} prepared={} committed={}",
+            link_schedule,
+            crash_schedule,
+            report.transfer_failures,
+            report.txn_aborted,
+            report.txn_prepared,
+            report.txn_committed
+        );
+        for rep in 1..5 {
+            let (r, re, cl) = faulted_round(cluster_seed, &cfg);
+            prop_assert_eq!(
+                first,
+                digest_of(&r, &re, &cl, true),
+                "repeat {} diverged",
+                rep
+            );
         }
     }
 }

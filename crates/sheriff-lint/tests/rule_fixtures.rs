@@ -334,6 +334,72 @@ fn transfer_route_table_idiom_lints_clean() {
     assert!(codes(TRANSFER, src).is_empty());
 }
 
+// ------------------------------------------ transfer recovery scope
+
+#[test]
+fn recovery_backoff_must_not_use_ambient_randomness() {
+    // retry backoff needs jitter so simultaneous stalls don't herd onto
+    // the same restored link, but ambient randomness would make the
+    // recovery schedule differ run-to-run: DET03 catches the shortcut
+    let ambient = "pub fn retry_jitter() -> u64 { (rand::random::<f64>() * 8.0) as u64 }";
+    assert_eq!(codes(TRANSFER, ambient), vec!["DET03"]);
+    // the blessed idiom: SplitMix64 over (attempt, transfer id) — pure
+    // arithmetic, same inputs, same jitter
+    let seeded = "pub fn retry_jitter(attempt: u32, id: u64) -> u64 {\n\
+        let mut z = id ^ (u64::from(attempt) << 32);\n\
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);\n\
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);\n\
+        z ^ (z >> 31)\n\
+    }";
+    assert!(codes(TRANSFER, seeded).is_empty());
+}
+
+#[test]
+fn recovery_failed_link_set_must_iterate_ordered() {
+    // the failed-link set feeds route viability checks whose visit
+    // order reaches the report; a HashSet sweep is flagged, the
+    // BTreeSet the recovery machine actually uses is clean
+    let hash = "use std::collections::HashSet;\n\
+        pub fn reroute_all(failed: HashSet<usize>) {\n\
+            for e in &failed { invalidate(*e); }\n\
+        }";
+    assert_eq!(codes(TRANSFER, hash), vec!["DET02"]);
+    let btree = "use std::collections::BTreeSet;\n\
+        pub fn reroute_all(failed: &BTreeSet<usize>) {\n\
+            for e in failed { invalidate(*e); }\n\
+        }";
+    assert!(codes(TRANSFER, btree).is_empty());
+}
+
+#[test]
+fn recovery_stall_deadline_must_not_read_wall_clock() {
+    // stall budgets are virtual-time ticks; an Instant-based deadline
+    // would tie retry exhaustion to host speed
+    let wall = "pub fn expired() -> bool { let t = std::time::Instant::now(); drop(t); false }";
+    assert_eq!(codes(TRANSFER, wall), vec!["DET01"]);
+    let virt = "pub fn expired(now: u64, stalled_since: u64, budget: u64) -> bool {\n\
+        now.saturating_sub(stalled_since) >= budget\n\
+    }";
+    assert!(codes(TRANSFER, virt).is_empty());
+}
+
+#[test]
+fn transfer_crate_panic01_ratchet_holds_at_zero() {
+    // the committed lint-baseline.json carries no PANIC01 grants for
+    // crates/sheriff-transfer/src/ — the recovery machine must keep it
+    // that way (the CLI's --deny-new also rejects stale entries, so
+    // this can only ratchet down)
+    let baseline = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../lint-baseline.json"
+    ))
+    .expect("committed lint baseline");
+    assert!(
+        !baseline.contains("sheriff-transfer"),
+        "sheriff-transfer grew a lint-baseline grant; fix the finding instead"
+    );
+}
+
 // ------------------------------------------------------ determinism
 
 #[test]

@@ -386,6 +386,47 @@ pub enum Event {
         /// Achieved bandwidth in bytes per tick.
         bandwidth: f64,
     },
+    /// A link failure cut every surviving route for an in-flight
+    /// pre-copy; it holds its checkpoint and waits out the stall budget.
+    TransferStalled {
+        /// 2PC request id of the migration.
+        req: u64,
+        /// VM whose pre-copy stalled.
+        vm: u64,
+        /// Edge index of the link whose failure caused the stall.
+        link: u64,
+    },
+    /// A stalled pre-copy found a surviving route and resumed from its
+    /// checkpoint (bytes already copied, minus the dirty re-copy penalty).
+    TransferResumed {
+        /// 2PC request id of the migration.
+        req: u64,
+        /// VM whose pre-copy resumed.
+        vm: u64,
+        /// Bytes the checkpoint saved versus restarting from zero.
+        saved: f64,
+    },
+    /// A stalled pre-copy's backoff timer fired and it re-probed for a
+    /// surviving route (whether or not one was found).
+    TransferRetried {
+        /// 2PC request id of the migration.
+        req: u64,
+        /// VM whose pre-copy retried.
+        vm: u64,
+        /// Retry attempt number (1-based).
+        attempt: u64,
+    },
+    /// A pre-copy exhausted its retry budget (or lost an endpoint) and
+    /// escalated to a clean 2PC abort: lease released, source placement
+    /// kept, `txn_aborted` accounted.
+    TransferFailed {
+        /// 2PC request id of the migration.
+        req: u64,
+        /// VM whose migration aborted.
+        vm: u64,
+        /// Retry attempts consumed before giving up.
+        attempts: u64,
+    },
 }
 
 impl Event {
@@ -424,6 +465,10 @@ impl Event {
             Event::TransferStarted { .. } => "transfer_started",
             Event::TransferRerouted { .. } => "transfer_rerouted",
             Event::TransferCompleted { .. } => "transfer_completed",
+            Event::TransferStalled { .. } => "transfer_stalled",
+            Event::TransferResumed { .. } => "transfer_resumed",
+            Event::TransferRetried { .. } => "transfer_retried",
+            Event::TransferFailed { .. } => "transfer_failed",
         }
     }
 
@@ -622,6 +667,26 @@ impl Event {
                 w.u64("ticks", *ticks);
                 w.f64("bandwidth", *bandwidth);
             }
+            Event::TransferStalled { req, vm, link } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.u64("link", *link);
+            }
+            Event::TransferResumed { req, vm, saved } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.f64("saved", *saved);
+            }
+            Event::TransferRetried { req, vm, attempt } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.u64("attempt", *attempt);
+            }
+            Event::TransferFailed { req, vm, attempts } => {
+                w.u64("req", *req);
+                w.u64("vm", *vm);
+                w.u64("attempts", *attempts);
+            }
         }
         w.finish()
     }
@@ -730,6 +795,46 @@ mod tests {
             }
             .to_json(),
             r#"{"ev":"transfer_completed","req":5,"vm":7,"ticks":4,"bandwidth":2.5}"#
+        );
+    }
+
+    #[test]
+    fn transfer_recovery_events_have_stable_shape() {
+        assert_eq!(
+            Event::TransferStalled {
+                req: 5,
+                vm: 7,
+                link: 12
+            }
+            .to_json(),
+            r#"{"ev":"transfer_stalled","req":5,"vm":7,"link":12}"#
+        );
+        assert_eq!(
+            Event::TransferResumed {
+                req: 5,
+                vm: 7,
+                saved: 3.5
+            }
+            .to_json(),
+            r#"{"ev":"transfer_resumed","req":5,"vm":7,"saved":3.5}"#
+        );
+        assert_eq!(
+            Event::TransferRetried {
+                req: 5,
+                vm: 7,
+                attempt: 2
+            }
+            .to_json(),
+            r#"{"ev":"transfer_retried","req":5,"vm":7,"attempt":2}"#
+        );
+        assert_eq!(
+            Event::TransferFailed {
+                req: 5,
+                vm: 7,
+                attempts: 4
+            }
+            .to_json(),
+            r#"{"ev":"transfer_failed","req":5,"vm":7,"attempts":4}"#
         );
     }
 

@@ -232,6 +232,22 @@ pub fn aggregate(spec: &ScenarioSpec, runs: &[SeedRun]) -> ScenarioReport {
             "bottleneck_serialization_rounds".into(),
             stat(&|r| r.rounds.iter().filter(|s| s.bottleneck_serialized).count() as f64),
         ),
+        (
+            "transfer_stalls_total".into(),
+            sum_rounds(&|s| s.transfer_stalls as f64),
+        ),
+        (
+            "transfer_retries_total".into(),
+            sum_rounds(&|s| s.transfer_retries as f64),
+        ),
+        (
+            "transfer_failures_total".into(),
+            sum_rounds(&|s| s.transfer_failures as f64),
+        ),
+        (
+            "resumed_bytes_saved_total".into(),
+            sum_rounds(&|s| s.resumed_bytes_saved),
+        ),
     ];
 
     let mut counters = Counters::new();

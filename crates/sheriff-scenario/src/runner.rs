@@ -19,8 +19,8 @@ use dcn_sim::{
 use dcn_topology::{HostId, RackId, VmId};
 use sheriff_core::{
     try_drain_rack, try_evacuate_host, CentralizedRuntime, CrashWindow, DistributedRuntime,
-    FabricConfig, FabricRuntime, MigrationContext, MigrationPlan, PartitionWindow, RoundOutcome,
-    RunCtx, Runtime, ShardedRuntime,
+    FabricConfig, FabricRuntime, LinkFaultWindow, MigrationContext, MigrationPlan, PartitionWindow,
+    RoundOutcome, RunCtx, Runtime, ShardedRuntime,
 };
 use sheriff_obs::{Counters, Event, EventSink};
 
@@ -115,6 +115,16 @@ pub struct RoundStat {
     /// Whether some link carried ≥ 2 concurrent pre-copies this round
     /// (fabric).
     pub bottleneck_serialized: bool,
+    /// Pre-copy streams stalled by a link failure (fabric).
+    pub transfer_stalls: usize,
+    /// Backoff retries attempted by stalled streams (fabric).
+    pub transfer_retries: usize,
+    /// Streams that exhausted their retries and aborted their 2PC
+    /// transaction (fabric).
+    pub transfer_failures: usize,
+    /// Bytes that checkpointed resumes avoided re-copying versus a
+    /// restart from zero (fabric).
+    pub resumed_bytes_saved: f64,
 }
 
 /// The full deterministic record of one (topology, seed) job.
@@ -324,8 +334,16 @@ fn apply_faults(
     for ev in spec.faults.iter().filter(|e| e.round == t) {
         let mut obs = injector.observed(sink);
         match &ev.action {
-            FaultAction::FailLink { link } => {
-                obs.fail_link(&mut cluster.dcn, *link);
+            FaultAction::FailLink {
+                link,
+                fail_at,
+                restore_at,
+            } => {
+                if fail_at.is_none() && restore_at.is_none() {
+                    obs.fail_link(&mut cluster.dcn, *link);
+                } else {
+                    obs.fail_link_at(*link, fail_at.unwrap_or(0), *restore_at);
+                }
                 links_changed = true;
             }
             FaultAction::RestoreLink { link } => {
@@ -479,6 +497,15 @@ pub(crate) fn run_job(
         // mid-round windows) is drained every round — this also settles
         // the injector's end-of-round shim_down state for step 4
         let crash_schedule = injector.drain_crash_schedule();
+        // the link schedule (standing whole-round downs plus any timed
+        // mid-round windows) likewise drains every round; draining also
+        // applies each timed window's end-state to the topology graph,
+        // so the metric must be rebuilt when a mid-round fault leaves a
+        // link down (or brings one back) past the round boundary
+        let link_schedule = injector.drain_link_schedule(&mut cluster.dcn);
+        if link_schedule.iter().any(|&(_, f, r)| f > 0 || r.is_some()) {
+            metric = RackMetric::build(&cluster.dcn, &cluster.sim);
+        }
         if let Loop::Fabric(rt) = &mut runtime {
             while phase_cursor < spec.channel_phases.len()
                 && spec.channel_phases[phase_cursor].round <= t
@@ -501,6 +528,14 @@ pub(crate) fn run_job(
                 .drain_partition_schedule()
                 .into_iter()
                 .map(|(racks, start_at, heal_at)| PartitionWindow::new(racks, start_at, heal_at))
+                .collect();
+            rt.cfg.link_faults = link_schedule
+                .iter()
+                .map(|&(link, fail_at, restore_at)| LinkFaultWindow {
+                    link,
+                    fail_at,
+                    restore_at,
+                })
                 .collect();
         }
 
@@ -601,6 +636,10 @@ pub(crate) fn run_job(
             transfer_reroutes: out.transfer_reroutes,
             transfer_p95_completion: out.transfer_p95_completion,
             bottleneck_serialized: out.bottleneck_serialized,
+            transfer_stalls: out.transfer_stalls,
+            transfer_retries: out.transfer_retries,
+            transfer_failures: out.transfer_failures,
+            resumed_bytes_saved: out.resumed_bytes_saved,
         });
     }
 

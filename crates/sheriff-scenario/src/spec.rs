@@ -225,6 +225,13 @@ pub struct TransferModelSpec {
     pub bytes_per_capacity: f64,
     /// k-shortest-path candidates per transfer.
     pub k_paths: usize,
+    /// Fraction of copied bytes re-dirtied when a stream resumes or
+    /// re-routes after a link failure (0 = perfect checkpoint).
+    pub dirty_rate: f64,
+    /// Base of the stalled-stream retry backoff in ticks.
+    pub stall_budget: u64,
+    /// Retry attempts a stalled stream gets before it aborts.
+    pub max_attempts: u32,
 }
 
 impl Default for TransferModelSpec {
@@ -237,6 +244,9 @@ impl Default for TransferModelSpec {
             reroute_threshold: d.reroute_threshold,
             bytes_per_capacity: d.bytes_per_capacity,
             k_paths: d.k_paths,
+            dirty_rate: d.dirty_rate,
+            stall_budget: d.stall_budget,
+            max_attempts: d.max_attempts,
         }
     }
 }
@@ -251,6 +261,9 @@ impl TransferModelSpec {
             reroute_threshold: self.reroute_threshold,
             bytes_per_capacity: self.bytes_per_capacity,
             k_paths: self.k_paths,
+            dirty_rate: self.dirty_rate,
+            stall_budget: self.stall_budget,
+            max_attempts: self.max_attempts,
         }
     }
 }
@@ -276,10 +289,20 @@ impl RuntimeSpec {
 /// A scheduled fault action (applied at the *start* of its round).
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultAction {
-    /// Kill one link by edge index.
+    /// Kill one link by edge index. With the optional virtual-time
+    /// fields the failure happens *mid-round* on the fabric runtime's
+    /// transfer plane: the link dies at tick `fail_at` and — when
+    /// `restore_at` is set — comes back within the same round. Omitting
+    /// both keeps the whole-round, round-boundary semantics.
     FailLink {
         /// Edge index in the topology graph.
         link: usize,
+        /// Virtual tick (within the round) at which the link dies;
+        /// `None` means "down from tick 0" (round-boundary failure).
+        fail_at: Option<u64>,
+        /// Virtual tick at which the link comes back; `None` means it
+        /// stays down until a `restore_link` action names it.
+        restore_at: Option<u64>,
     },
     /// Restore a previously failed link.
     RestoreLink {
@@ -711,6 +734,9 @@ fn parse_runtime(v: &Value) -> Result<RuntimeSpec, SheriffError> {
                     "transfer_reroute_threshold",
                     "transfer_bytes_per_capacity",
                     "transfer_k_paths",
+                    "transfer_dirty_rate",
+                    "transfer_stall_budget",
+                    "transfer_max_attempts",
                 ],
                 "runtime",
             )?;
@@ -781,6 +807,30 @@ fn parse_transfer_model(
             ));
         }
         spec.k_paths = k;
+    }
+    if let Some(d) = get_f64(t, "transfer_dirty_rate", "runtime")? {
+        if !(0.0..=1.0).contains(&d) {
+            return Err(invalid(format!(
+                "runtime.transfer_dirty_rate must be in [0, 1], got {d}"
+            )));
+        }
+        spec.dirty_rate = d;
+    }
+    if let Some(b) = get_u64(t, "transfer_stall_budget", "runtime")? {
+        if b == 0 {
+            return Err(invalid(
+                "runtime.transfer_stall_budget must be at least 1".into(),
+            ));
+        }
+        spec.stall_budget = b;
+    }
+    if let Some(a) = get_u64(t, "transfer_max_attempts", "runtime")? {
+        if a == 0 {
+            return Err(invalid(
+                "runtime.transfer_max_attempts must be at least 1".into(),
+            ));
+        }
+        spec.max_attempts = u32::try_from(a).unwrap_or(u32::MAX);
     }
     Ok(Some(spec))
 }
@@ -888,6 +938,8 @@ fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
             "rack",
             "crash_at",
             "recover_at",
+            "fail_at",
+            "restore_at",
             "name",
             "racks",
             "start_at",
@@ -906,6 +958,8 @@ fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
     let action = match action {
         "fail_link" => FaultAction::FailLink {
             link: need("link")?,
+            fail_at: get_u64(t, "fail_at", "fault")?,
+            restore_at: get_u64(t, "restore_at", "fault")?,
         },
         "restore_link" => FaultAction::RestoreLink {
             link: need("link")?,
@@ -968,6 +1022,26 @@ fn parse_fault(v: &Value) -> Result<FaultEvent, SheriffError> {
         return Err(invalid(
             "fault.crash_at / fault.recover_at only apply to action \"crash_shim\"".into(),
         ));
+    }
+    if !matches!(action, FaultAction::FailLink { .. })
+        && (t.contains_key("fail_at") || t.contains_key("restore_at"))
+    {
+        return Err(invalid(
+            "fault.fail_at / fault.restore_at only apply to action \"fail_link\"".into(),
+        ));
+    }
+    if let FaultAction::FailLink {
+        fail_at,
+        restore_at: Some(r),
+        ..
+    } = &action
+    {
+        if *r <= fail_at.unwrap_or(0) {
+            return Err(invalid(format!(
+                "fault.restore_at {r} must be after fail_at {}",
+                fail_at.unwrap_or(0)
+            )));
+        }
     }
     if !matches!(
         action,
@@ -1211,7 +1285,7 @@ impl ScenarioSpec {
                 );
                 for f in &self.faults {
                     let (kind, id, bound) = match &f.action {
-                        FaultAction::FailLink { link } | FaultAction::RestoreLink { link } => {
+                        FaultAction::FailLink { link, .. } | FaultAction::RestoreLink { link } => {
                             ("link", *link, links)
                         }
                         FaultAction::FailHost { host } | FaultAction::RestoreHost { host } => {

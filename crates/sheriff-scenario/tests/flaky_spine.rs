@@ -1,0 +1,87 @@
+//! Acceptance for fault-tolerant migration transfers through the
+//! scenario engine: `scenarios/flaky_spine.toml` must show real
+//! recovery — streams stalled by the mid-round spine outage, at least
+//! one checkpointed resume that saved bytes versus a restart from
+//! zero, and a clean invariant audit throughout.
+
+use sheriff_scenario::{aggregate, RuntimeSpec, ScenarioRunner, ScenarioSpec, Stat};
+
+fn load_spec() -> ScenarioSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/flaky_spine.toml"
+    );
+    let src = std::fs::read_to_string(path).expect("scenario file exists");
+    ScenarioSpec::parse_str(&src).expect("scenario parses")
+}
+
+fn metric(report: &sheriff_scenario::ScenarioReport, key: &str) -> Stat {
+    report
+        .metrics
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("metric {key} missing"))
+        .1
+}
+
+#[test]
+fn flaky_spine_spec_parses_with_recovery_knobs() {
+    let spec = load_spec();
+    let RuntimeSpec::Fabric {
+        max_retry,
+        transfer: Some(t),
+    } = spec.runtime
+    else {
+        panic!("flaky_spine must run the fabric runtime with transfers on");
+    };
+    assert_eq!(max_retry, 3);
+    assert_eq!(t.k_paths, 1, "a single candidate guarantees stalls");
+    assert_eq!(t.dirty_rate, 0.25);
+    assert_eq!(t.stall_budget, 8);
+    assert_eq!(t.max_attempts, 4);
+    assert!(spec.validate().expect("valid").is_empty());
+}
+
+#[test]
+fn flaky_spine_stalls_then_resumes_from_checkpoint() {
+    let spec = load_spec();
+    let runs = ScenarioRunner::new(spec.clone()).run().expect("runs");
+    let report = aggregate(&spec, &runs);
+
+    let started = metric(&report, "transfers_started_total");
+    let completed = metric(&report, "transfers_completed_total");
+    assert!(started.mean > 0.0, "pre-copies must be admitted");
+    assert!(completed.mean > 0.0, "pre-copies must stream to completion");
+
+    let stalls = metric(&report, "transfer_stalls_total");
+    assert!(
+        stalls.mean >= 1.0,
+        "the spine outage must stall at least one mid-copy stream, got {}",
+        stalls.mean
+    );
+
+    let retries = metric(&report, "transfer_retries_total");
+    assert!(
+        retries.mean >= 1.0,
+        "stalled streams must attempt backoff retries during the outage, got {}",
+        retries.mean
+    );
+
+    let saved = metric(&report, "resumed_bytes_saved_total");
+    assert!(
+        saved.mean > 0.0,
+        "checkpointed resumes must save bytes versus restart-from-zero, got {}",
+        saved.mean
+    );
+
+    // the outage heals within each round, so nothing exhausts its
+    // retry budget: every admitted stream still completes and the
+    // invariants survive
+    assert_eq!(
+        metric(&report, "transfer_failures_total").mean,
+        0.0,
+        "the 40-tick outage must end before any retry budget exhausts"
+    );
+    assert_eq!(started.mean, completed.mean, "every stream completes");
+    assert_eq!(metric(&report, "audit_violations_total").mean, 0.0);
+}

@@ -25,6 +25,27 @@
 //!
 //! The scheduler is pure virtual-time state: no clocks, no randomness,
 //! `BTreeMap` everywhere — same inputs, byte-identical schedules.
+//!
+//! # Fault tolerance
+//!
+//! Transfers survive network faults with a deterministic recovery state
+//! machine (`Streaming → Stalled → Resumed/Retried → Completed/Failed`):
+//!
+//! * [`fail_link`](TransferScheduler::fail_link) — a stream whose route
+//!   loses a link is steered onto the first surviving candidate path
+//!   (max-min shares recompute fleet-wide), or enters **Stalled** when no
+//!   viable path exists;
+//! * progress is **checkpointed**: bytes copied before the fault are
+//!   retained, and a resumed or re-routed stream continues from its
+//!   checkpoint plus a [`TransferConfig::dirty_rate`] re-copy penalty
+//!   (iterative pre-copy semantics) instead of restarting from zero;
+//! * a stalled stream retries on exponential backoff with deterministic
+//!   jitter (the same discipline as the fabric's retransmission policy);
+//!   exhausting [`TransferConfig::max_attempts`] yields a
+//!   [`Failed`] record the caller escalates to a clean 2PC abort.
+//!
+//! With no failed links every recovery path is inert: the schedule is
+//! byte-identical to the fault-oblivious scheduler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +95,33 @@ pub struct TransferConfig {
     /// QCN severity in `[0, 1]` above which the primary route is
     /// abandoned for an alternate (a `TransferRerouted` event).
     pub reroute_threshold: f64,
+    /// Fraction of already-copied bytes re-dirtied by a fault: a stream
+    /// re-routed or resumed after a link failure re-copies
+    /// `dirty_rate × copied` bytes on top of its checkpoint (iterative
+    /// pre-copy semantics). `0.0` = perfect checkpoint, `1.0` = restart.
+    #[serde(default = "default_dirty_rate")]
+    pub dirty_rate: f64,
+    /// Base of the stalled-stream retry backoff in ticks: retry `n`
+    /// fires after `stall_budget · 2ⁿ` ticks (capped at 8× the budget)
+    /// plus a deterministic jitter in `[0, stall_budget)`.
+    #[serde(default = "default_stall_budget")]
+    pub stall_budget: u64,
+    /// Retry attempts a stalled stream gets before it fails for good
+    /// and the caller must abort its transaction.
+    #[serde(default = "default_max_attempts")]
+    pub max_attempts: u32,
+}
+
+fn default_dirty_rate() -> f64 {
+    0.25
+}
+
+fn default_stall_budget() -> u64 {
+    16
+}
+
+fn default_max_attempts() -> u32 {
+    4
 }
 
 impl Default for TransferConfig {
@@ -85,6 +133,9 @@ impl Default for TransferConfig {
             k_paths: 4,
             route_strategy: RouteStrategy::Shortest,
             reroute_threshold: 0.25,
+            dirty_rate: default_dirty_rate(),
+            stall_budget: default_stall_budget(),
+            max_attempts: default_max_attempts(),
         }
     }
 }
@@ -168,6 +219,10 @@ pub struct Started {
     pub rerouted: bool,
     /// Ticks spent waiting in the admission queue.
     pub waited: u64,
+    /// Admitted straight into `Stalled` because every candidate route
+    /// crosses a failed link; it streams nothing until a restore or
+    /// retry finds a path.
+    pub stalled: bool,
 }
 
 /// A transfer that finished streaming its last byte.
@@ -197,6 +252,67 @@ pub struct Rerouted {
     pub hops: usize,
 }
 
+/// A stream that lost its route to a link failure and found no surviving
+/// candidate: it holds its checkpoint and waits on the retry backoff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stalled {
+    /// Caller identifier.
+    pub id: u64,
+    /// The VM being moved.
+    pub vm: u64,
+    /// The failed link that severed its route.
+    pub link: EdgeIdx,
+}
+
+/// A stalled stream that found a viable route again and resumed from its
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resumed {
+    /// Caller identifier.
+    pub id: u64,
+    /// The VM being moved.
+    pub vm: u64,
+    /// Bytes the checkpoint spared it from re-copying (copied before the
+    /// fault, minus the dirty re-copy penalty).
+    pub saved: f64,
+    /// Ticks spent stalled before the resume.
+    pub stalled_ticks: u64,
+}
+
+/// A stalled stream's retry timer fired; it probed for a surviving route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retried {
+    /// Caller identifier.
+    pub id: u64,
+    /// The VM being moved.
+    pub vm: u64,
+    /// Retry attempts used so far (1-based).
+    pub attempt: u32,
+}
+
+/// A stalled stream that exhausted its retry budget: the transfer is
+/// gone and the caller must abort its 2PC transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Failed {
+    /// Caller identifier.
+    pub id: u64,
+    /// The VM that failed to move.
+    pub vm: u64,
+    /// Retry attempts consumed before giving up.
+    pub attempts: u32,
+}
+
+/// Everything one [`TransferScheduler::fail_link`] call did to the
+/// in-flight fleet.
+#[derive(Debug, Clone, Default)]
+pub struct LinkOutcome {
+    /// Streams that lost their route and found no surviving candidate.
+    pub stalled: Vec<Stalled>,
+    /// Streams steered onto a surviving candidate path (checkpoint kept,
+    /// dirty penalty applied).
+    pub rerouted: Vec<Rerouted>,
+}
+
 /// Everything that happened at one [`TransferScheduler::poll`].
 #[derive(Debug, Clone, Default)]
 pub struct TransferTick {
@@ -206,13 +322,24 @@ pub struct TransferTick {
     pub started: Vec<Started>,
     /// Streams QCN pressure moved onto an alternate route this tick.
     pub rerouted: Vec<Rerouted>,
+    /// Stalled streams whose retry timer fired this tick.
+    pub retried: Vec<Retried>,
+    /// Stalled streams that found a route on retry and resumed.
+    pub resumed: Vec<Resumed>,
+    /// Stalled streams that exhausted their retry budget this tick.
+    pub failed: Vec<Failed>,
 }
 
 impl TransferTick {
-    /// True when the poll neither completed, admitted, nor rerouted
-    /// anything.
+    /// True when the poll neither completed, admitted, rerouted,
+    /// retried, resumed, nor failed anything.
     pub fn is_empty(&self) -> bool {
-        self.completions.is_empty() && self.started.is_empty() && self.rerouted.is_empty()
+        self.completions.is_empty()
+            && self.started.is_empty()
+            && self.rerouted.is_empty()
+            && self.retried.is_empty()
+            && self.resumed.is_empty()
+            && self.failed.is_empty()
     }
 }
 
@@ -232,6 +359,13 @@ struct Active {
     /// Remaining route alternatives, kept so QCN pressure can steer the
     /// stream mid-flight.
     candidates: Vec<RouteCandidate>,
+    /// `Some(tick)` while stalled on a link failure: streaming no bytes,
+    /// waiting for a restore or the retry timer.
+    stalled_since: Option<u64>,
+    /// When the stalled retry timer fires (meaningless while streaming).
+    retry_at: u64,
+    /// Retry attempts consumed over the transfer's lifetime.
+    attempt: u32,
 }
 
 /// A transfer parked behind the admission cap.
@@ -268,6 +402,15 @@ pub struct TransferScheduler {
     completes: usize,
     completion_hist: Histogram,
     bandwidth_hist: Histogram,
+    /// Links currently failed; routes crossing any of these are not
+    /// viable. Empty ⇒ every recovery path below is inert.
+    failed_links: BTreeSet<EdgeIdx>,
+    stalls: usize,
+    resumes: usize,
+    retries: usize,
+    failures: usize,
+    saved_bytes: f64,
+    stall_hist: Histogram,
 }
 
 impl TransferScheduler {
@@ -288,6 +431,13 @@ impl TransferScheduler {
             completes: 0,
             completion_hist: Histogram::exponential(1.0, 2.0, 16),
             bandwidth_hist: Histogram::exponential(0.125, 2.0, 12),
+            failed_links: BTreeSet::new(),
+            stalls: 0,
+            resumes: 0,
+            retries: 0,
+            failures: 0,
+            saved_bytes: 0.0,
+            stall_hist: Histogram::exponential(1.0, 2.0, 16),
         }
     }
 
@@ -364,11 +514,107 @@ impl TransferScheduler {
         &self.bandwidth_hist
     }
 
-    /// Earliest tick at which a running transfer completes, under
-    /// current rates. `None` when nothing is running (a non-empty queue
-    /// still needs a wake: poll again next tick to admit it).
+    /// Streams that entered `Stalled` after losing their route.
+    pub fn stalls(&self) -> usize {
+        self.stalls
+    }
+
+    /// Stalled streams that found a route again and resumed.
+    pub fn resumes(&self) -> usize {
+        self.resumes
+    }
+
+    /// Stalled retry timers fired.
+    pub fn retries(&self) -> usize {
+        self.retries
+    }
+
+    /// Transfers that exhausted their retry budget and must be aborted
+    /// by the caller. Rack-crash cancellations are not counted here —
+    /// the caller decides whether a cancellation is terminal (see
+    /// [`TransferScheduler::cancel_rack`]).
+    pub fn failures(&self) -> usize {
+        self.failures
+    }
+
+    /// Checkpointed bytes resumed streams did *not* have to re-copy
+    /// (copied before the fault, minus the dirty re-copy penalty).
+    pub fn resumed_bytes_saved(&self) -> f64 {
+        self.saved_bytes
+    }
+
+    /// Histogram of stall durations in ticks (recorded at resume).
+    pub fn stall_histogram(&self) -> &Histogram {
+        &self.stall_hist
+    }
+
+    /// The links currently marked failed.
+    pub fn failed_link_set(&self) -> &BTreeSet<EdgeIdx> {
+        &self.failed_links
+    }
+
+    /// Ids of every active transfer (streaming or stalled), in order.
+    /// The fabric's auditor checks each against the intent journal.
+    pub fn active_ids(&self) -> Vec<u64> {
+        self.active.keys().copied().collect()
+    }
+
+    /// Invariant probe: streams still *streaming* (not stalled) whose
+    /// route crosses a failed link. Always empty unless the recovery
+    /// machinery has a bug; each entry is `(id, offending link)`.
+    pub fn streaming_on_failed_links(&self) -> Vec<(u64, EdgeIdx)> {
+        let mut hits = Vec::new();
+        for (&id, a) in &self.active {
+            if a.stalled_since.is_some() {
+                continue;
+            }
+            if let Some(&l) = a.links.iter().find(|l| self.failed_links.contains(l)) {
+                hits.push((id, l));
+            }
+        }
+        hits
+    }
+
+    /// Earliest tick at which a running transfer completes or a stalled
+    /// one retries, under current rates. `None` when nothing is running
+    /// (a non-empty queue still needs a wake: poll again next tick to
+    /// admit it).
     pub fn next_event_time(&self) -> Option<u64> {
-        self.completes_at.values().min().copied()
+        let next_retry = self
+            .active
+            .values()
+            .filter(|a| a.stalled_since.is_some())
+            .map(|a| a.retry_at)
+            .min();
+        match (self.completes_at.values().min().copied(), next_retry) {
+            (Some(c), Some(r)) => Some(c.min(r)),
+            (c, r) => c.or(r),
+        }
+    }
+
+    /// A route is viable when none of its links are currently failed.
+    fn viable(&self, links: &[EdgeIdx]) -> bool {
+        self.failed_links.is_empty() || !links.iter().any(|l| self.failed_links.contains(l))
+    }
+
+    /// Exponential backoff with deterministic jitter for a stalled
+    /// stream's retry `attempt` (0-based) — the same discipline as the
+    /// fabric's retransmission policy, hashed over `(id, attempt)` with
+    /// SplitMix64 so concurrent stalls don't retry in lockstep.
+    fn retry_delay(&self, attempt: u32, id: u64) -> u64 {
+        let base = self.cfg.stall_budget.max(1);
+        let exp = base
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(base.saturating_mul(8));
+        let jitter = if base > 1 {
+            let mut z = id ^ ((attempt as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z ^ (z >> 31)) % base
+        } else {
+            0
+        };
+        exp + jitter
     }
 
     /// Submit a pre-copy at COMMIT time. `candidates` come from
@@ -398,29 +644,59 @@ impl TransferScheduler {
     }
 
     /// Insert an Active entry with its route chosen; rates are stale
-    /// until the caller recomputes.
+    /// until the caller recomputes. When every candidate crosses a
+    /// failed link the transfer is admitted straight into `Stalled`.
     fn admit(&mut self, now: u64, spec: TransferSpec, candidates: &[RouteCandidate]) {
-        let (links, hops, rerouted) = self.choose_route(candidates);
-        if rerouted {
-            self.reroutes += 1;
-        }
         self.starts += 1;
-        self.active.insert(
-            spec.id,
-            Active {
-                vm: spec.vm,
-                dst_rack: spec.dst_rack,
-                bytes: spec.bytes,
-                remaining: spec.bytes.max(0.0),
-                links,
-                hops,
-                rate: self.capacity(),
-                rate_since: now,
-                started_at: now,
-                rerouted,
-                candidates: candidates.to_vec(),
-            },
-        );
+        match self.choose_route(candidates) {
+            Some((links, hops, rerouted)) => {
+                if rerouted {
+                    self.reroutes += 1;
+                }
+                self.active.insert(
+                    spec.id,
+                    Active {
+                        vm: spec.vm,
+                        dst_rack: spec.dst_rack,
+                        bytes: spec.bytes,
+                        remaining: spec.bytes.max(0.0),
+                        links,
+                        hops,
+                        rate: self.capacity(),
+                        rate_since: now,
+                        started_at: now,
+                        rerouted,
+                        candidates: candidates.to_vec(),
+                        stalled_since: None,
+                        retry_at: 0,
+                        attempt: 0,
+                    },
+                );
+            }
+            None => {
+                self.stalls += 1;
+                let retry_at = now + self.retry_delay(0, spec.id);
+                self.active.insert(
+                    spec.id,
+                    Active {
+                        vm: spec.vm,
+                        dst_rack: spec.dst_rack,
+                        bytes: spec.bytes,
+                        remaining: spec.bytes.max(0.0),
+                        links: Vec::new(),
+                        hops: 0,
+                        rate: 0.0,
+                        rate_since: now,
+                        started_at: now,
+                        rerouted: false,
+                        candidates: candidates.to_vec(),
+                        stalled_since: Some(now),
+                        retry_at,
+                        attempt: 0,
+                    },
+                );
+            }
+        }
     }
 
     /// Worst QCN severity along a set of links.
@@ -436,38 +712,53 @@ impl TransferScheduler {
         self.severity_of_links(&c.links)
     }
 
-    /// Pick a route; returns `(links, hops, rerouted)`.
-    fn choose_route(&self, candidates: &[RouteCandidate]) -> (Vec<EdgeIdx>, usize, bool) {
-        let Some(primary) = candidates.first() else {
-            return (Vec::new(), 0, false);
-        };
-        let pick = |i: usize| match candidates.get(i) {
-            Some(c) => (c.links.clone(), c.hops(), i != 0),
-            None => (primary.links.clone(), primary.hops(), false),
+    /// Pick a route among the candidates that avoid every failed link;
+    /// returns `(links, hops, rerouted)`, or `None` when candidates
+    /// exist but all cross a failed link (the caller stalls the
+    /// transfer). An empty candidate list is an intra-rack move that
+    /// crosses no shared links.
+    fn choose_route(&self, candidates: &[RouteCandidate]) -> Option<(Vec<EdgeIdx>, usize, bool)> {
+        if candidates.is_empty() {
+            return Some((Vec::new(), 0, false));
+        }
+        let idxs: Vec<usize> = (0..candidates.len())
+            .filter(|&i| candidates.get(i).is_some_and(|c| self.viable(&c.links)))
+            .collect();
+        let (&first, rest) = idxs.split_first()?;
+        let primary = candidates.get(first)?;
+        let pick = |i: usize| {
+            candidates
+                .get(i)
+                .map(|c| (c.links.clone(), c.hops(), i != 0))
+                .unwrap_or_else(|| (primary.links.clone(), primary.hops(), first != 0))
         };
         match self.cfg.route_strategy {
             RouteStrategy::Shortest => {
                 let thr = self.cfg.reroute_threshold;
                 if self.severity_of(primary) <= thr {
-                    return pick(0);
+                    return Some(pick(first));
                 }
                 // primary is hot: first alternate under threshold, else
                 // the least-severe candidate overall
-                for (i, c) in candidates.iter().enumerate().skip(1) {
-                    if self.severity_of(c) <= thr {
-                        return pick(i);
+                for &i in rest {
+                    if candidates
+                        .get(i)
+                        .is_some_and(|c| self.severity_of(c) <= thr)
+                    {
+                        return Some(pick(i));
                     }
                 }
-                let mut best = 0usize;
+                let mut best = first;
                 let mut best_sev = self.severity_of(primary);
-                for (i, c) in candidates.iter().enumerate().skip(1) {
+                for &i in rest {
+                    let Some(c) = candidates.get(i) else { continue };
                     let s = self.severity_of(c);
                     if s < best_sev - EPS {
                         best = i;
                         best_sev = s;
                     }
                 }
-                pick(best)
+                Some(pick(best))
             }
             RouteStrategy::LeastLoaded => {
                 let load = |c: &RouteCandidate| {
@@ -477,16 +768,17 @@ impl TransferScheduler {
                         .max()
                         .unwrap_or(0)
                 };
-                let mut best = 0usize;
+                let mut best = first;
                 let mut key = (load(primary), primary.hops());
-                for (i, c) in candidates.iter().enumerate().skip(1) {
+                for &i in rest {
+                    let Some(c) = candidates.get(i) else { continue };
                     let k = (load(c), c.hops());
                     if k < key {
                         best = i;
                         key = k;
                     }
                 }
-                pick(best)
+                Some(pick(best))
             }
         }
     }
@@ -501,6 +793,7 @@ impl TransferScheduler {
                 rate: a.rate,
                 rerouted: a.rerouted,
                 waited,
+                stalled: a.stalled_since.is_some(),
             },
             // unreachable: callers only ask about ids they just admitted
             None => Started {
@@ -511,6 +804,7 @@ impl TransferScheduler {
                 rate: 0.0,
                 rerouted: false,
                 waited,
+                stalled: false,
             },
         }
     }
@@ -537,6 +831,9 @@ impl TransferScheduler {
         let cap = self.capacity();
         let mut users: BTreeMap<EdgeIdx, Vec<u64>> = BTreeMap::new();
         for (&id, a) in &self.active {
+            if a.stalled_since.is_some() {
+                continue;
+            }
             for &l in &a.links {
                 users.entry(l).or_default().push(id);
             }
@@ -607,6 +904,13 @@ impl TransferScheduler {
         }
         self.completes_at.clear();
         for (&id, a) in self.active.iter_mut() {
+            if a.stalled_since.is_some() {
+                // stalled: streams nothing, completes never; its wake is
+                // the retry timer, not a completion time
+                a.rate = 0.0;
+                a.rate_since = now;
+                continue;
+            }
             a.rate = if a.links.is_empty() {
                 cap
             } else {
@@ -633,10 +937,11 @@ impl TransferScheduler {
     /// in the same tick it was admitted.
     pub fn poll(&mut self, now: u64) -> TransferTick {
         self.settle(now);
+        let (retried, resumed, failed) = self.fire_retries(now);
         let done: Vec<u64> = self
             .active
             .iter()
-            .filter(|(_, a)| a.remaining <= EPS && a.started_at < now)
+            .filter(|(_, a)| a.stalled_since.is_none() && a.remaining <= EPS && a.started_at < now)
             .map(|(&id, _)| id)
             .collect();
         let mut completions = Vec::new();
@@ -678,7 +983,169 @@ impl TransferScheduler {
             completions,
             started,
             rerouted,
+            retried,
+            resumed,
+            failed,
         }
+    }
+
+    /// Fire every stalled stream's due retry timer: each one probes for
+    /// a surviving route (resuming from its checkpoint on success),
+    /// backs off again, or — out of attempts — fails for good.
+    #[allow(clippy::type_complexity)]
+    fn fire_retries(&mut self, now: u64) -> (Vec<Retried>, Vec<Resumed>, Vec<Failed>) {
+        let mut retried = Vec::new();
+        let mut resumed = Vec::new();
+        let mut failed = Vec::new();
+        let due: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.stalled_since.is_some() && a.retry_at <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let Some((vm, attempt)) = self.active.get_mut(&id).map(|a| {
+                a.attempt += 1;
+                (a.vm, a.attempt)
+            }) else {
+                continue;
+            };
+            self.retries += 1;
+            retried.push(Retried { id, vm, attempt });
+            if let Some(r) = self.try_resume(now, id) {
+                resumed.push(r);
+            } else if attempt >= self.cfg.max_attempts.max(1) {
+                self.active.remove(&id);
+                self.completes_at.remove(&id);
+                self.failures += 1;
+                failed.push(Failed {
+                    id,
+                    vm,
+                    attempts: attempt,
+                });
+            } else {
+                let delay = self.retry_delay(attempt, id);
+                if let Some(a) = self.active.get_mut(&id) {
+                    a.retry_at = now + delay;
+                }
+            }
+        }
+        (retried, resumed, failed)
+    }
+
+    /// Resume one stalled stream if any of its candidates avoids every
+    /// failed link. Rates stay stale until the caller recomputes.
+    fn try_resume(&mut self, now: u64, id: u64) -> Option<Resumed> {
+        let (links, hops) = {
+            let a = self.active.get(&id)?;
+            a.stalled_since?;
+            a.candidates
+                .iter()
+                .find(|c| self.viable(&c.links))
+                .map(|c| (c.links.clone(), c.hops()))?
+        };
+        let a = self.active.get_mut(&id)?;
+        let since = a.stalled_since.take().unwrap_or(now);
+        a.links = links;
+        a.hops = hops;
+        let stalled_ticks = now.saturating_sub(since);
+        let saved = (a.bytes - a.remaining).max(0.0);
+        let vm = a.vm;
+        self.saved_bytes += saved;
+        self.stall_hist.record(stalled_ticks.max(1) as f64);
+        self.resumes += 1;
+        Some(Resumed {
+            id,
+            vm,
+            saved,
+            stalled_ticks,
+        })
+    }
+
+    /// A link failed: every stream routed over it takes the dirty
+    /// re-copy penalty against its checkpoint, then is steered onto the
+    /// first surviving candidate path — or enters `Stalled` (rate zero,
+    /// retry backoff armed) when no candidate avoids the failed links.
+    pub fn fail_link(&mut self, now: u64, link: EdgeIdx) -> LinkOutcome {
+        self.settle(now);
+        let mut out = LinkOutcome::default();
+        if !self.failed_links.insert(link) {
+            return out; // already failed: nothing newly severed
+        }
+        let hit: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.stalled_since.is_none() && a.links.contains(&link))
+            .map(|(&id, _)| id)
+            .collect();
+        if hit.is_empty() {
+            return out;
+        }
+        let dirty = self.cfg.dirty_rate.clamp(0.0, 1.0);
+        for id in hit {
+            // iterative pre-copy: the fault re-dirties a fraction of the
+            // copied bytes; the rest of the checkpoint survives
+            if let Some(a) = self.active.get_mut(&id) {
+                let copied = (a.bytes - a.remaining).max(0.0);
+                a.remaining = (a.remaining + dirty * copied).min(a.bytes.max(0.0));
+            }
+            let choice = self.active.get(&id).and_then(|a| {
+                a.candidates
+                    .iter()
+                    .find(|c| self.viable(&c.links))
+                    .map(|c| (c.links.clone(), c.hops()))
+            });
+            match choice {
+                Some((links, hops)) => {
+                    if let Some(a) = self.active.get_mut(&id) {
+                        a.links = links;
+                        a.hops = hops;
+                        self.reroutes += 1;
+                        out.rerouted.push(Rerouted { id, vm: a.vm, hops });
+                    }
+                }
+                None => {
+                    let delay = self.retry_delay(self.active.get(&id).map_or(0, |a| a.attempt), id);
+                    if let Some(a) = self.active.get_mut(&id) {
+                        a.stalled_since = Some(now);
+                        a.links = Vec::new();
+                        a.hops = 0;
+                        a.rate = 0.0;
+                        a.retry_at = now + delay;
+                        self.completes_at.remove(&id);
+                        self.stalls += 1;
+                        out.stalled.push(Stalled { id, vm: a.vm, link });
+                    }
+                }
+            }
+        }
+        self.recompute(now);
+        out
+    }
+
+    /// A failed link came back: every stalled stream that now has a
+    /// viable candidate resumes from its checkpoint.
+    pub fn restore_link(&mut self, now: u64, link: EdgeIdx) -> Vec<Resumed> {
+        self.settle(now);
+        if !self.failed_links.remove(&link) {
+            return Vec::new();
+        }
+        let stalled: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.stalled_since.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        let mut resumed = Vec::new();
+        for id in stalled {
+            if let Some(r) = self.try_resume(now, id) {
+                resumed.push(r);
+            }
+        }
+        if !resumed.is_empty() {
+            self.recompute(now);
+        }
+        resumed
     }
 
     /// The QCN reaction path for streams already in flight: when a
@@ -704,7 +1171,7 @@ impl TransferScheduler {
             }
             let mut best: Option<(usize, f64)> = None;
             for (i, c) in a.candidates.iter().enumerate() {
-                if c.links == a.links {
+                if c.links == a.links || !self.viable(&c.links) {
                     continue;
                 }
                 let s = self.severity_of(c);
@@ -773,6 +1240,10 @@ impl TransferScheduler {
         self.queue.retain(|q| q.spec.dst_rack != rack);
         cancelled.extend(queued);
         if !cancelled.is_empty() {
+            // NOT counted in `failures`: whether a cancellation is a
+            // real failure (no recovery coming) or a restartable blip
+            // (the rack replays its journal and the COMMIT retransmits)
+            // is the caller's call, not the scheduler's
             self.recompute(now);
         }
         cancelled
@@ -1080,5 +1551,180 @@ mod tests {
         assert_eq!(ts.completion_histogram().count(), 1);
         assert_eq!(ts.bandwidth_histogram().count(), 1);
         assert_eq!(ts.completes(), 1);
+    }
+
+    #[test]
+    fn link_failure_stalls_and_resume_keeps_the_checkpoint() {
+        let cfg = TransferConfig {
+            stall_budget: 4,
+            ..TransferConfig::default()
+        };
+        let mut ts = TransferScheduler::new(cfg);
+        ts.submit(0, spec(1, 8.0), shared_link());
+        // one tick at rate 4.0: 4 bytes copied, 4 remain
+        let out = ts.fail_link(1, 7);
+        assert_eq!(out.stalled.len(), 1, "no alternate route exists");
+        assert!(out.rerouted.is_empty());
+        assert_eq!(ts.stalls(), 1);
+        assert!(ts.streaming_on_failed_links().is_empty());
+        // dirty penalty: 25% of the 4 copied bytes re-dirtied → 5 remain
+        // and the stream holds at rate zero until a restore or retry
+        assert_eq!(ts.next_event_time().map(|t| t >= 5), Some(true));
+        let resumed = ts.restore_link(2, 7);
+        assert_eq!(resumed.len(), 1);
+        let r = &resumed[0];
+        assert!((r.saved - 3.0).abs() < 1e-9, "checkpoint saved {}", r.saved);
+        assert_eq!(r.stalled_ticks, 1);
+        assert_eq!(ts.resumes(), 1);
+        assert!((ts.resumed_bytes_saved() - 3.0).abs() < 1e-9);
+        assert_eq!(ts.stall_histogram().count(), 1);
+        // 5 bytes at 4.0 from t=2: completes at 4 — strictly earlier
+        // than a restart-from-zero (8 bytes → t=4 only if restarted at
+        // t=2 with ceil(8/4)=2... restart completes at 4 too; assert on
+        // bytes, the acceptance criterion) — total re-copied is 5, not 8
+        let tick = ts.poll(4);
+        assert_eq!(tick.completions.len(), 1);
+        assert!(ts.is_idle());
+    }
+
+    #[test]
+    fn link_failure_reroutes_onto_surviving_candidate() {
+        let two_routes = vec![
+            RouteCandidate {
+                nodes: vec![0, 1, 2],
+                links: vec![10, 11],
+            },
+            RouteCandidate {
+                nodes: vec![0, 3, 2],
+                links: vec![20, 21],
+            },
+        ];
+        let mut ts = TransferScheduler::new(TransferConfig::default());
+        ts.submit(0, spec(1, 8.0), two_routes);
+        let out = ts.fail_link(1, 10);
+        assert!(out.stalled.is_empty(), "the alternate survives");
+        assert_eq!(out.rerouted.len(), 1);
+        assert_eq!(out.rerouted[0].hops, 2);
+        assert_eq!(ts.stalls(), 0);
+        assert!(ts.streaming_on_failed_links().is_empty());
+        // checkpoint kept minus the dirty penalty: 4 copied, 1 re-dirtied,
+        // 5 remain at rate 4.0 → completes at ceil(5/4)=2 ticks from t=1
+        assert_eq!(ts.next_event_time(), Some(3));
+        let tick = ts.poll(3);
+        assert_eq!(tick.completions.len(), 1);
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_the_transfer() {
+        let cfg = TransferConfig {
+            stall_budget: 1,
+            max_attempts: 2,
+            ..TransferConfig::default()
+        };
+        let mut ts = TransferScheduler::new(cfg);
+        ts.submit(0, spec(1, 8.0), shared_link());
+        let out = ts.fail_link(0, 7);
+        assert_eq!(out.stalled.len(), 1);
+        // stall_budget 1 ⇒ no jitter: retry 1 fires at t=1, backs off
+        // to t=3; retry 2 at t=3 exhausts the budget
+        let tick = ts.poll(1);
+        assert_eq!(tick.retried.len(), 1);
+        assert_eq!(tick.retried[0].attempt, 1);
+        assert!(tick.failed.is_empty());
+        let tick = ts.poll(3);
+        assert_eq!(tick.retried.len(), 1);
+        assert_eq!(tick.failed.len(), 1);
+        assert_eq!(tick.failed[0].attempts, 2);
+        assert_eq!(ts.failures(), 1);
+        assert_eq!(ts.retries(), 2);
+        assert!(ts.is_idle());
+    }
+
+    #[test]
+    fn retry_resumes_when_route_comes_back_between_polls() {
+        let cfg = TransferConfig {
+            stall_budget: 1,
+            max_attempts: 4,
+            ..TransferConfig::default()
+        };
+        let mut ts = TransferScheduler::new(cfg);
+        ts.submit(0, spec(1, 8.0), shared_link());
+        ts.fail_link(0, 7);
+        // clear the fault without triggering the restore-path resume
+        // (restore of a link that was never failed is a no-op)
+        assert!(ts.restore_link(1, 99).is_empty());
+        ts.failed_links.clear();
+        let tick = ts.poll(1);
+        assert_eq!(tick.retried.len(), 1);
+        assert_eq!(tick.resumed.len(), 1, "retry probe must find the route");
+        assert_eq!(ts.resumes(), 1);
+        assert!(ts.poll(3).completions.len() == 1);
+    }
+
+    #[test]
+    fn all_routes_dead_admits_straight_into_stalled() {
+        let mut ts = TransferScheduler::new(TransferConfig::default());
+        ts.fail_link(0, 7);
+        let adm = ts.submit(0, spec(1, 8.0), shared_link());
+        let Admission::Started(s) = adm else {
+            panic!("should admit");
+        };
+        assert!(s.stalled, "every route crosses the failed link");
+        assert_eq!(s.rate, 0.0);
+        assert_eq!(ts.stalls(), 1);
+        assert!(!ts.is_idle());
+        // restore resumes it from byte zero (nothing copied, nothing saved)
+        let resumed = ts.restore_link(2, 7);
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].saved, 0.0);
+        let tick = ts.poll(4);
+        assert_eq!(tick.completions.len(), 1);
+    }
+
+    #[test]
+    fn full_dirty_rate_restarts_from_zero() {
+        let cfg = TransferConfig {
+            dirty_rate: 1.0,
+            ..TransferConfig::default()
+        };
+        let mut ts = TransferScheduler::new(cfg);
+        ts.submit(0, spec(1, 8.0), shared_link());
+        ts.fail_link(1, 7); // 4 copied, all re-dirtied
+        let resumed = ts.restore_link(2, 7);
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].saved, 0.0, "dirty_rate 1.0 saves nothing");
+    }
+
+    #[test]
+    fn failed_links_steer_qcn_reroutes_away() {
+        // the QCN mid-flight reroute must never pick a dead alternate
+        let two_routes = || {
+            vec![
+                RouteCandidate {
+                    nodes: vec![0, 1, 2],
+                    links: vec![10, 11],
+                },
+                RouteCandidate {
+                    nodes: vec![0, 3, 2],
+                    links: vec![20, 21],
+                },
+            ]
+        };
+        let mut ts = TransferScheduler::new(TransferConfig {
+            link_bandwidth: 1.0,
+            reroute_threshold: 0.1,
+            ..TransferConfig::default()
+        });
+        ts.submit(0, spec(1, 200.0), two_routes());
+        ts.submit(0, spec(2, 200.0), two_routes());
+        ts.fail_link(1, 20); // alternate is dead before QCN heats up
+        for t in [20u64, 40, 60] {
+            ts.poll(t);
+        }
+        assert!(
+            ts.active.values().all(|a| a.links != vec![20, 21]),
+            "no stream may sit on the failed alternate"
+        );
+        assert!(ts.streaming_on_failed_links().is_empty());
     }
 }
