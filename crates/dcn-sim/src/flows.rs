@@ -40,20 +40,16 @@ impl FlowNetwork {
             link_load: vec![0.0; g.edge_count()],
             flows,
         };
-        for i in 0..net.flows.len() {
-            let (src_rack, dst_rack) = {
-                let f = &net.flows[i];
-                (placement.rack_of(f.src), placement.rack_of(f.dst))
-            };
+        for f in &net.flows {
+            let (src_rack, dst_rack) = (placement.rack_of(f.src), placement.rack_of(f.dst));
             let route = if src_rack == dst_rack {
                 Vec::new()
             } else {
                 shortest_route(dcn, dcn.rack_node(src_rack), dcn.rack_node(dst_rack), &[])
                     .unwrap_or_default()
             };
-            let rate = net.flows[i].rate;
             for &e in &route {
-                net.link_load[e] += rate;
+                bump(&mut net.link_load, e, f.rate);
             }
             net.routes.push(route);
         }
@@ -67,17 +63,17 @@ impl FlowNetwork {
 
     /// A flow's current route.
     pub fn route_of(&self, flow: usize) -> &[EdgeIdx] {
-        &self.routes[flow]
+        self.routes.get(flow).map_or(&[], Vec::as_slice)
     }
 
     /// Load on one edge.
     pub fn load(&self, e: EdgeIdx) -> f64 {
-        self.link_load[e]
+        self.link_load.get(e).copied().unwrap_or(0.0)
     }
 
     /// Utilisation of one edge against its capacity.
     pub fn utilization(&self, dcn: &Dcn, e: EdgeIdx) -> f64 {
-        self.link_load[e] / dcn.graph.link(e).capacity
+        self.load(e) / dcn.graph.link(e).capacity
     }
 
     /// Switches incident to at least one link loaded above
@@ -112,26 +108,34 @@ impl FlowNetwork {
         let Some(sw_node) = g.node_idx(dcn_topology::NodeId::Switch(sw)) else {
             return Vec::new();
         };
-        (0..self.flows.len())
-            .filter(|&f| {
-                self.routes[f].iter().any(|&e| {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter(|(_, route)| {
+                route.iter().any(|&e| {
                     let (a, b) = g.endpoints(e);
                     a == sw_node || b == sw_node
                 })
             })
+            .map(|(f, _)| f)
             .collect()
     }
 
     /// Replace a flow's route (FLOWREROUTE). Link loads are updated.
     pub fn reroute(&mut self, flow: usize, new_route: Vec<EdgeIdx>) {
-        let rate = self.flows[flow].rate;
-        for &e in &self.routes[flow] {
-            self.link_load[e] -= rate;
+        let Some(rate) = self.flows.get(flow).map(|f| f.rate) else {
+            return;
+        };
+        let Some(slot) = self.routes.get_mut(flow) else {
+            return;
+        };
+        let old_route = std::mem::replace(slot, new_route);
+        for &e in &old_route {
+            bump(&mut self.link_load, e, -rate);
         }
-        for &e in &new_route {
-            self.link_load[e] += rate;
+        for &e in self.routes.get(flow).into_iter().flatten() {
+            bump(&mut self.link_load, e, rate);
         }
-        self.routes[flow] = new_route;
     }
 
     /// Total network throughput currently offered (sum of flow rates).
@@ -145,20 +149,21 @@ impl FlowNetwork {
     /// rebased.
     pub fn rebase_vm(&mut self, dcn: &Dcn, placement: &Placement, vm: VmId) -> usize {
         let mut rebased = 0;
-        for f in 0..self.flows.len() {
-            let flow = &self.flows[f];
-            if flow.src != vm && flow.dst != vm {
-                continue;
-            }
-            let src_rack = placement.rack_of(flow.src);
-            let dst_rack = placement.rack_of(flow.dst);
+        let racks: Vec<(usize, _, _)> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|(_, flow)| flow.src == vm || flow.dst == vm)
+            .map(|(f, flow)| (f, placement.rack_of(flow.src), placement.rack_of(flow.dst)))
+            .collect();
+        for (f, src_rack, dst_rack) in racks {
             let new_route = if src_rack == dst_rack {
                 Vec::new()
             } else {
                 shortest_route(dcn, dcn.rack_node(src_rack), dcn.rack_node(dst_rack), &[])
                     .unwrap_or_default()
             };
-            if new_route != self.routes[f] {
+            if self.routes.get(f) != Some(&new_route) {
                 self.reroute(f, new_route);
                 rebased += 1;
             }
@@ -171,12 +176,19 @@ impl FlowNetwork {
     /// the local-ToR alerts.
     pub fn tor_uplink(&self, placement: &Placement, rack_count: usize) -> Vec<f64> {
         let mut up = vec![0.0; rack_count];
-        for (f, flow) in self.flows.iter().enumerate() {
-            if !self.routes[f].is_empty() {
-                up[placement.rack_of(flow.src).index()] += flow.rate;
+        for (flow, route) in self.flows.iter().zip(&self.routes) {
+            if !route.is_empty() {
+                bump(&mut up, placement.rack_of(flow.src).index(), flow.rate);
             }
         }
         up
+    }
+}
+
+/// Add `delta` to `load[e]`, ignoring out-of-range edges.
+fn bump(load: &mut [f64], e: usize, delta: f64) {
+    if let Some(l) = load.get_mut(e) {
+        *l += delta;
     }
 }
 
@@ -216,7 +228,9 @@ pub fn shortest_route(
     impl Eq for E {}
     impl Ord for E {
         fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-            o.0.partial_cmp(&self.0).expect("no NaN costs")
+            // costs are finite sums of distances and penalties, never NaN
+            o.0.partial_cmp(&self.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
     impl PartialOrd for E {
@@ -224,34 +238,42 @@ pub fn shortest_route(
             Some(self.cmp(o))
         }
     }
-    dist[src] = 0.0;
+    if let Some(d0) = dist.get_mut(src) {
+        *d0 = 0.0;
+    }
     heap.push(E(0.0, src));
     while let Some(E(d, u)) = heap.pop() {
-        if d > dist[u] {
+        if dist.get(u).is_none_or(|&du| d > du) {
             continue;
         }
         if u == dst {
             break;
         }
         for &(v, e) in g.neighbors(u) {
-            let c = g.link(e).distance + penalties[e];
+            let c = g.link(e).distance + penalties.get(e).copied().unwrap_or(0.0);
             let nd = d + c;
-            if nd < dist[v] {
-                dist[v] = nd;
-                prev_edge[v] = e;
-                prev_node[v] = u;
+            let Some(dv) = dist.get_mut(v) else { continue };
+            if nd < *dv {
+                *dv = nd;
+                if let Some(pe) = prev_edge.get_mut(v) {
+                    *pe = e;
+                }
+                if let Some(pn) = prev_node.get_mut(v) {
+                    *pn = u;
+                }
                 heap.push(E(nd, v));
             }
         }
     }
-    if !dist[dst].is_finite() || dist[dst] >= 1e12 {
+    let reached = dist.get(dst).copied().unwrap_or(f64::INFINITY);
+    if !reached.is_finite() || reached >= 1e12 {
         return None;
     }
     let mut route = Vec::new();
     let mut cur = dst;
     while cur != src {
-        route.push(prev_edge[cur]);
-        cur = prev_node[cur];
+        route.push(*prev_edge.get(cur)?);
+        cur = *prev_node.get(cur)?;
     }
     route.reverse();
     Some(route)

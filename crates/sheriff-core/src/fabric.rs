@@ -2076,6 +2076,11 @@ pub fn fabric_round_failover_obs<S: EventSink + ?Sized>(
                 });
                 shim.st.plan.total_cost += o.cost;
             } else {
+                emit(sink, || Event::MigrationFailed {
+                    vm: o.vm.index() as u64,
+                    rack: shim.st.rack.index() as u64,
+                });
+                sink.counter("migrations.failed", 1);
                 shim.st.pending.push(o.vm);
             }
         }
@@ -2845,6 +2850,54 @@ mod tests {
             "checks must not wedge the round"
         );
         assert!(report.audit.is_clean(), "{}", report.audit);
+        assert_capacity_ok(&c);
+        assert_deps_ok(&c);
+    }
+
+    #[test]
+    fn uncommitted_leftovers_settle_as_failed_migrations() {
+        // regression for the EVT01 dead-variant finding: a request cut
+        // off by loss + crash whose move never reached ground truth must
+        // surface as MigrationFailed (event and counter agree), not
+        // vanish silently back into the pending queue
+        let mut c = cluster(27);
+        let metric = RackMetric::build(&c.dcn, &c.sim);
+        let alerts = c.fraction_alerts(0.10, 0);
+        let vals = alert_values(&c);
+        let crashed = alerts[0].rack;
+        let cfg = FabricConfig {
+            faults: ChannelFaults {
+                drop: 0.10,
+                ..ChannelFaults::lossy(0.10)
+            },
+            seed: 3,
+            crashed: vec![CrashWindow::whole_round(crashed)],
+            ..FabricConfig::default()
+        };
+        let mut rec = RingRecorder::new(65536);
+        let report = fabric_round_obs(&mut c, &metric, &alerts, &vals, &cfg, &mut rec);
+        let failed: Vec<u64> = rec
+            .to_vec()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::MigrationFailed { vm, .. } => Some(vm),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            failed.len(),
+            1,
+            "seed 3 settles exactly one unknown fate as failed"
+        );
+        assert_eq!(rec.counters().get("migrations.failed"), 1);
+        assert!(
+            !report
+                .plan
+                .moves
+                .iter()
+                .any(|m| m.vm.index() as u64 == failed[0]),
+            "a failed migration must not also appear in the committed plan"
+        );
         assert_capacity_ok(&c);
         assert_deps_ok(&c);
     }

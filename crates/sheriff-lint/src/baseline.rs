@@ -1,9 +1,13 @@
 //! The ratchet: known pre-existing debt, committed as
 //! `lint-baseline.json` at the workspace root.
 //!
-//! Only PANIC01 is baselinable — determinism and unsafety debt must be
-//! zero. The baseline stores a *count per file*, not positions, so it is
-//! robust to unrelated line shifts:
+//! The baseline is a per-rule ratchet: PANIC01 panic debt, PROTO01
+//! catch-all debt, and — since the DET rules went interprocedural —
+//! DET01–DET03 findings flushed out of legacy `bench`/`dcn-sim` call
+//! paths may be carried as tracked debt. Unsafety (UNSAFE01), dead
+//! telemetry (EVT01), legacy-API leaks (API01), and malformed pragmas
+//! (LINT00) must be zero. The baseline stores a *count per file*, not
+//! positions, so it is robust to unrelated line shifts:
 //!
 //! * count > baseline → new violations, the check fails;
 //! * count < baseline → the entry is stale, the check also fails until
@@ -17,7 +21,7 @@ use crate::diagnostics::{json_escape, Diagnostic};
 use std::collections::BTreeMap;
 
 /// Rules whose pre-existing violations may be carried as debt.
-pub const BASELINABLE: &[&str] = &["PANIC01"];
+pub const BASELINABLE: &[&str] = &["DET01", "DET02", "DET03", "PANIC01", "PROTO01"];
 
 /// rule → file → allowed count.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
@@ -363,6 +367,7 @@ mod tests {
             col: 1,
             message: "m".into(),
             help: "h",
+            notes: Vec::new(),
         }
     }
 
@@ -380,9 +385,28 @@ mod tests {
 
     #[test]
     fn non_baselinable_rules_never_enter_the_baseline() {
-        let b = Baseline::from_diagnostics(&[d("DET01", "src/lib.rs", 1)]);
+        let b = Baseline::from_diagnostics(&[
+            d("UNSAFE01", "src/lib.rs", 1),
+            d("EVT01", "crates/sheriff-obs/src/event.rs", 3),
+            d("LINT00", "src/lib.rs", 9),
+        ]);
         assert_eq!(b.entry_count(), 0);
-        assert!(Baseline::parse("{\"DET01\": {\"src/lib.rs\": 1}}").is_err());
+        assert!(Baseline::parse("{\"UNSAFE01\": {\"src/lib.rs\": 1}}").is_err());
+        assert!(Baseline::parse("{\"EVT01\": {\"crates/sheriff-obs/src/event.rs\": 1}}").is_err());
+    }
+
+    #[test]
+    fn det_rules_ratchet_per_rule() {
+        let diags = vec![
+            d("DET02", "crates/dcn-sim/src/flows.rs", 5),
+            d("PANIC01", "crates/dcn-sim/src/flows.rs", 5),
+        ];
+        let b = Baseline::from_diagnostics(&diags);
+        assert_eq!(b.entry_count(), 2, "one entry per (rule, file) pair");
+        let parsed = Baseline::parse(&b.render()).expect("round-trip");
+        let (outstanding, issues) = parsed.apply(&diags);
+        assert!(outstanding.is_empty());
+        assert!(issues.is_empty());
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! The workspace call graph: call sites linked to candidate function
+//! definitions by name plus receiver-type heuristics.
+//!
+//! A hand-rolled lexer cannot do type inference, so resolution is
+//! deliberately conservative in both directions:
+//!
+//! * a **method call** (`recv.name(…)`) links to every workspace method
+//!   named `name` — narrowed to the caller's own `impl` type when the
+//!   receiver is literally `self`;
+//! * a **qualified call** (`Type::name(…)`) links only to methods whose
+//!   `impl` type matches — an uppercase qualifier that matches nothing
+//!   is treated as an external type, not linked by bare name;
+//! * a **module-qualified call** (`module::name(…)`) prefers free
+//!   functions defined in a file matching the module name;
+//! * a **bare call** (`name(…)`) links to free functions only.
+//!
+//! Everything that matches no workspace definition lands in the
+//! explicit `unresolved` bucket (std/vendored calls, tuple-struct
+//! constructors) — the count is surfaced in `--json` output so the
+//! soundness gap stays visible instead of silently shrinking the graph.
+
+use crate::lexer::Token;
+use crate::rules::KEYWORDS;
+use crate::symbols::SymbolIndex;
+use std::collections::BTreeSet;
+
+/// One resolved call edge: `caller` invokes `callee` at `line:col` of
+/// the caller's file. Parallel calls to the same callee are deduplicated
+/// to the first site in token order.
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    /// Calling function id (index into [`SymbolIndex::fns`]).
+    pub caller: usize,
+    /// Called function id.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+    /// 1-based column of the call site.
+    pub col: u32,
+}
+
+/// The resolved workspace call graph plus its soundness accounting.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All resolved edges.
+    pub edges: Vec<CallEdge>,
+    /// Outgoing edge indices per function id.
+    pub callees_of: Vec<Vec<usize>>,
+    /// Incoming edge indices per function id.
+    pub callers_of: Vec<Vec<usize>>,
+    /// Call-shaped sites inspected (`ident(` sequences, macros excluded).
+    pub call_sites: usize,
+    /// Sites that linked to at least one workspace definition.
+    pub resolved: usize,
+    /// Sites with no workspace candidate (std, vendored, constructors).
+    pub unresolved: usize,
+    /// The distinct unresolved callee names, for `--json` consumers.
+    pub unresolved_names: BTreeSet<String>,
+}
+
+/// How a call site names its callee — drives candidate narrowing.
+enum Shape<'a> {
+    Bare,
+    Method { self_recv: bool },
+    Qualified(Option<&'a str>),
+}
+
+impl CallGraph {
+    /// Build the graph over an existing symbol index (no re-lexing).
+    pub fn build(index: &SymbolIndex) -> CallGraph {
+        let mut g = CallGraph {
+            callees_of: vec![Vec::new(); index.fns.len()],
+            callers_of: vec![Vec::new(); index.fns.len()],
+            ..CallGraph::default()
+        };
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (fid, def) in index.fns.iter().enumerate() {
+            let toks = &index.file_of(fid).tokens;
+            let (b0, b1) = def.body;
+            for i in b0..b1 {
+                let Some(t) = toks.get(i) else { break };
+                let Some((name, shape)) = call_at(toks, i) else {
+                    continue;
+                };
+                g.call_sites += 1;
+                let targets = resolve(index, def.self_ty.as_deref(), name, &shape);
+                if targets.is_empty() {
+                    g.unresolved += 1;
+                    g.unresolved_names.insert(name.to_string());
+                    continue;
+                }
+                g.resolved += 1;
+                for callee in targets {
+                    if !seen.insert((fid, callee)) {
+                        continue;
+                    }
+                    let ei = g.edges.len();
+                    g.edges.push(CallEdge {
+                        caller: fid,
+                        callee,
+                        line: t.line,
+                        col: t.col,
+                    });
+                    if let Some(v) = g.callees_of.get_mut(fid) {
+                        v.push(ei);
+                    }
+                    if let Some(v) = g.callers_of.get_mut(callee) {
+                        v.push(ei);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The edge with id `ei`. Edge ids are minted by
+    /// [`CallGraph::build`] and are always in-bounds.
+    pub fn edge(&self, ei: usize) -> &CallEdge {
+        // sheriff-lint: allow(PANIC01, "edge ids are minted by build() and bounded by edges.len()")
+        &self.edges[ei]
+    }
+}
+
+/// If tokens\[i\] starts a call-shaped site, its callee name and shape.
+fn call_at(toks: &[Token], i: usize) -> Option<(&str, Shape<'_>)> {
+    let name = toks.get(i)?.ident()?;
+    if KEYWORDS.contains(&name) {
+        return None;
+    }
+    if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return None; // also excludes macros: `name!(…)` has `!` here
+    }
+    let prev = toks.get(i.wrapping_sub(1));
+    if prev.is_some_and(|p| p.is_ident("fn")) {
+        return None; // a definition, not a call
+    }
+    if prev.is_some_and(|p| p.is_punct('.')) {
+        let self_recv = toks
+            .get(i.wrapping_sub(2))
+            .is_some_and(|t| t.is_ident("self"))
+            && !toks.get(i.wrapping_sub(3)).is_some_and(|t| t.is_punct('.'));
+        return Some((name, Shape::Method { self_recv }));
+    }
+    if prev.is_some_and(|p| p.is_punct(':'))
+        && toks.get(i.wrapping_sub(2)).is_some_and(|p| p.is_punct(':'))
+    {
+        let qualifier = toks.get(i.wrapping_sub(3)).and_then(Token::ident);
+        return Some((name, Shape::Qualified(qualifier)));
+    }
+    Some((name, Shape::Bare))
+}
+
+/// Candidate function ids for a call site.
+fn resolve(
+    index: &SymbolIndex,
+    caller_self_ty: Option<&str>,
+    name: &str,
+    shape: &Shape<'_>,
+) -> Vec<usize> {
+    let cands = index.candidates(name);
+    match shape {
+        Shape::Bare => cands
+            .iter()
+            .copied()
+            .filter(|&id| index.def(id).self_ty.is_none())
+            .collect(),
+        Shape::Method { self_recv } => {
+            let methods: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| index.def(id).self_ty.is_some())
+                .collect();
+            if *self_recv {
+                if let Some(ty) = caller_self_ty {
+                    let own: Vec<usize> = methods
+                        .iter()
+                        .copied()
+                        .filter(|&id| index.def(id).self_ty.as_deref() == Some(ty))
+                        .collect();
+                    if !own.is_empty() {
+                        return own;
+                    }
+                }
+            }
+            methods
+        }
+        Shape::Qualified(Some(q)) if q.starts_with(char::is_uppercase) => {
+            let ty = if *q == "Self" {
+                match caller_self_ty {
+                    Some(t) => t,
+                    None => return Vec::new(),
+                }
+            } else {
+                q
+            };
+            // an uppercase qualifier matching no workspace impl is an
+            // external type (`Instant::now`): deliberately unresolved
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| index.def(id).self_ty.as_deref() == Some(ty))
+                .collect()
+        }
+        Shape::Qualified(q) => {
+            let free: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&id| index.def(id).self_ty.is_none())
+                .collect();
+            if let Some(module) = q {
+                let narrowed: Vec<usize> = free
+                    .iter()
+                    .copied()
+                    .filter(|&id| file_matches_module(&index.file_of(id).path, module))
+                    .collect();
+                if !narrowed.is_empty() {
+                    return narrowed;
+                }
+            }
+            free
+        }
+    }
+}
+
+/// Whether a repo-relative path plausibly defines module `m`: the file
+/// stem matches, or the crate directory matches (`_` ↔ `-` folded).
+fn file_matches_module(path: &str, m: &str) -> bool {
+    let dashed = m.replace('_', "-");
+    path.ends_with(&format!("/{m}.rs"))
+        || path.ends_with(&format!("/{m}/mod.rs"))
+        || path.starts_with(&format!("crates/{dashed}/"))
+        || path.starts_with(&format!("crates/{m}/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SourceFile;
+
+    fn graph_of(files: &[(&str, &str)]) -> (SymbolIndex, CallGraph) {
+        let parsed = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let index = SymbolIndex::build(parsed);
+        let graph = CallGraph::build(&index);
+        (index, graph)
+    }
+
+    fn edge_names(index: &SymbolIndex, g: &CallGraph) -> Vec<(String, String)> {
+        g.edges
+            .iter()
+            .map(|e| {
+                (
+                    index.fns[e.caller].name.clone(),
+                    index.fns[e.callee].name.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resolves_cross_crate_free_fn_calls() {
+        let (index, g) = graph_of(&[
+            ("crates/a/src/lib.rs", "pub fn root() { helper(); }"),
+            ("crates/b/src/lib.rs", "pub fn helper() { }"),
+        ]);
+        assert_eq!(
+            edge_names(&index, &g),
+            vec![("root".to_string(), "helper".to_string())]
+        );
+    }
+
+    #[test]
+    fn method_calls_do_not_link_to_free_fns_and_vice_versa() {
+        let (index, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn tick() { }\n\
+             struct W;\n\
+             impl W { fn tick(&self) { } fn go(&self) { self.tick(); } }\n\
+             pub fn run(w: &W) { tick(); }\n",
+        )]);
+        let names = edge_names(&index, &g);
+        assert!(names.contains(&("go".to_string(), "tick".to_string())));
+        assert!(names.contains(&("run".to_string(), "tick".to_string())));
+        // `self.tick()` resolved to the method, `tick()` to the free fn
+        let go_edge = g
+            .edges
+            .iter()
+            .find(|e| index.fns[e.caller].name == "go")
+            .unwrap();
+        assert_eq!(index.fns[go_edge.callee].self_ty.as_deref(), Some("W"));
+        let run_edge = g
+            .edges
+            .iter()
+            .find(|e| index.fns[e.caller].name == "run")
+            .unwrap();
+        assert_eq!(index.fns[run_edge.callee].self_ty, None);
+    }
+
+    #[test]
+    fn external_types_land_in_the_unresolved_bucket() {
+        let (_, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn f() -> u64 { std::time::Instant::now(); Vec::new().len() as u64 }",
+        )]);
+        assert_eq!(g.edges.len(), 0);
+        assert!(g.unresolved >= 2, "now/new/len are not workspace fns");
+        assert!(g.unresolved_names.contains("now"));
+    }
+
+    #[test]
+    fn qualified_calls_narrow_to_the_impl_type() {
+        let (index, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { fn make() -> A { A } }\n\
+             impl B { fn make() -> B { B } }\n\
+             pub fn f() { A::make(); }\n",
+        )]);
+        let f_edges: Vec<&CallEdge> = g
+            .edges
+            .iter()
+            .filter(|e| index.fns[e.caller].name == "f")
+            .collect();
+        assert_eq!(f_edges.len(), 1, "only A::make links");
+        assert_eq!(index.fns[f_edges[0].callee].self_ty.as_deref(), Some("A"));
+    }
+}

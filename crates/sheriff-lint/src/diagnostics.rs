@@ -27,6 +27,10 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix or suppress it.
     pub help: &'static str,
+    /// Rustc-style `= note:` lines — the interprocedural rules use these
+    /// to spell out the call chain from the deterministic root to the
+    /// primitive source.
+    pub notes: Vec<String>,
 }
 
 impl Diagnostic {
@@ -40,6 +44,9 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "error[{}]: {}", self.rule, self.message)?;
         writeln!(f, "  --> {}:{}:{}", self.file, self.line, self.col)?;
+        for n in &self.notes {
+            writeln!(f, "   = note: {n}")?;
+        }
         write!(f, "   = help: {}", self.help)
     }
 }
@@ -63,14 +70,20 @@ pub fn json_escape(s: &str) -> String {
 
 /// Render one diagnostic as a JSON object (one line, no trailing newline).
 pub fn to_json(d: &Diagnostic) -> String {
+    let notes: Vec<String> = d
+        .notes
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
     format!(
-        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"help\":\"{}\"}}",
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"help\":\"{}\",\"notes\":[{}]}}",
         d.rule,
         json_escape(&d.file),
         d.line,
         d.col,
         json_escape(&d.message),
-        json_escape(d.help)
+        json_escape(d.help),
+        notes.join(",")
     )
 }
 
@@ -86,7 +99,24 @@ mod tests {
             col: 9,
             message: "ambient wall-clock read: `Instant::now`".into(),
             help: "route timing through sheriff_obs::Timer",
+            notes: Vec::new(),
         }
+    }
+
+    #[test]
+    fn renders_notes_between_location_and_help() {
+        let mut d = diag();
+        d.notes = vec![
+            "`helper` calls `inner`".into(),
+            "`inner` reads the clock".into(),
+        ];
+        let text = d.to_string();
+        let note_pos = text.find("= note: `helper`").expect("first note");
+        let help_pos = text.find("= help:").expect("help");
+        assert!(note_pos < help_pos);
+        assert!(text.contains("= note: `inner` reads the clock"));
+        let j = to_json(&d);
+        assert!(j.contains("\"notes\":[\"`helper` calls `inner`\","));
     }
 
     #[test]

@@ -9,7 +9,13 @@
 //! machine-checked rules over a hand-rolled token stream (same zero-dep
 //! stance as the TOML reader in `sheriff-scenario`), with rustc-style
 //! diagnostics, a mandatory-reason suppression pragma, and a ratcheting
-//! baseline for pre-existing panic debt.
+//! per-rule baseline for pre-existing debt.
+//!
+//! Since PR 10 the engine is whole-program: a workspace symbol index
+//! ([`symbols`]) feeds a call graph ([`callgraph`]) and a determinism
+//! taint fixed point ([`taint`]) that make DET01–DET03 interprocedural,
+//! plus the EVT01/PROTO01 coverage rules and a `--sarif` output mode
+//! ([`sarif`]) for CI annotations.
 //!
 //! Run it with:
 //!
@@ -26,8 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod diagnostics;
 pub mod lexer;
 pub mod pragma;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
+pub mod taint;
 pub mod workspace;

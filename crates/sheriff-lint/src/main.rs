@@ -1,15 +1,17 @@
-//! CLI driver: `sheriff-lint check [--json] [--deny-new]
+//! CLI driver: `sheriff-lint check [--json] [--sarif PATH] [--deny-new]
 //! [--update-baseline] [--baseline PATH] [--root PATH]`.
 //!
 //! Exit codes: `0` clean, `1` violations or ratchet divergence, `2`
-//! usage or I/O error.
+//! usage or I/O error — identical across the text, `--json`, and
+//! `--sarif` output modes.
 
 #![forbid(unsafe_code)]
 
 use sheriff_lint::baseline::{Baseline, BaselineIssue};
 use sheriff_lint::diagnostics::to_json;
-use sheriff_lint::rules::lint_source;
-use sheriff_lint::workspace::{build_context, discover_root, walk_sources};
+use sheriff_lint::rules::{context_from_files, lint_workspace, EngineStats};
+use sheriff_lint::symbols::SourceFile;
+use sheriff_lint::workspace::{discover_root, walk_sources};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
@@ -20,6 +22,8 @@ USAGE:
 
 OPTIONS:
     --json               emit one JSON object per finding instead of rustc-style text
+                         (plus a trailing stats object with the call graph's unresolved bucket)
+    --sarif <PATH>       additionally write the outstanding findings as SARIF 2.1.0
     --deny-new           CI mode: also fail on stale baseline entries (forces ratcheting)
     --update-baseline    rewrite the baseline from the current tree and exit
     --baseline <PATH>    baseline file (default: <root>/lint-baseline.json)
@@ -28,6 +32,7 @@ OPTIONS:
 
 struct Options {
     json: bool,
+    sarif: Option<PathBuf>,
     deny_new: bool,
     update_baseline: bool,
     baseline_path: Option<PathBuf>,
@@ -43,6 +48,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     let mut opts = Options {
         json: false,
+        sarif: None,
         deny_new: false,
         update_baseline: false,
         baseline_path: None,
@@ -51,6 +57,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--sarif" => match iter.next() {
+                Some(p) => opts.sarif = Some(PathBuf::from(p)),
+                None => return Err("--sarif needs a path".into()),
+            },
             "--deny-new" => opts.deny_new = true,
             "--update-baseline" => opts.update_baseline = true,
             "--baseline" => match iter.next() {
@@ -82,15 +92,18 @@ fn run(opts: &Options) -> Result<i32, String> {
         .clone()
         .unwrap_or_else(|| root.join("lint-baseline.json"));
 
+    // every file is read and lexed exactly once: the parsed SourceFiles
+    // feed the per-file rules, the legacy pre-pass, and the whole-program
+    // symbol/call-graph/taint passes
     let sources = walk_sources(&root)?;
-    let ctx = build_context(&sources);
-
-    let mut diags = Vec::new();
+    let mut files = Vec::with_capacity(sources.len());
     for (rel, abs) in &sources {
         let src = std::fs::read_to_string(abs)
             .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
-        diags.extend(lint_source(rel, &src, &ctx));
+        files.push(SourceFile::parse(rel, &src));
     }
+    let ctx = context_from_files(&files);
+    let (diags, stats) = lint_workspace(files, &ctx);
 
     if opts.update_baseline {
         let fresh = Baseline::from_diagnostics(&diags);
@@ -107,8 +120,9 @@ fn run(opts: &Options) -> Result<i32, String> {
             if fresh.entry_count() == 1 { "y" } else { "ies" },
         );
         // non-baselinable findings still fail the run
+        let mut diags = diags;
         diags.retain(|d| !sheriff_lint::baseline::BASELINABLE.contains(&d.rule));
-        return Ok(report(&diags, &[], opts));
+        return report(&diags, &[], &stats, opts);
     }
 
     let committed = match std::fs::read_to_string(&baseline_path) {
@@ -119,15 +133,21 @@ fn run(opts: &Options) -> Result<i32, String> {
         Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display())),
     };
     let (outstanding, issues) = committed.apply(&diags);
-    Ok(report(&outstanding, &issues, opts))
+    report(&outstanding, &issues, &stats, opts)
 }
 
-/// Print findings and decide the exit code.
+/// Print findings (and write the SARIF file, when requested) and decide
+/// the exit code.
 fn report(
     diags: &[sheriff_lint::diagnostics::Diagnostic],
     issues: &[BaselineIssue],
+    stats: &EngineStats,
     opts: &Options,
-) -> i32 {
+) -> Result<i32, String> {
+    if let Some(path) = &opts.sarif {
+        std::fs::write(path, sheriff_lint::sarif::render(diags))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
     for d in diags {
         if opts.json {
             println!("{}", to_json(d));
@@ -153,8 +173,11 @@ fn report(
             }
         }
     }
+    if opts.json {
+        println!("{}", stats.to_json());
+    }
     let failing = diags.len() + fresh.len() + if opts.deny_new { stale.len() } else { 0 };
-    if failing == 0 {
+    Ok(if failing == 0 {
         if !opts.json {
             eprintln!("sheriff-lint: clean");
         }
@@ -164,7 +187,7 @@ fn report(
             eprintln!("sheriff-lint: {failing} finding(s)");
         }
         1
-    }
+    })
 }
 
 fn main() {

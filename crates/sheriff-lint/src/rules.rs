@@ -1,14 +1,20 @@
-//! The rule engine: six repo-specific rules over the token stream.
+//! The rule engine: the per-file rules over the token stream, plus the
+//! whole-program passes that run over the workspace symbol index.
 //!
 //! | Code     | Invariant guarded                                            |
 //! |----------|--------------------------------------------------------------|
-//! | DET01    | no ambient wall clock outside `sheriff-obs`                  |
+//! | DET01    | no ambient wall clock outside `sheriff-obs`, and no call     |
+//! |          | chain from a deterministic root that reaches one             |
 //! | DET02    | no order-sensitive `HashMap`/`HashSet` iteration in          |
-//! |          | deterministic modules                                        |
-//! | DET03    | no ambient randomness (`thread_rng`, `rand::random`)         |
+//! |          | deterministic modules, nor reachable from them               |
+//! | DET03    | no ambient randomness (`thread_rng`, `rand::random`),        |
+//! |          | intraprocedural or reachable                                 |
 //! | PANIC01  | no `unwrap`/`expect`/indexing in non-test library code       |
 //! | UNSAFE01 | every crate root carries `#![forbid(unsafe_code)]`           |
 //! | API01    | no `legacy`-gated free functions outside the feature gate    |
+//! | EVT01    | every `sheriff-obs::Event` variant has a non-test emit site  |
+//! | PROTO01  | protocol `match`es in deterministic modules take a position  |
+//! |          | on every variant — no `_` catch-all                          |
 //! | LINT00   | (meta) malformed `sheriff-lint:` pragmas never silently      |
 //! |          | suppress nothing                                             |
 //!
@@ -17,14 +23,16 @@
 //! *this* workspace are caught, and false positives have a typed escape
 //! hatch: `// sheriff-lint: allow(RULE, "reason")`.
 
+use crate::callgraph::CallGraph;
 use crate::diagnostics::Diagnostic;
 use crate::lexer::{lex, Token, TokenKind};
-use crate::pragma::{self, Pragma, Suppressions};
+use crate::symbols::{SourceFile, SymbolIndex};
+use crate::taint;
 use std::collections::BTreeSet;
 
 /// Rule codes, in report order.
 pub const RULES: &[&str] = &[
-    "DET01", "DET02", "DET03", "PANIC01", "UNSAFE01", "API01", "LINT00",
+    "DET01", "DET02", "DET03", "PANIC01", "UNSAFE01", "API01", "EVT01", "PROTO01", "LINT00",
 ];
 
 const HELP_DET01: &str = "route timing through sheriff_obs::Timer (wall clock is excluded from \
@@ -40,12 +48,17 @@ const HELP_UNSAFE01: &str = "add `#![forbid(unsafe_code)]` next to the crate's o
      attributes";
 const HELP_API01: &str = "migrate to the `Runtime` trait (`FabricRuntime` & friends) or the \
      `_obs` variants; the free functions only exist behind `--features legacy`";
-const HELP_LINT00: &str = "write `// sheriff-lint: allow(RULE, \"reason\")` — a typo'd pragma \
-     must not silently suppress nothing";
+pub(crate) const HELP_LINT00: &str = "write `// sheriff-lint: allow(RULE, \"reason\")` — a \
+     typo'd pragma must not silently suppress nothing";
+const HELP_EVT01: &str = "emit the variant from the runtime path it documents (see DESIGN.md \
+     §7's event-to-paper map), or delete it — dead telemetry rots the map";
+const HELP_PROTO01: &str = "name every variant (or-patterns are fine) so the next protocol \
+     extension forces this handler to take a position, or add \
+     `// sheriff-lint: allow(PROTO01, \"why\")` on the match";
 
 /// Keywords that can directly precede `[` without forming an index
 /// expression (plus everything that is never an expression tail).
-const KEYWORDS: &[&str] = &[
+pub(crate) const KEYWORDS: &[&str] = &[
     "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
     "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
     "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
@@ -54,7 +67,7 @@ const KEYWORDS: &[&str] = &[
 
 /// Identifiers that make a hash-iteration statement order-insensitive:
 /// explicit sorts, BTree rebuilds, and commutative terminal consumers.
-const NEUTRALIZERS: &[&str] = &[
+pub(crate) const NEUTRALIZERS: &[&str] = &[
     "sort",
     "sort_by",
     "sort_by_key",
@@ -74,7 +87,7 @@ const NEUTRALIZERS: &[&str] = &[
 ];
 
 /// Methods whose receiver order becomes observable.
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "into_iter",
@@ -95,8 +108,8 @@ pub struct LintContext {
 /// Paths (repo-relative, `/`-separated) whose iteration order is part of
 /// the reproducibility contract: the management loops, the simulator,
 /// the transfer scheduler, and the scenario runner's pure `run_job`
-/// path.
-fn is_deterministic_module(path: &str) -> bool {
+/// path. These are also the taint pass's reachability roots.
+pub(crate) fn is_deterministic_module(path: &str) -> bool {
     path.starts_with("crates/sheriff-core/src/")
         || path.starts_with("crates/sheriff-sim/src/")
         || path.starts_with("crates/dcn-sim/src/")
@@ -106,7 +119,7 @@ fn is_deterministic_module(path: &str) -> bool {
 
 /// The one crate allowed to read the wall clock: its `Timer` keeps wall
 /// durations out of the deterministic event stream by contract.
-fn is_wall_clock_allowlisted(path: &str) -> bool {
+pub(crate) fn is_wall_clock_allowlisted(path: &str) -> bool {
     path.starts_with("crates/sheriff-obs/")
 }
 
@@ -120,9 +133,9 @@ fn is_crate_root(path: &str) -> bool {
 /// Per-token flags derived from attributes: inside a `#[cfg(test)]` /
 /// `#[test]` item, or inside a `#[cfg(feature = "legacy")]` item.
 #[derive(Debug, Clone, Copy, Default)]
-struct Flags {
-    test: bool,
-    legacy: bool,
+pub(crate) struct Flags {
+    pub(crate) test: bool,
+    pub(crate) legacy: bool,
 }
 
 #[derive(Debug)]
@@ -213,7 +226,7 @@ fn item_end(tokens: &[Token], start: usize) -> usize {
 }
 
 /// Compute per-token flags plus file-level facts from the attributes.
-fn compute_flags(tokens: &[Token]) -> (Vec<Flags>, bool) {
+pub(crate) fn compute_flags(tokens: &[Token]) -> (Vec<Flags>, bool) {
     let mut flags = vec![Flags::default(); tokens.len()];
     let mut has_forbid_unsafe = false;
     let mut i = 0usize;
@@ -313,11 +326,22 @@ fn diag(
         col: tok.col,
         message,
         help,
+        notes: Vec::new(),
+    }
+}
+
+/// The help string for a DET rule code — used by the taint pass so the
+/// interprocedural findings carry the same remediation text.
+pub(crate) fn det_help(rule: &str) -> &'static str {
+    match rule {
+        "DET01" => HELP_DET01,
+        "DET02" => HELP_DET02,
+        _ => HELP_DET03,
     }
 }
 
 /// `A :: B` at index `i`: the path-segment pair (A, B) if present.
-fn path_pair(tokens: &[Token], i: usize) -> Option<(&str, &str)> {
+pub(crate) fn path_pair(tokens: &[Token], i: usize) -> Option<(&str, &str)> {
     let a = tokens.get(i)?.ident()?;
     if !(tokens.get(i + 1)?.is_punct(':') && tokens.get(i + 2)?.is_punct(':')) {
         return None;
@@ -376,7 +400,7 @@ fn det03(tokens: &[Token], flags: &[Flags], path: &str, out: &mut Vec<Diagnostic
 }
 
 /// Names in this file declared (or initialised) as `HashMap`/`HashSet`.
-fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
+pub(crate) fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
     const WINDOW: usize = 9;
     let mut names = BTreeSet::new();
     for (i, t) in tokens.iter().enumerate() {
@@ -421,7 +445,7 @@ fn hash_typed_names(tokens: &[Token]) -> BTreeSet<String> {
 /// Idents of the statement containing index `i` plus the following
 /// statement — the window in which a sort/BTree rebuild neutralises an
 /// order-sensitive iteration.
-fn statement_window_has_neutralizer(tokens: &[Token], i: usize) -> bool {
+pub(crate) fn statement_window_has_neutralizer(tokens: &[Token], i: usize) -> bool {
     // backward to the start of the statement
     let before = tokens
         .iter()
@@ -442,6 +466,53 @@ fn statement_window_has_neutralizer(tokens: &[Token], i: usize) -> bool {
         .any(|s| NEUTRALIZERS.contains(&s))
 }
 
+/// Whether tokens\[i\] is an order-sensitive iteration over one of
+/// `names` (the file's hash-typed bindings) that no sort/BTree rebuild
+/// neutralises within its statement window. Returns the binding name.
+/// Shared between the intraprocedural DET02 rule and the taint seeder.
+pub(crate) fn hash_iter_site<'a>(
+    tokens: &'a [Token],
+    i: usize,
+    names: &BTreeSet<String>,
+) -> Option<&'a str> {
+    let name = tokens.get(i)?.ident()?;
+    if !names.contains(name) {
+        return None;
+    }
+    // `name.iter()` and friends
+    let method_iter = tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+        && tokens
+            .get(i + 2)
+            .and_then(|n| n.ident())
+            .is_some_and(|m| ITER_METHODS.contains(&m))
+        && tokens.get(i + 3).is_some_and(|n| n.is_punct('('));
+    // `for … in [&|&mut|(] name {`
+    let for_iter = {
+        let mut j = i;
+        let mut saw_in = false;
+        while j > 0 {
+            j -= 1;
+            match tokens.get(j).map(|p| &p.kind) {
+                Some(TokenKind::Punct('&' | '(')) => continue,
+                Some(TokenKind::Ident(s)) if s == "mut" => continue,
+                Some(TokenKind::Ident(s)) if s == "in" => {
+                    saw_in = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        saw_in && tokens.get(i + 1).is_some_and(|n| n.is_punct('{'))
+    };
+    if !(method_iter || for_iter) {
+        return None;
+    }
+    if statement_window_has_neutralizer(tokens, i) {
+        return None;
+    }
+    Some(name)
+}
+
 fn det02(tokens: &[Token], flags: &[Flags], path: &str, out: &mut Vec<Diagnostic>) {
     if !is_deterministic_module(path) {
         return;
@@ -454,41 +525,9 @@ fn det02(tokens: &[Token], flags: &[Flags], path: &str, out: &mut Vec<Diagnostic
         if flags.get(i).copied().unwrap_or_default().test {
             continue;
         }
-        let Some(name) = t.ident() else { continue };
-        if !names.contains(name) {
+        let Some(name) = hash_iter_site(tokens, i, &names) else {
             continue;
-        }
-        // `name.iter()` and friends
-        let method_iter = tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
-            && tokens
-                .get(i + 2)
-                .and_then(|n| n.ident())
-                .is_some_and(|m| ITER_METHODS.contains(&m))
-            && tokens.get(i + 3).is_some_and(|n| n.is_punct('('));
-        // `for … in [&|&mut|(] name {`
-        let for_iter = {
-            let mut j = i;
-            let mut saw_in = false;
-            while j > 0 {
-                j -= 1;
-                match tokens.get(j).map(|p| &p.kind) {
-                    Some(TokenKind::Punct('&' | '(')) => continue,
-                    Some(TokenKind::Ident(s)) if s == "mut" => continue,
-                    Some(TokenKind::Ident(s)) if s == "in" => {
-                        saw_in = true;
-                        break;
-                    }
-                    _ => break,
-                }
-            }
-            saw_in && tokens.get(i + 1).is_some_and(|n| n.is_punct('{'))
         };
-        if !(method_iter || for_iter) {
-            continue;
-        }
-        if statement_window_has_neutralizer(tokens, i) {
-            continue;
-        }
         out.push(diag(
             "DET02",
             path,
@@ -560,6 +599,7 @@ fn unsafe01(tokens: &[Token], has_forbid: bool, path: &str, out: &mut Vec<Diagno
         col: anchor.col,
         message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
         help: HELP_UNSAFE01,
+        notes: Vec::new(),
     });
 }
 
@@ -600,40 +640,404 @@ fn api01(
     }
 }
 
-// ---------------------------------------------------------- entry point
+// ------------------------------------------------- PROTO01 (match arms)
 
-/// Lint one source file. `path` must be repo-relative with `/`
-/// separators — it selects which rules apply.
-pub fn lint_source(path: &str, src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let (flags, has_forbid) = compute_flags(&lexed.tokens);
+/// Enum names whose `match`es must take a position on every variant:
+/// the shim wire protocol, the 2PC reply lattice, and the fabric's own
+/// event agenda.
+const PROTO_ENUMS: &[&str] = &["ShimMsg", "TwoPhaseReply", "FabricEvent"];
 
-    let mut pragmas: Vec<Pragma> = Vec::new();
-    let mut out: Vec<Diagnostic> = Vec::new();
-    for c in &lexed.comments {
-        match pragma::parse(c) {
-            None => {}
-            Some(Ok(p)) => pragmas.push(p),
-            Some(Err(e)) => out.push(Diagnostic {
-                rule: "LINT00",
-                file: path.to_string(),
-                line: c.line,
-                col: c.col,
-                message: e.to_string(),
-                help: HELP_LINT00,
-            }),
+/// PROTO01: a `match` in a deterministic module whose arm *patterns*
+/// name a protocol enum must not carry a bare `_` catch-all arm — when
+/// the next PR adds a variant, every handler has to take a position.
+/// Only patterns are inspected (tokens between the arm start and its
+/// `=>`), so constructing a protocol message inside an arm body never
+/// qualifies the surrounding match.
+fn proto01(tokens: &[Token], flags: &[Flags], path: &str, out: &mut Vec<Diagnostic>) {
+    if !is_deterministic_module(path) {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("match") || flags.get(i).copied().unwrap_or_default().test {
+            continue;
+        }
+        let Some(open) = match_block_open(tokens, i) else {
+            continue;
+        };
+        let close = block_close(tokens, open);
+        let mut protocol = false;
+        let mut catchalls: Vec<&Token> = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            let Some((pattern, arrow)) = arm_pattern(tokens, k, close) else {
+                break;
+            };
+            // the pattern proper stops at a `if` guard
+            let guard = pattern
+                .iter()
+                .position(|p| p.is_ident("if"))
+                .unwrap_or(pattern.len());
+            if pattern
+                .iter()
+                .take(guard)
+                .any(|p| p.ident().is_some_and(|s| PROTO_ENUMS.contains(&s)))
+            {
+                protocol = true;
+            }
+            if guard == 1 {
+                if let Some(u) = pattern.first().filter(|p| p.is_ident("_")) {
+                    catchalls.push(u);
+                }
+            }
+            k = arm_body_end(tokens, arrow + 2, close);
+        }
+        if !protocol {
+            continue;
+        }
+        for c in catchalls {
+            out.push(diag(
+                "PROTO01",
+                path,
+                c,
+                "`_` catch-all in a protocol match: new `ShimMsg`/`TwoPhaseReply`/fabric \
+                 event variants would be silently swallowed here"
+                    .to_string(),
+                HELP_PROTO01,
+            ));
         }
     }
-    let suppressions = Suppressions::from_pragmas(&pragmas);
+}
 
-    det01(&lexed.tokens, &flags, path, &mut out);
-    det02(&lexed.tokens, &flags, path, &mut out);
-    det03(&lexed.tokens, &flags, path, &mut out);
-    panic01(&lexed.tokens, &flags, path, &mut out);
-    unsafe01(&lexed.tokens, has_forbid, path, &mut out);
-    api01(&lexed.tokens, &flags, path, ctx, &mut out);
+/// From a `match` keyword, the index of the `{` opening its arm block.
+fn match_block_open(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = i + 1;
+    while let Some(t) = tokens.get(j) {
+        match &t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('{') if paren <= 0 && bracket <= 0 => return Some(j),
+            TokenKind::Punct(';') if paren <= 0 && bracket <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
 
-    out.retain(|d| d.rule == "LINT00" || !suppressions.covers(d.rule, d.line));
+/// Index of the `}` matching the `{` at `open`.
+fn block_close(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 1i32;
+    let mut k = open + 1;
+    while let Some(t) = tokens.get(k) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    tokens.len()
+}
+
+/// Parse one arm's pattern starting at `k`: the tokens before its `=>`,
+/// and the index of the arrow's `=`.
+fn arm_pattern(tokens: &[Token], k: usize, close: usize) -> Option<(Vec<&Token>, usize)> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut pattern = Vec::new();
+    let mut m = k;
+    while m < close {
+        let Some(t) = tokens.get(m) else { break };
+        if paren <= 0
+            && bracket <= 0
+            && brace <= 0
+            && t.is_punct('=')
+            && tokens.get(m + 1).is_some_and(|n| n.is_punct('>'))
+        {
+            return Some((pattern, m));
+        }
+        match &t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => brace -= 1,
+            _ => {}
+        }
+        pattern.push(t);
+        m += 1;
+    }
+    None
+}
+
+/// Skip one arm body starting just past `=>`: returns the index of the
+/// next arm's first token.
+fn arm_body_end(tokens: &[Token], start: usize, close: usize) -> usize {
+    let mut m = start;
+    if tokens.get(m).is_some_and(|t| t.is_punct('{')) {
+        m = block_close(tokens, m) + 1;
+        if tokens.get(m).is_some_and(|t| t.is_punct(',')) {
+            m += 1;
+        }
+        return m.min(close);
+    }
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    while m < close {
+        let Some(t) = tokens.get(m) else { break };
+        match &t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => brace -= 1,
+            TokenKind::Punct(',') if paren <= 0 && bracket <= 0 && brace <= 0 => {
+                return m + 1;
+            }
+            _ => {}
+        }
+        m += 1;
+    }
+    close
+}
+
+// ------------------------------------------------ EVT01 (event coverage)
+
+/// The file defining the observability event vocabulary.
+const EVENT_ENUM_FILE: &str = "crates/sheriff-obs/src/event.rs";
+
+/// EVT01: every `sheriff-obs::Event` variant needs at least one non-test
+/// `Event::Variant` use outside `sheriff-obs` itself — dead telemetry is
+/// how DESIGN.md §7's event-to-paper map rots. (Pattern uses count as
+/// live sites too: a consumed variant is wired, not dead.)
+fn evt01(index: &SymbolIndex, out: &mut Vec<Diagnostic>) {
+    let Some(efile) = index.files.iter().find(|f| f.path == EVENT_ENUM_FILE) else {
+        return;
+    };
+    let variants = enum_variants(&efile.tokens, "Event");
+    if variants.is_empty() {
+        return;
+    }
+    let mut live: BTreeSet<&str> = BTreeSet::new();
+    for file in &index.files {
+        if file.path.starts_with("crates/sheriff-obs/") {
+            continue;
+        }
+        for i in 0..file.tokens.len() {
+            if file.flag(i).test {
+                continue;
+            }
+            if let Some(("Event", v)) = path_pair(&file.tokens, i) {
+                live.insert(v);
+            }
+        }
+    }
+    for (name, tok) in &variants {
+        if !live.contains(name.as_str()) {
+            out.push(diag(
+                "EVT01",
+                EVENT_ENUM_FILE,
+                tok,
+                format!(
+                    "`Event::{name}` has no non-test emit or consume site outside \
+                     `sheriff-obs`: dead telemetry"
+                ),
+                HELP_EVT01,
+            ));
+        }
+    }
+}
+
+/// The variants of `enum <name>` in a token stream, with their tokens.
+fn enum_variants<'a>(tokens: &'a [Token], name: &str) -> Vec<(String, &'a Token)> {
+    let mut out = Vec::new();
+    let Some(pos) = tokens
+        .windows(2)
+        .position(|w| matches!(w, [a, b] if a.is_ident("enum") && b.is_ident(name)))
+    else {
+        return out;
+    };
+    let Some(open) = tokens
+        .iter()
+        .enumerate()
+        .skip(pos + 2)
+        .find(|(_, t)| t.is_punct('{'))
+        .map(|(i, _)| i)
+    else {
+        return out;
+    };
+    let close = block_close(tokens, open);
+    let mut expect_variant = true;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut k = open + 1;
+    while k < close {
+        let Some(t) = tokens.get(k) else { break };
+        match &t.kind {
+            TokenKind::Punct('#') if expect_variant => {
+                // skip the variant's attributes
+                if let Some(a) = scan_attr(tokens, k) {
+                    k = a.end;
+                    continue;
+                }
+            }
+            TokenKind::Ident(s)
+                if expect_variant
+                    && paren <= 0
+                    && bracket <= 0
+                    && brace <= 0
+                    && !KEYWORDS.contains(&s.as_str()) =>
+            {
+                out.push((s.clone(), t));
+                expect_variant = false;
+            }
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => brace -= 1,
+            TokenKind::Punct(',') if paren <= 0 && bracket <= 0 && brace <= 0 => {
+                expect_variant = true;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------- entry points
+
+/// Run the per-file rules over one already-parsed file. Suppressions are
+/// applied; the result is unsorted.
+fn lint_file(file: &SourceFile, ctx: &LintContext) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = file.lint00.clone();
+    let tokens = &file.tokens;
+    let flags = &file.flags;
+    let path = &file.path;
+    det01(tokens, flags, path, &mut out);
+    det02(tokens, flags, path, &mut out);
+    det03(tokens, flags, path, &mut out);
+    panic01(tokens, flags, path, &mut out);
+    unsafe01(tokens, file.has_forbid_unsafe, path, &mut out);
+    api01(tokens, flags, path, ctx, &mut out);
+    proto01(tokens, flags, path, &mut out);
+    out.retain(|d| d.rule == "LINT00" || !file.suppressions.covers(d.rule, d.line));
+    out
+}
+
+/// Lint one source file. `path` must be repo-relative with `/`
+/// separators — it selects which rules apply. (The whole-program rules
+/// need the full workspace: see [`lint_workspace`].)
+pub fn lint_source(path: &str, src: &str, ctx: &LintContext) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(path, src);
+    let mut out = lint_file(&file, ctx);
     out.sort_by_key(Diagnostic::sort_key);
     out
+}
+
+/// Whole-workspace accounting surfaced in `--json` output, including the
+/// call graph's explicit unresolved bucket.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Source files linted.
+    pub files: usize,
+    /// Function definitions indexed.
+    pub functions: usize,
+    /// Call-shaped sites inspected.
+    pub call_sites: usize,
+    /// Sites linked to at least one workspace definition.
+    pub resolved_calls: usize,
+    /// Sites with no workspace candidate (std, vendored, constructors) —
+    /// the graph's visible soundness gap.
+    pub unresolved_calls: usize,
+    /// Functions tainted by at least one determinism taint kind.
+    pub tainted_functions: usize,
+}
+
+impl EngineStats {
+    /// One-line JSON rendering, emitted after the findings in `--json`
+    /// mode.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"stats\":{{\"files\":{},\"functions\":{},\"call_sites\":{},\
+             \"resolved_calls\":{},\"unresolved_calls\":{},\"tainted_functions\":{}}}}}",
+            self.files,
+            self.functions,
+            self.call_sites,
+            self.resolved_calls,
+            self.unresolved_calls,
+            self.tainted_functions
+        )
+    }
+}
+
+/// Build the [`LintContext`] from already-parsed files: the API01
+/// deny-list of `legacy`-gated free functions in `sheriff-core`.
+pub fn context_from_files(files: &[SourceFile]) -> LintContext {
+    let mut ctx = LintContext::default();
+    for f in files {
+        if !f.path.starts_with("crates/sheriff-core/src/") {
+            continue;
+        }
+        for (i, t) in f.tokens.iter().enumerate() {
+            if !t.is_ident("fn") || !f.flag(i).legacy {
+                continue;
+            }
+            if let Some(name) = f.tokens.get(i + 1).and_then(Token::ident) {
+                ctx.legacy_fns.insert(name.to_string());
+            }
+        }
+    }
+    ctx
+}
+
+/// Lint the whole workspace: the per-file rules plus the symbol-index,
+/// call-graph, taint, EVT01, and PROTO01 passes — all off the memoized
+/// per-file token streams (each file is lexed exactly once).
+pub fn lint_workspace(files: Vec<SourceFile>, ctx: &LintContext) -> (Vec<Diagnostic>, EngineStats) {
+    let mut out = Vec::new();
+    for f in &files {
+        out.extend(lint_file(f, ctx));
+    }
+
+    let index = SymbolIndex::build(files);
+    let graph = CallGraph::build(&index);
+    let taint_map = taint::analyze(&index, &graph);
+
+    let mut global = taint::interprocedural_diagnostics(&index, &graph, &taint_map);
+    evt01(&index, &mut global);
+    global.retain(|d| {
+        let suppressed = index
+            .files
+            .iter()
+            .find(|f| f.path == d.file)
+            .is_some_and(|f| f.suppressions.covers(d.rule, d.line));
+        !suppressed
+    });
+    out.extend(global);
+    out.sort_by_key(Diagnostic::sort_key);
+
+    let stats = EngineStats {
+        files: index.files.len(),
+        functions: index.fns.len(),
+        call_sites: graph.call_sites,
+        resolved_calls: graph.resolved,
+        unresolved_calls: graph.unresolved,
+        tainted_functions: taint_map.tainted_count(),
+    };
+    (out, stats)
 }

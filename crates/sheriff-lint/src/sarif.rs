@@ -1,0 +1,85 @@
+//! SARIF 2.1.0 rendering of lint findings — the interchange format
+//! GitHub's code-scanning upload consumes, so CI findings surface as PR
+//! annotations. Same zero-dependency stance as the rest of the crate:
+//! the document shape is fixed, so it is assembled by hand with the
+//! shared JSON escaper.
+
+use crate::diagnostics::{json_escape, Diagnostic};
+use crate::rules::RULES;
+
+/// Render all outstanding findings as one SARIF 2.1.0 document.
+///
+/// Notes (the interprocedural call chains) are folded into the result
+/// message text — GitHub renders the full message in the annotation.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(4096 + diags.len() * 256);
+    out.push_str(
+        "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n      \
+         \"tool\": {\n        \"driver\": {\n          \"name\": \"sheriff-lint\",\n          \
+         \"informationUri\": \"https://github.com/\",\n          \"rules\": [\n",
+    );
+    for (i, rule) in RULES.iter().enumerate() {
+        let comma = if i + 1 == RULES.len() { "" } else { "," };
+        out.push_str(&format!("            {{\"id\": \"{rule}\"}}{comma}\n"));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let comma = if i + 1 == diags.len() { "" } else { "," };
+        let mut message = d.message.clone();
+        for n in &d.notes {
+            message.push_str("; note: ");
+            message.push_str(n);
+        }
+        out.push_str(&format!(
+            "        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+             {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}\n          ]\n        \
+             }}{comma}\n",
+            d.rule,
+            json_escape(&message),
+            json_escape(&d.file),
+            d.line,
+            d.col,
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_a_valid_looking_document() {
+        let d = Diagnostic {
+            rule: "DET01",
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            message: "ambient wall-clock read".into(),
+            help: "h",
+            notes: vec!["`helper` reads the wall clock at crates/y/src/b.rs:1:1".into()],
+        };
+        let s = render(&[d]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"DET01\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("; note: `helper` reads the wall clock"));
+        assert!(s.contains("{\"id\": \"PROTO01\"}"));
+        // crude balance check on the hand-assembled JSON
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "braces balance"
+        );
+    }
+
+    #[test]
+    fn empty_run_still_renders() {
+        let s = render(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

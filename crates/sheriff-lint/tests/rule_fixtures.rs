@@ -417,3 +417,94 @@ fn diagnostics_are_position_sorted_and_stable() {
     assert_eq!(keys, sorted, "findings must be position-sorted");
     assert_eq!(a.len(), 3, "DET02 + two PANIC01 findings: {a:?}");
 }
+
+// ------------------------------------------------------------- PROTO01
+
+#[test]
+fn proto01_flags_catchall_in_protocol_match() {
+    let src = "pub fn handle(msg: ShimMsg) {\n\
+                   match msg {\n\
+                       ShimMsg::Prepare { .. } => prepare(),\n\
+                       _ => {}\n\
+                   }\n\
+               }";
+    assert_eq!(codes(CORE, src), vec!["PROTO01"]);
+}
+
+#[test]
+fn proto01_clean_for_exhaustive_variant_patterns_and_other_modules() {
+    // a variant pattern with inner wildcards is still a position taken
+    let exhaustive = "pub fn handle(msg: ShimMsg) {\n\
+                          match msg {\n\
+                              ShimMsg::Prepare { .. } => prepare(),\n\
+                              ShimMsg::Commit(_) => commit(),\n\
+                          }\n\
+                      }";
+    assert!(codes(CORE, exhaustive).is_empty());
+    // non-protocol matches may use `_` freely
+    let plain = "pub fn classify(n: u32) -> u32 { match n { 0 => 1, _ => 2 } }";
+    assert!(codes(CORE, plain).is_empty());
+    // outside the deterministic modules the rule does not apply
+    let bench =
+        "pub fn handle(msg: ShimMsg) { match msg { ShimMsg::Prepare { .. } => p(), _ => {} } }";
+    assert!(codes("crates/bench/src/fixture.rs", bench).is_empty());
+}
+
+#[test]
+fn proto01_pragma_suppresses_with_reason() {
+    let suppressed = "pub fn handle(msg: TwoPhaseReply) {\n\
+                          match msg {\n\
+                              TwoPhaseReply::Ack(_) => ack(),\n\
+                              // sheriff-lint: allow(PROTO01, \"forward-compat shim for replayed journals\")\n\
+                              _ => {}\n\
+                          }\n\
+                      }";
+    assert!(codes(CORE, suppressed).is_empty());
+}
+
+// ------------------------------------------------------------- EVT01
+
+#[test]
+fn evt01_flags_dead_event_variant_across_the_workspace() {
+    use sheriff_lint::rules::{context_from_files, lint_workspace};
+    use sheriff_lint::symbols::SourceFile;
+
+    let event_enum = "pub enum Event {\n    Alive { rack: u64 },\n    Dead { rack: u64 },\n}";
+    let emitter = "pub fn fire() { emit(|| Event::Alive { rack: 0 }); }";
+    let run = |files: &[(&str, &str)]| -> Vec<String> {
+        let parsed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let ctx = context_from_files(&parsed);
+        let (diags, _) = lint_workspace(parsed, &ctx);
+        diags.into_iter().map(|d| d.rule.to_string()).collect()
+    };
+
+    let dead = run(&[
+        ("crates/sheriff-obs/src/event.rs", event_enum),
+        ("crates/sheriff-core/src/fixture.rs", emitter),
+    ]);
+    assert_eq!(dead, vec!["EVT01"], "Dead has no emit site");
+
+    // a consume site (matching on the variant) keeps it live too
+    let consumer = "pub fn fold(e: Event) -> u64 {\n\
+                        match e {\n\
+                            Event::Alive { rack } => rack,\n\
+                            Event::Dead { rack } => rack,\n\
+                        }\n\
+                    }";
+    let live = run(&[
+        ("crates/sheriff-obs/src/event.rs", event_enum),
+        ("crates/sheriff-core/src/fixture.rs", emitter),
+        ("crates/bench/src/fixture.rs", consumer),
+    ]);
+    assert!(live.is_empty(), "{live:?}");
+
+    // test-gated uses do not count as live
+    let test_only =
+        "#[cfg(test)]\nmod tests {\n    fn t() { emit(|| Event::Dead { rack: 1 }); }\n}";
+    let still_dead = run(&[
+        ("crates/sheriff-obs/src/event.rs", event_enum),
+        ("crates/sheriff-core/src/fixture.rs", emitter),
+        ("crates/sheriff-core/src/tests_fixture.rs", test_only),
+    ]);
+    assert_eq!(still_dead, vec!["EVT01"], "test-gated emits stay dead");
+}
